@@ -1,0 +1,74 @@
+"""Figure 1 / Section 2.1 (qualitative): ICDB serving a behavioral synthesis
+flow end to end.
+
+The paper's Figure 1 is an architecture diagram rather than a measured
+result; this bench exercises the whole loop it depicts -- delay queries for
+clock selection, scheduling with chaining, allocation/binding against ICDB
+components, datapath construction and control-logic generation -- and
+checks the qualitative claims of Section 2.1 (chaining happens when the
+clock allows it, multi-function components get shared, the component list
+mechanism cleans up exploration instances).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.synthesis import (
+    allocate,
+    build_datapath,
+    choose_clock_width,
+    expression_dfg,
+    function_delay_table,
+    schedule_asap,
+)
+
+
+def run_flow(icdb_server):
+    icdb_server.start_a_design(icdb_server.instances.new_name("fig1_design"))
+    icdb_server.start_a_transaction()
+    dfg = expression_dfg("fig1_expr")
+    delays = function_delay_table(icdb_server, dfg.functions_used(), width=4)
+    clock_width = choose_clock_width(delays)
+    schedule = schedule_asap(dfg, clock_width, delays)
+    allocation = allocate(icdb_server, schedule, width=4)
+    datapath = build_datapath(icdb_server, schedule, allocation, width=4)
+    for instance in datapath.all_instances():
+        icdb_server.put_in_component_list(instance.name)
+    removed = icdb_server.end_a_transaction()
+    return delays, clock_width, schedule, allocation, datapath, removed
+
+
+def test_fig01_synthesis_flow(benchmark, icdb_server):
+    delays, clock_width, schedule, allocation, datapath, removed = run_once(
+        benchmark, lambda: run_flow(icdb_server)
+    )
+
+    print()
+    print("function delays:", {k: round(v, 1) for k, v in delays.items()})
+    print(schedule.render())
+    print(allocation.render())
+    print(f"removed exploration instances: {len(removed)}")
+    benchmark.extra_info["steps"] = schedule.steps
+    benchmark.extra_info["units"] = len(allocation.units)
+    benchmark.extra_info["datapath_area_um2"] = round(datapath.total_area())
+
+    # The clock width is driven by the slowest component delay (Section 2.1).
+    assert clock_width >= max(delays.values())
+    # Chaining: the comparison chains after the addition in the same step.
+    assert schedule.entry("cmp1").start_step == schedule.entry("add1").start_step
+    # The multiplier dominates and finishes last.
+    assert schedule.entry("mul1").end_step == schedule.steps - 1
+    # Every operation is bound to a unit that performs its function.
+    for operation in schedule.dfg.operations:
+        unit = allocation.unit_of(operation.name)
+        assert operation.function in unit.functions
+    # The datapath has functional units, registers and generated control.
+    assert datapath.functional_units and datapath.registers
+    assert datapath.control is not None
+    assert datapath.control.netlist.flip_flop_count() >= schedule.steps
+    # The transaction removed the exploration-only instances (the delay-table
+    # probes) but kept the datapath components.
+    assert removed
+    kept = set(icdb_server.component_list())
+    assert {inst.name for inst in datapath.all_instances()} <= kept

@@ -1,0 +1,59 @@
+"""Figure 5: area / time tradeoff of five 5-bit counter implementations.
+
+The paper plots, for the ripple counter and four synchronous variants, the
+delay to output ``Q[4]`` against the component area.  The reproduced curve
+must show the same qualitative shape: the ripple counter is by far the
+slowest but the smallest, and every added feature (enable, up/down,
+parallel load) costs area.
+"""
+
+from __future__ import annotations
+
+from conftest import PAPER_FIGURE5, run_once
+
+from repro.components.counters import FIGURE5_CONFIGURATIONS
+from repro.constraints import Constraints
+
+
+def generate_figure5(icdb_server):
+    constraints = Constraints(output_loads={f"Q[{i}]": 10.0 for i in range(5)})
+    rows = icdb_server.area_time_tradeoff(
+        "counter", FIGURE5_CONFIGURATIONS, constraints=constraints, delay_output="Q[4]"
+    )
+    return {row["label"]: (row["delay"], row["area"] / 1e4) for row in rows}
+
+
+def test_fig05_counter_tradeoff(benchmark, icdb_server):
+    measured = run_once(benchmark, lambda: generate_figure5(icdb_server))
+
+    print()
+    print(f"{'configuration':30s} {'paper (ns, 1e4um2)':>22s} {'measured (ns, 1e4um2)':>24s}")
+    for label, paper in PAPER_FIGURE5.items():
+        delay, area = measured[label]
+        print(f"{label:30s} {paper[0]:10.1f} {paper[1]:10.1f} {delay:12.1f} {area:10.1f}")
+    benchmark.extra_info["measured"] = {k: (round(d, 1), round(a, 1)) for k, (d, a) in measured.items()}
+
+    delays = {label: values[0] for label, values in measured.items()}
+    areas = {label: values[1] for label, values in measured.items()}
+
+    # Shape 1: the ripple counter is the slowest to Q[4] and the smallest.
+    assert delays["ripple"] == max(delays.values())
+    assert areas["ripple"] == min(areas.values())
+    # Shape 2: the ripple counter is at least 2x slower than the plain
+    # synchronous up counter (paper: 17.4 vs 5.8).
+    assert delays["ripple"] > 2.0 * delays["synchronous_up"]
+    # Shape 3: every added feature costs area, in the paper's order.
+    assert (
+        areas["ripple"]
+        < areas["synchronous_up"]
+        < areas["synchronous_up_enable"]
+        < areas["synchronous_updown"]
+        < areas["synchronous_updown_load"]
+    )
+    # Shape 4: the enable option (clock gating latch) slows the output down
+    # relative to the plain up counter (paper: 9.8 vs 5.8).
+    assert delays["synchronous_up_enable"] > delays["synchronous_up"]
+    # Shape 5: the parallel-load counter is the largest, roughly 2-3x the
+    # plain synchronous counter (paper: 53.4 vs 23.6).
+    ratio = areas["synchronous_updown_load"] / areas["synchronous_up"]
+    assert 1.5 < ratio < 4.0

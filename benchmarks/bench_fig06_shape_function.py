@@ -1,0 +1,49 @@
+"""Figure 6: shape function of the synchronous up/down counter.
+
+The paper lists eight (width, height) layout alternatives forming a
+monotone width/height tradeoff covering roughly a 4:1 range of aspect
+ratios.  The bench regenerates the shape function and checks that shape.
+"""
+
+from __future__ import annotations
+
+from conftest import PAPER_FIGURE6, run_once
+
+from repro.components.counters import counter_parameters, UP_DOWN
+
+
+def generate_figure6(icdb_server):
+    instance = icdb_server.request_component(
+        implementation="counter",
+        parameters=counter_parameters(size=5, up_or_down=UP_DOWN),
+        instance_name=icdb_server.instances.new_name("fig6_updown"),
+    )
+    return instance.shape
+
+
+def test_fig06_shape_function(benchmark, icdb_server):
+    shape = run_once(benchmark, lambda: generate_figure6(icdb_server))
+
+    print()
+    print("paper alternatives (1e3 um):", PAPER_FIGURE6)
+    print("measured alternatives (um):")
+    print(shape.render())
+    benchmark.extra_info["alternatives"] = [
+        (round(r.width), round(r.height)) for r in shape.alternatives
+    ]
+
+    # Shape 1: several alternatives exist (the paper shows 8).
+    assert len(shape) >= 4
+    # Shape 2: the tradeoff is monotone -- more strips means narrower/taller.
+    assert shape.is_monotone()
+    widths = shape.widths()
+    heights = shape.heights()
+    # Shape 3: the aspect-ratio range is wide (paper: ~0.29 to ~4.2, a 14x
+    # spread); require at least a 4x spread between extremes.
+    ratios = [w / h for w, h in zip(widths, heights)]
+    assert max(ratios) / min(ratios) > 4.0
+    # Shape 4: areas of the alternatives stay within a factor of ~2.5 of the
+    # best one (they are alternatives of the same component, not different
+    # components).
+    areas = [w * h for w, h in zip(widths, heights)]
+    assert max(areas) / min(areas) < 2.5

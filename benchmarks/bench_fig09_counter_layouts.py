@@ -1,0 +1,63 @@
+"""Figure 9: layouts of the Figure 5 counters.
+
+The paper shows the generated strip layouts of the five counter
+implementations.  The bench generates an actual layout (placement, routing
+tracks, ports, CIF) for every configuration and checks that the layout
+areas track the estimator's ordering (more features -> bigger layout) and
+that the CIF files are well formed.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.components.counters import FIGURE5_CONFIGURATIONS
+from repro.netlist import layout_to_cif, parse_cif_boxes
+
+
+def generate_figure9(icdb_server):
+    layouts = {}
+    for label, parameters in FIGURE5_CONFIGURATIONS:
+        instance = icdb_server.request_component(
+            implementation="counter",
+            parameters=parameters,
+            instance_name=icdb_server.instances.new_name(f"fig9_{label}"),
+        )
+        layout = icdb_server.request_layout(instance.name)
+        layouts[label] = (instance, layout)
+    return layouts
+
+
+def test_fig09_counter_layouts(benchmark, icdb_server):
+    layouts = run_once(benchmark, lambda: generate_figure9(icdb_server))
+
+    print()
+    print(f"{'configuration':30s} {'strips':>7s} {'width x height (um)':>22s} {'area (1e4 um^2)':>16s}")
+    areas = {}
+    for label, (instance, layout) in layouts.items():
+        areas[label] = layout.area
+        print(
+            f"{label:30s} {layout.strips:7d} {layout.width:10.0f} x {layout.height:-9.0f} "
+            f"{layout.area / 1e4:16.1f}"
+        )
+    benchmark.extra_info["areas_1e4um2"] = {k: round(v / 1e4, 1) for k, v in areas.items()}
+
+    # Shape 1: layouts exist for every configuration and contain every cell.
+    for label, (instance, layout) in layouts.items():
+        assert len(layout.cells) == instance.netlist.cell_count()
+        cif = layout_to_cif(layout)
+        boxes = parse_cif_boxes(cif)
+        assert len([b for b in boxes if b[0] == "CPG"]) == instance.netlist.cell_count()
+        assert layout.area > 0
+    # Shape 2: the layout areas follow the Figure 5 ordering.
+    assert (
+        areas["ripple"]
+        < areas["synchronous_up"]
+        < areas["synchronous_updown"]
+        < areas["synchronous_updown_load"]
+    )
+    # Shape 3: the laid-out area is in the same ballpark as the estimate
+    # used for Figure 5 (the estimator approximates the layout tool).
+    for label, (instance, layout) in layouts.items():
+        estimate = instance.area_record.area
+        assert 0.4 < layout.area / estimate < 2.5

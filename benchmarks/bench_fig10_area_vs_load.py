@@ -1,0 +1,59 @@
+"""Figure 10: area versus output-load constraint at a fixed 25 ns clock.
+
+The paper sweeps the required output load of the synchronous up/down
+counter from 10 to 50 unit transistors while holding the minimum clock
+width at 25 ns; ICDB resizes transistors to keep the clock width and the
+area grows only ~6 % from load 10 to 40.
+"""
+
+from __future__ import annotations
+
+from conftest import PAPER_FIGURE10, run_once
+
+from repro.components.counters import counter_parameters, UP_DOWN
+from repro.constraints import Constraints
+
+LOADS = (10, 20, 30, 40, 50)
+CLOCK_WIDTH_NS = 25.0
+
+
+def generate_figure10(icdb_server):
+    rows = []
+    for load in LOADS:
+        instance = icdb_server.request_component(
+            implementation="counter",
+            parameters=counter_parameters(size=5, up_or_down=UP_DOWN),
+            constraints=Constraints(
+                clock_width=CLOCK_WIDTH_NS,
+                output_loads={f"Q[{i}]": float(load) for i in range(5)},
+            ),
+            instance_name=icdb_server.instances.new_name(f"fig10_load{load}"),
+        )
+        rows.append((load, instance.clock_width, instance.area / 1e4, instance.met_constraints()))
+    return rows
+
+
+def test_fig10_area_vs_load(benchmark, icdb_server):
+    rows = run_once(benchmark, lambda: generate_figure10(icdb_server))
+
+    print()
+    print("paper (load, area 1e4um2):", PAPER_FIGURE10)
+    print(f"{'load':>6s} {'clock width (ns)':>18s} {'area (1e4 um^2)':>16s} {'met':>5s}")
+    for load, clock_width, area, met in rows:
+        print(f"{load:6d} {clock_width:18.2f} {area:16.2f} {str(met):>5s}")
+    areas = {load: area for load, _, area, _ in rows}
+    benchmark.extra_info["areas_1e4um2"] = {k: round(v, 2) for k, v in areas.items()}
+
+    # Shape 1: the clock-width constraint is met at every load (the sizer
+    # compensates for the heavier outputs), as in the paper.
+    for load, clock_width, _area, met in rows:
+        assert met, f"clock width violated at load {load}"
+        assert clock_width <= CLOCK_WIDTH_NS + 1e-6
+    # Shape 2: the area is non-decreasing with the load.
+    ordered = [areas[load] for load in LOADS]
+    assert all(b >= a - 1e-9 for a, b in zip(ordered, ordered[1:]))
+    # Shape 3: the area increase from load 10 to 40 is modest (paper: ~6 %);
+    # accept anything below 20 %.
+    growth_10_to_40 = areas[40] / areas[10] - 1.0
+    assert 0.0 <= growth_10_to_40 < 0.20
+    benchmark.extra_info["growth_10_to_40_percent"] = round(growth_10_to_40 * 100, 1)

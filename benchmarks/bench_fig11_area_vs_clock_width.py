@@ -1,0 +1,70 @@
+"""Figure 11: area versus clock-width constraint at a fixed load of 10.
+
+The paper varies the required minimum clock width of the up/down counter
+from 24 to 30 ns with the output loads held at 10 units; the area stays
+within about 6 % and tightening the constraint does not always increase
+the area.
+"""
+
+from __future__ import annotations
+
+from conftest import PAPER_FIGURE11, run_once
+
+from repro.components.counters import counter_parameters, UP_DOWN
+from repro.constraints import Constraints
+from repro.estimation import estimate_delay
+from repro.logic.milo import synthesize
+
+CLOCK_WIDTHS = (22.0, 24.0, 26.0, 28.0, 30.0)
+LOAD = 10.0
+
+
+def generate_figure11(icdb_server):
+    rows = []
+    for clock_width in CLOCK_WIDTHS:
+        instance = icdb_server.request_component(
+            implementation="counter",
+            parameters=counter_parameters(size=5, up_or_down=UP_DOWN),
+            constraints=Constraints(
+                clock_width=clock_width,
+                output_loads={f"Q[{i}]": LOAD for i in range(5)},
+            ),
+            instance_name=icdb_server.instances.new_name(f"fig11_cw{int(clock_width)}"),
+        )
+        rows.append((clock_width, instance.clock_width, instance.area / 1e4,
+                     instance.met_constraints()))
+    return rows
+
+
+def test_fig11_area_vs_clock_width(benchmark, icdb_server):
+    rows = run_once(benchmark, lambda: generate_figure11(icdb_server))
+
+    print()
+    print("paper (clock width, area 1e4um2):", PAPER_FIGURE11)
+    print(f"{'constraint (ns)':>16s} {'achieved (ns)':>14s} {'area (1e4 um^2)':>16s} {'met':>5s}")
+    for constraint, achieved, area, met in rows:
+        print(f"{constraint:16.1f} {achieved:14.2f} {area:16.2f} {str(met):>5s}")
+    areas = [area for _, _, area, _ in rows]
+    benchmark.extra_info["areas_1e4um2"] = [round(a, 2) for a in areas]
+
+    # Shape 1: every constraint in the sweep is achievable (the paper's range
+    # was chosen around the component's natural clock width).
+    for constraint, achieved, _area, met in rows:
+        assert met
+        assert achieved <= constraint + 1e-6
+    # Shape 2: tighter clock widths never need *less* area than looser ones
+    # and the total spread over the sweep stays small (paper: within ~6 %,
+    # accept up to 20 %).
+    assert areas[0] >= areas[-1] - 1e-9
+    spread = max(areas) / min(areas) - 1.0
+    assert spread < 0.20
+    benchmark.extra_info["area_spread_percent"] = round(spread * 100, 1)
+    # Shape 3: at the loosest constraint the component needs no upsizing at
+    # all, matching the unsized design.
+    loosest_instance_area = areas[-1]
+    reference = icdb_server.request_component(
+        implementation="counter",
+        parameters=counter_parameters(size=5, up_or_down=UP_DOWN),
+        instance_name=icdb_server.instances.new_name("fig11_reference"),
+    )
+    assert abs(loosest_instance_area - reference.area / 1e4) / loosest_instance_area < 0.05

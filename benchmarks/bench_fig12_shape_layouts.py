@@ -1,0 +1,87 @@
+"""Figure 12: layouts of the up/down counter at different aspect ratios.
+
+The paper generates layouts of the same counter using different shape
+alternatives (strip counts) and user-assigned port positions.  The bench
+generates a layout for every Pareto shape alternative, checks that the
+realized aspect ratios span a wide range while the area stays close to the
+one-strip layout, and that the port-position assignment of Section 3.3 is
+honoured.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.components.counters import counter_parameters, UP_DOWN
+from repro.constraints import parse_port_positions
+
+PORT_POSITIONS = """
+CLK left s1.0
+D[0] top 10
+D[1] top 20
+D[2] top 30
+D[3] top 40
+D[4] top 50
+LOAD left s2.0
+DWUP left s3.0
+MINMAX right s2.0
+Q[0] bottom 10
+Q[1] bottom 20
+Q[2] bottom 30
+Q[3] bottom 40
+Q[4] bottom 50
+"""
+
+
+def generate_figure12(icdb_server):
+    instance = icdb_server.request_component(
+        implementation="counter",
+        parameters=counter_parameters(size=5, up_or_down=UP_DOWN),
+        instance_name=icdb_server.instances.new_name("fig12_updown"),
+    )
+    positions = parse_port_positions(PORT_POSITIONS)
+    layouts = []
+    for alternative in range(1, len(instance.shape) + 1):
+        layout = icdb_server.request_layout(
+            instance.name, alternative=alternative, port_positions=positions
+        )
+        layouts.append((alternative, layout))
+    return instance, layouts
+
+
+def test_fig12_shape_layouts(benchmark, icdb_server):
+    instance, layouts = run_once(benchmark, lambda: generate_figure12(icdb_server))
+
+    print()
+    print(f"{'alternative':>12s} {'strips':>7s} {'width x height (um)':>22s} {'aspect':>8s}")
+    for alternative, layout in layouts:
+        print(
+            f"{alternative:12d} {layout.strips:7d} "
+            f"{layout.width:10.0f} x {layout.height:-9.0f} {layout.aspect_ratio:8.2f}"
+        )
+    benchmark.extra_info["aspect_ratios"] = [round(l.aspect_ratio, 2) for _, l in layouts]
+
+    aspect_ratios = [layout.aspect_ratio for _, layout in layouts]
+    areas = [layout.area for _, layout in layouts]
+    # Shape 1: several distinct aspect ratios are available (paper shows 4+
+    # layouts of the same counter).
+    assert len(layouts) >= 4
+    assert max(aspect_ratios) / min(aspect_ratios) > 3.0
+    # Shape 2: the aspect ratio broadly decreases as the strip count grows
+    # (the realized layouts may wobble slightly around the estimator's
+    # monotone curve because placement and routing are re-run per layout).
+    strips = [layout.strips for _, layout in layouts]
+    assert strips == sorted(strips)
+    assert all(b <= a * 1.3 for a, b in zip(aspect_ratios, aspect_ratios[1:]))
+    assert aspect_ratios[0] > 2.5 * aspect_ratios[-1]
+    # Shape 3: every layout honours the user port positions.
+    for _, layout in layouts:
+        ports = layout.port_map()
+        assert ports["CLK"].side == "left"
+        assert ports["MINMAX"].side == "right"
+        assert all(ports[f"Q[{i}]"].side == "bottom" for i in range(5))
+        assert all(ports[f"D[{i}]"].side == "top" for i in range(5))
+        q_xs = [ports[f"Q[{i}]"].x for i in range(5)]
+        assert q_xs == sorted(q_xs)
+    # Shape 4: area varies across alternatives but stays within ~2.5x.
+    assert max(areas) / min(areas) < 2.5

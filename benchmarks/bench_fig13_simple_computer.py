@@ -1,0 +1,55 @@
+"""Figure 13: two floorplans of a simple computer.
+
+ICDB generates the datapath components and the control logic; the
+floorplanner then composes their shape functions with the control logic on
+the left (chosen tall and thin) or on the bottom (chosen short and wide).
+The paper reports a roughly square chip (1558 x 1838 um) for the first
+style and a roughly 2:1 chip (2420 x 1207 um, slightly smaller area) for
+the second.
+"""
+
+from __future__ import annotations
+
+from conftest import PAPER_FIGURE13, run_once
+
+from repro.synthesis import build_simple_computer
+
+
+def generate_figure13(icdb_server):
+    cpu = build_simple_computer(icdb_server, width=8)
+    return cpu, cpu.floorplan_control_left(), cpu.floorplan_control_bottom()
+
+
+def test_fig13_simple_computer(benchmark, icdb_server):
+    cpu, left, bottom = run_once(benchmark, lambda: generate_figure13(icdb_server))
+
+    print()
+    print("paper:", PAPER_FIGURE13)
+    print(f"{'floorplan':24s} {'width x height (um)':>22s} {'area (um^2)':>14s} {'aspect':>8s}")
+    for name, result in (("control on the left", left), ("control on the bottom", bottom)):
+        print(
+            f"{name:24s} {result.width:10.0f} x {result.height:-9.0f} "
+            f"{result.area:14,.0f} {result.aspect_ratio:8.2f}"
+        )
+    benchmark.extra_info["left"] = (round(left.width), round(left.height), round(left.area))
+    benchmark.extra_info["bottom"] = (round(bottom.width), round(bottom.height), round(bottom.area))
+
+    # Shape 1: the bottom-control floorplan is markedly wider than tall
+    # (paper: 2:1); the left-control floorplan is much closer to square.
+    assert bottom.aspect_ratio > 1.5
+    assert 0.4 < left.aspect_ratio < 1.5
+    assert bottom.aspect_ratio > 1.5 * left.aspect_ratio
+    # Shape 2: the control logic itself is tall-and-thin on the left and
+    # short-and-wide on the bottom -- the whole point of the figure.
+    control_left = left.placement_of("control")
+    control_bottom = bottom.placement_of("control")
+    assert control_left.height > 1.5 * control_left.width
+    assert control_bottom.width > 1.5 * control_bottom.height
+    # Shape 3: both floorplans are area-efficient (within 2x of the raw sum
+    # of component areas) and within ~35 % of each other, as in the paper
+    # (2.86e6 vs 2.32e6 um^2).
+    component_area = cpu.total_component_area()
+    for result in (left, bottom):
+        assert result.area < 2.0 * component_area
+    ratio = max(left.area, bottom.area) / min(left.area, bottom.area)
+    assert ratio < 1.35

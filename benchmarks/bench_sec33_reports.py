@@ -1,0 +1,99 @@
+"""Section 3.3 / Appendix B reports: the delay string, the shape-function
+string, the area records and the connection information.
+
+These are the textual "tables" the paper shows for the generated counter
+instance (CW / WD / SD lines, ``Alternative=...`` lines, ``strip = ...``
+records and the ``## function INC`` connection block).  The bench
+regenerates each of them and checks the format and the qualitative content.
+"""
+
+from __future__ import annotations
+
+import re
+
+from conftest import PAPER_SECTION33_DELAY, run_once
+
+from repro.components.counters import counter_parameters, UP_DOWN
+from repro.constraints import Constraints
+
+
+def generate_counter_instance(icdb_server):
+    return icdb_server.request_component(
+        implementation="counter",
+        parameters=counter_parameters(size=5, up_or_down=UP_DOWN, load=True, enable=True),
+        constraints=Constraints(
+            clock_width=30.0, setup_time=30.0,
+            output_loads={f"Q[{i}]": 10.0 for i in range(5)},
+        ),
+        instance_name=icdb_server.instances.new_name("sec33_counter"),
+    )
+
+
+def test_sec33_delay_report(benchmark, icdb_server):
+    instance = run_once(benchmark, lambda: generate_counter_instance(icdb_server))
+    report = instance.render_delay()
+    print()
+    print("paper reference values:", PAPER_SECTION33_DELAY)
+    print(report)
+    benchmark.extra_info["clock_width"] = round(instance.clock_width, 1)
+
+    lines = report.splitlines()
+    # Format: CW first, then WD lines for outputs, then SD lines for inputs.
+    assert re.match(r"^CW \d+\.\d$", lines[0])
+    assert any(re.match(r"^WD Q\[4\] \d+\.\d$", line) for line in lines)
+    assert any(line.startswith("SD DWUP ") for line in lines)
+    # Qualitative agreement with the paper's table: the Q outputs are much
+    # faster than the minimum clock width, MINMAX (which includes the carry
+    # chain) is close to the clock width, and the DWUP set-up time is a
+    # large fraction of the clock width.
+    wd = {line.split()[1]: float(line.split()[2]) for line in lines if line.startswith("WD ")}
+    sd = {line.split()[1]: float(line.split()[2]) for line in lines if line.startswith("SD ")}
+    assert wd["Q[4]"] < 0.6 * instance.clock_width
+    assert wd["MINMAX"] > wd["Q[4]"]
+    assert sd["DWUP"] > 0.5 * instance.clock_width
+    assert sd["DWUP"] > sd["D[0]"]
+    # The clock width lands in the same order of magnitude as the paper's
+    # 29 ns (a 1989 3 um process): between 10 and 60 ns.
+    assert 10.0 < instance.clock_width < 60.0
+
+
+def test_sec33_shape_and_area_records(benchmark, icdb_server):
+    instance = run_once(benchmark, lambda: generate_counter_instance(icdb_server))
+    shape_text = instance.render_shape()
+    area_text = instance.render_area_records()
+    print()
+    print(shape_text)
+    print(area_text)
+
+    shape_lines = shape_text.splitlines()
+    assert all(
+        re.match(r"^Alternative=\d+ width=\d+ height=\d+$", line) for line in shape_lines
+    )
+    assert shape_lines[0].startswith("Alternative=1 ")
+    area_lines = area_text.splitlines()
+    assert all(
+        re.match(r"^strip = \d+ width = \d+ height = \d+ area = \d+$", line)
+        for line in area_lines
+    )
+    # Consistency: the shape function and area records describe the same
+    # alternatives (strip = k rows match Alternative=k rows).
+    assert len(area_lines) == len(shape_lines)
+
+
+def test_sec41_connection_information(benchmark, icdb_server):
+    instance = run_once(benchmark, lambda: generate_counter_instance(icdb_server))
+    connect = icdb_server.connect_component(instance.name)
+    print()
+    print(connect)
+
+    # The paper's INC block: DWUP=0, ENA/LOAD driven, CLK edge-triggered.
+    blocks = connect.split("## function ")
+    inc_block = next(block for block in blocks if block.startswith("INC"))
+    assert "** DWUP 0" in inc_block
+    assert "** CLK 1 edge_trigger" in inc_block
+    assert re.search(r"^O0 is Q high$", inc_block, re.MULTILINE)
+    # A multi-function component lists one block per function, including the
+    # STORAGE function used by the microarchitecture optimizer when merging
+    # a register and an incrementer into a counter (Section 2.1).
+    functions = [block.split()[0] for block in blocks if block.strip()]
+    assert {"INC", "DEC", "STORAGE", "COUNTER"} <= set(functions)

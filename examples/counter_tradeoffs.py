@@ -1,0 +1,85 @@
+"""Design-space exploration of counters (Figures 5, 6, 10 and 11).
+
+A synthesis tool uses ICDB to explore tradeoffs before committing to a
+component: area versus delay across architecture options, the shape
+function for floorplanning, and the effect of output-load and clock-width
+constraints on the sized component.
+
+Run with::
+
+    python examples/counter_tradeoffs.py
+"""
+
+from __future__ import annotations
+
+from repro import ICDB, Constraints
+from repro.components.counters import FIGURE5_CONFIGURATIONS, counter_parameters, UP_DOWN
+
+
+def area_time_tradeoff(icdb: ICDB) -> None:
+    print("=== Figure 5: area / time tradeoff of 5-bit counters ===")
+    constraints = Constraints(output_loads={f"Q[{i}]": 10.0 for i in range(5)})
+    rows = icdb.area_time_tradeoff(
+        "counter", FIGURE5_CONFIGURATIONS, constraints=constraints, delay_output="Q[4]"
+    )
+    print(f"{'configuration':30s} {'delay to Q[4] (ns)':>18s} {'area (1e4 um^2)':>16s}")
+    for row in rows:
+        print(f"{row['label']:30s} {row['delay']:18.1f} {row['area'] / 1e4:16.1f}")
+    print()
+
+
+def shape_function(icdb: ICDB) -> None:
+    print("=== Figure 6: shape function of the synchronous up/down counter ===")
+    instance = icdb.request_component(
+        implementation="counter",
+        parameters=counter_parameters(size=5, up_or_down=UP_DOWN),
+        instance_name="updown_for_shape",
+    )
+    print(instance.render_shape())
+    print()
+
+
+def load_sweep(icdb: ICDB) -> None:
+    print("=== Figure 10: area vs output load at a 25 ns clock width ===")
+    print(f"{'load (unit transistors)':>24s} {'clock width (ns)':>18s} {'area (1e4 um^2)':>16s}")
+    for load in (10, 20, 30, 40, 50):
+        instance = icdb.request_component(
+            implementation="counter",
+            parameters=counter_parameters(size=5, up_or_down=UP_DOWN),
+            constraints=Constraints(
+                clock_width=25.0,
+                output_loads={f"Q[{i}]": float(load) for i in range(5)},
+            ),
+            instance_name=f"updown_load_{load}",
+        )
+        print(f"{load:24d} {instance.clock_width:18.2f} {instance.area / 1e4:16.2f}")
+    print()
+
+
+def clock_width_sweep(icdb: ICDB) -> None:
+    print("=== Figure 11: area vs clock-width constraint at a load of 10 ===")
+    print(f"{'clock width constraint':>24s} {'achieved (ns)':>14s} {'area (1e4 um^2)':>16s}")
+    for clock_width in (22, 24, 26, 28, 30):
+        instance = icdb.request_component(
+            implementation="counter",
+            parameters=counter_parameters(size=5, up_or_down=UP_DOWN),
+            constraints=Constraints(
+                clock_width=float(clock_width),
+                output_loads={f"Q[{i}]": 10.0 for i in range(5)},
+            ),
+            instance_name=f"updown_cw_{clock_width}",
+        )
+        print(f"{clock_width:24d} {instance.clock_width:14.2f} {instance.area / 1e4:16.2f}")
+    print()
+
+
+def main() -> None:
+    icdb = ICDB()
+    area_time_tradeoff(icdb)
+    shape_function(icdb)
+    load_sweep(icdb)
+    clock_width_sweep(icdb)
+
+
+if __name__ == "__main__":
+    main()

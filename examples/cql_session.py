@@ -1,0 +1,124 @@
+"""Using the Component Query Language exactly as the paper's tools do.
+
+Every query below is taken from (or modelled on) an example in Section 3 or
+Appendix B of the paper, issued through the ``ICDB()`` call convention and
+through the interactive interface.
+
+Run with::
+
+    python examples/cql_session.py
+"""
+
+from __future__ import annotations
+
+from repro import ICDB, OutParam, make_icdb_call
+from repro.cql import InteractiveSession
+
+
+def main() -> None:
+    server = ICDB()
+    icdb = make_icdb_call(server)
+
+    # Section 3.2.1: which ICDB components implement a five-bit up counter?
+    counters = icdb(
+        "command: component_query;"
+        "component: counter;"
+        "function: (INC);"
+        "attribute: (size:5);"
+        "ICDB components: ?s[]"
+    )
+    print("component_query ->", counters)
+
+    # ... and which functions does each of them perform?
+    for name in counters:
+        functions = icdb(
+            "command: component_query; ICDBcomponents: %s; function: ?s[]", name
+        )
+        print(f"  {name}: {functions}")
+    print()
+
+    # Section 3.2.2: request a five-bit counter under delay constraints.
+    counter_ins = OutParam()
+    icdb(
+        "command: request_component;"
+        "component_name: counter;"
+        "attribute: (size:5);"
+        "function: (INC);"
+        "clock_width: 30;"
+        "set_up_time: 30;"
+        "generated_component: ?s",
+        counter_ins,
+    )
+    print("request_component ->", counter_ins.value)
+    print()
+
+    # Section 3.3: instance query for the delay and the shape function.
+    delay_s, shape_function_s = icdb(
+        "command: instance_query;"
+        "generated_component: %s;"
+        "delay: ?s;"
+        "shape_function: ?s",
+        counter_ins.value,
+    )
+    print("delay:")
+    print(delay_s)
+    print("shape function:")
+    print(shape_function_s)
+    print()
+
+    # Section 3.3: generate the layout of shape alternative 3 with assigned
+    # port positions.
+    pin_locations = "\n".join(
+        [
+            "CLK left s1.0",
+            "D[0] top 10",
+            "D[1] top 20",
+            "D[2] top 30",
+            "D[3] top 40",
+            "D[4] top 50",
+            "LOAD left s2.0",
+            "DWUP left s3.0",
+            "MINMAX right s2.0",
+            "Q[0] bottom 10",
+            "Q[1] bottom 20",
+            "Q[2] bottom 30",
+            "Q[3] bottom 40",
+            "Q[4] bottom 50",
+        ]
+    )
+    cif_layout = icdb(
+        "command: request_component;"
+        "instance: %s;"
+        "alternative: 3;"
+        "port_position: %s;"
+        "CIF_layout: ?s",
+        counter_ins.value,
+        pin_locations,
+    )
+    print(f"CIF layout: {len(cif_layout.splitlines())} lines")
+    print()
+
+    # Connection information (Section 4.1).
+    connect = icdb(
+        "command: instance_query; instance: %s; connect: ?s", counter_ins.value
+    )
+    print("connection information:")
+    print(connect)
+    print()
+
+    # Appendix B.4: the interactive interface.
+    session = InteractiveSession(server)
+    print("interactive query:")
+    print(
+        session.run_command(
+            "command: request_component;"
+            "component_name: Adder_Subtractor;"
+            "size: 4;"
+            "strategy: fastest;"
+            "component_instance: ?s"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

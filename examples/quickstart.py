@@ -1,0 +1,72 @@
+"""Quickstart: ask ICDB for a five-bit up counter and inspect it.
+
+This reproduces the running example of Section 3 of the paper: a component
+query to see which implementations can count, a component request with
+delay constraints, and an instance query returning the delay report, the
+shape function and the connection information.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ICDB, Constraints
+
+
+def main() -> None:
+    icdb = ICDB()
+    print(icdb.summary())
+    print()
+
+    # --- component query: which implementations can perform INC? -----------
+    matches = icdb.component_query(component="counter", functions=["INC"])
+    print("Implementations of 'counter' that perform INC:")
+    for name in matches["implementation"]:
+        print(f"  {name}: {', '.join(icdb.functions_of(name))}")
+    print()
+
+    # --- component request: a 5-bit counter with delay constraints ---------
+    constraints = Constraints(
+        clock_width=30.0,
+        setup_time=30.0,
+        output_loads={f"Q[{i}]": 10.0 for i in range(5)},
+    )
+    counter = icdb.request_component(
+        component_name="counter",
+        functions=["INC"],
+        attributes={"size": 5},
+        constraints=constraints,
+    )
+    print(f"Generated component instance: {counter.name}")
+    print(f"  implementation : {counter.implementation}")
+    print(f"  cells          : {counter.netlist.cell_count()}")
+    print(f"  clock width    : {counter.clock_width:.1f} ns")
+    print(f"  area estimate  : {counter.area:,.0f} um^2")
+    print(f"  constraints met: {counter.met_constraints()}")
+    print()
+
+    # --- instance query: delay, shape function, connection information ------
+    print("Delay report (paper Section 3.3 format):")
+    print(counter.render_delay())
+    print()
+    print("Shape function:")
+    print(counter.render_shape())
+    print()
+    print("Connection information:")
+    print(counter.connection_info)
+    print()
+
+    # --- layout request ------------------------------------------------------
+    layout = icdb.request_layout(counter.name, alternative=2)
+    print(
+        f"Layout with alternative 2: {layout.strips} strips, "
+        f"{layout.width:.0f} x {layout.height:.0f} um "
+        f"({layout.area:,.0f} um^2)"
+    )
+    print(layout.ascii_art())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""The Figure 13 experiment: two floorplans of a simple computer.
+
+ICDB generates every datapath component (ALU, registers, program counter,
+operand multiplexer) and the control logic.  The floorplanner then composes
+the component shape functions in two styles: control logic tall-and-thin on
+the left of the datapath stack (roughly square chip) versus short-and-wide
+under the datapath row (roughly 2:1 chip), exactly the comparison shown in
+Figure 13 of the paper.
+
+Run with::
+
+    python examples/simple_computer.py
+"""
+
+from __future__ import annotations
+
+from repro import ICDB
+from repro.netlist import floorplan_to_cif
+from repro.synthesis import build_simple_computer
+
+
+def main() -> None:
+    icdb = ICDB()
+    cpu = build_simple_computer(icdb, width=8)
+
+    print("Generated components:")
+    for label, instance in cpu.datapath_parts.items():
+        print(f"  {label:18s} {instance.summary()}")
+    print(f"  {'control':18s} {cpu.control.summary()}")
+    print(f"Sum of component areas: {cpu.total_component_area():,.0f} um^2")
+    print()
+
+    left = cpu.floorplan_control_left()
+    bottom = cpu.floorplan_control_bottom()
+
+    print("Floorplan A - control logic on the left (tall and thin):")
+    print(left.render())
+    print()
+    print("Floorplan B - control logic on the bottom (short and wide):")
+    print(bottom.render())
+    print()
+
+    print(f"{'floorplan':22s} {'width x height (um)':>22s} {'area (um^2)':>14s} {'aspect':>8s}")
+    for name, result in (("control on the left", left), ("control on the bottom", bottom)):
+        print(
+            f"{name:22s} {result.width:9.0f} x {result.height:-9.0f} "
+            f"{result.area:14,.0f} {result.aspect_ratio:8.2f}"
+        )
+    print()
+
+    cif = floorplan_to_cif(bottom, name="simple_computer")
+    print(f"CIF of the 2:1 floorplan: {len(cif.splitlines())} lines "
+          f"(first line: {cif.splitlines()[0]!r})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim so the package installs editable without the wheel package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""Reproduction of "An Intelligent Component Database for Behavioral
+Synthesis" (Chen & Gajski, DAC 1990).
+
+The package implements ICDB -- a component server for behavioral synthesis
+-- together with every substrate the paper relies on:
+
+* :mod:`repro.iif` -- the IIF component description language (parser and
+  macro expander);
+* :mod:`repro.cql` -- the Component Query Language interface, including the
+  paper's ``ICDB()`` call convention;
+* :mod:`repro.components` -- the GENUS-style generic component library;
+* :mod:`repro.logic`, :mod:`repro.techlib`, :mod:`repro.netlist` -- the
+  MILO-like logic optimizer / technology mapper and the cell library;
+* :mod:`repro.sizing`, :mod:`repro.estimation`, :mod:`repro.layout` -- the
+  transistor sizer, the delay / area / shape estimators, and the strip
+  layout generator plus slicing floorplanner;
+* :mod:`repro.sim` -- functional and gate-level simulators for verification;
+* :mod:`repro.db` -- the relational store (INGRES substitute) and the
+  design-data file store;
+* :mod:`repro.core` -- the ICDB server itself;
+* :mod:`repro.synthesis` -- a small behavioral-synthesis client showing how
+  the server is used (Figure 1) and the Figure 13 simple computer.
+
+Quickstart::
+
+    from repro import ICDB, Constraints
+
+    icdb = ICDB()
+    counter = icdb.request_component(
+        component_name="counter",
+        functions=["INC"],
+        attributes={"size": 5},
+        constraints=Constraints(clock_width=30.0, setup_time=30.0),
+    )
+    print(counter.render_delay())
+    print(counter.render_shape())
+"""
+
+from .constraints import Constraints, PortPosition, parse_delay_constraints, parse_port_positions
+from .components import standard_catalog
+from .core import ICDB, ComponentInstance
+from .cql import InteractiveSession, OutParam, make_icdb_call
+from .iif import Expander, FlatComponent, parse_module
+from .techlib import standard_cells
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComponentInstance",
+    "Constraints",
+    "Expander",
+    "FlatComponent",
+    "ICDB",
+    "InteractiveSession",
+    "OutParam",
+    "PortPosition",
+    "__version__",
+    "make_icdb_call",
+    "parse_delay_constraints",
+    "parse_module",
+    "parse_port_positions",
+    "standard_catalog",
+    "standard_cells",
+]

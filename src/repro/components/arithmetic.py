@@ -1,0 +1,294 @@
+"""Arithmetic component implementations: adders, adder/subtractor, ALU,
+comparator, incrementer and an array multiplier.
+
+The ripple-carry adder and the adder/subtractor follow examples 2 and 3 of
+Appendix A (the adder/subtractor is built from the adder through an IIF
+sub-function call, exactly as in the paper).
+"""
+
+from __future__ import annotations
+
+from .catalog import (
+    ComponentCatalog,
+    ComponentImplementation,
+    ControlSetting,
+    FunctionBinding,
+)
+
+RIPPLE_CARRY_ADDER_IIF = """
+NAME: ADDER;
+FUNCTIONS: ADD;
+PARAMETER: size;
+INORDER: I0[size], I1[size], Cin;
+OUTORDER: O[size], Cout;
+PIIFVARIABLE: C[size+1];
+VARIABLE: i;
+{
+    C[0] = Cin;
+    #for(i=0; i<size; i++)
+    {
+        O[i] = I0[i] (+) I1[i] (+) C[i];
+        C[i+1] = I0[i]*I1[i] + I0[i]*C[i] + I1[i]*C[i];
+    }
+    Cout = C[size];
+}
+"""
+
+ADDER_SUBTRACTOR_IIF = """
+NAME: ADDSUB;
+FUNCTIONS: ADD, SUB;
+PARAMETER: size;
+INORDER: A[size], B[size], ADDSUB;
+OUTORDER: O[size], Cout;
+PIIFVARIABLE: C[size+1], B1[size];
+VARIABLE: i;
+SUBFUNCTION: ADDER;
+{
+    #for(i=0; i<size; i++)
+    {
+        B1[i] = ADDSUB (+) B[i];
+    }
+    #ADDER(size, A, B1, ADDSUB, O, Cout, C);
+}
+"""
+
+#: ALU function-select encoding (S2 S1 S0).
+ALU_IIF = """
+NAME: ALU;
+FUNCTIONS: ADD, SUB, AND, OR, XOR, NOT;
+PARAMETER: size;
+INORDER: A[size], B[size], S0, S1, S2;
+OUTORDER: O[size], Cout;
+PIIFVARIABLE: C[size+1], BX[size], SUM[size], LOG[size], ARITH;
+VARIABLE: i;
+{
+    ARITH = !S2;
+    C[0] = S0;
+    #for(i=0; i<size; i++)
+    {
+        BX[i] = B[i] (+) S0;
+        SUM[i] = A[i] (+) BX[i] (+) C[i];
+        C[i+1] = A[i]*BX[i] + A[i]*C[i] + BX[i]*C[i];
+        LOG[i] = !S1*!S0*(A[i]*B[i]) + !S1*S0*(A[i]+B[i])
+               + S1*!S0*(A[i](+)B[i]) + S1*S0*(!A[i]);
+        O[i] = ARITH*SUM[i] + !ARITH*LOG[i];
+    }
+    Cout = C[size];
+}
+"""
+
+INCREMENTER_IIF = """
+NAME: INCREMENTER;
+FUNCTIONS: INC;
+PARAMETER: size;
+INORDER: I0[size];
+OUTORDER: O[size], Cout;
+PIIFVARIABLE: C[size+1];
+VARIABLE: i;
+{
+    C[0] = 1;
+    #for(i=0; i<size; i++)
+    {
+        O[i] = I0[i] (+) C[i];
+        C[i+1] = I0[i] * C[i];
+    }
+    Cout = C[size];
+}
+"""
+
+COMPARATOR_IIF = """
+NAME: COMPARATOR;
+FUNCTIONS: EQ, NEQ, GT, GE, LT, LE;
+PARAMETER: size;
+INORDER: A[size], B[size];
+OUTORDER: OEQ, ONEQ, OGT, OLT, OGEQ, OLEQ;
+PIIFVARIABLE: EQB[size], G[size+1];
+VARIABLE: i;
+{
+    G[0] = 0;
+    #for(i=0; i<size; i++)
+    {
+        EQB[i] = A[i] (.) B[i];
+        G[i+1] = A[i]*!B[i] + EQB[i]*G[i];
+        OEQ *= EQB[i];
+    }
+    OGT = G[size];
+    ONEQ = !OEQ;
+    OLT = !G[size] * !OEQ;
+    OGEQ = G[size] + OEQ;
+    OLEQ = !G[size];
+}
+"""
+
+#: Row-by-row ripple array multiplier.  Row 0 is the partial product of B[0];
+#: every later row adds A*B[i] to the previous row's sum shifted one position
+#: right, with the previous row's carry-out entering at the top bit.
+MULTIPLIER_IIF = """
+NAME: MULTIPLIER;
+FUNCTIONS: MUL;
+PARAMETER: size;
+INORDER: A[size], B[size];
+OUTORDER: P[2*size];
+PIIFVARIABLE: S[size*size], C[size*(size+1)], T[size*size];
+VARIABLE: i, j;
+{
+    #for(j=0; j<size; j++)
+        S[j] = A[j] * B[0];
+    P[0] = S[0];
+    #for(i=1; i<size; i++)
+    {
+        C[i*(size+1)] = 0;
+        #for(j=0; j<size; j++)
+        {
+            #if (j < size-1)
+                T[i*size+j] = S[(i-1)*size + j + 1];
+            #else
+            #if (i == 1)
+                T[i*size+j] = 0;
+            #else
+                T[i*size+j] = C[(i-1)*(size+1) + size];
+            S[i*size+j] = (A[j]*B[i]) (+) T[i*size+j] (+) C[i*(size+1)+j];
+            C[i*(size+1)+j+1] = (A[j]*B[i])*T[i*size+j]
+                              + (A[j]*B[i])*C[i*(size+1)+j]
+                              + T[i*size+j]*C[i*(size+1)+j];
+        }
+        P[i] = S[i*size];
+    }
+    #for(j=1; j<size; j++)
+        P[size-1+j] = S[(size-1)*size + j];
+    #if (size > 1)
+        P[2*size-1] = C[(size-1)*(size+1) + size];
+    #else
+        P[1] = 0;
+}
+"""
+
+
+def register(catalog: ComponentCatalog) -> None:
+    """Register the arithmetic implementations in ``catalog``."""
+    catalog.add(
+        ComponentImplementation(
+            name="ripple_carry_adder",
+            component_type="Adder",
+            functions=("ADD",),
+            iif_source=RIPPLE_CARRY_ADDER_IIF,
+            default_parameters={"size": 4},
+            bindings=(
+                FunctionBinding(
+                    function="ADD",
+                    operand_map=(("I0", "I0"), ("I1", "I1"), ("Cin", "Cin"), ("O0", "O"), ("Cout", "Cout")),
+                    controls=(),
+                ),
+            ),
+            description="Ripple-carry adder (Appendix A example 2)",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="adder_subtractor",
+            component_type="Adder_Subtractor",
+            functions=("ADD", "SUB"),
+            iif_source=ADDER_SUBTRACTOR_IIF,
+            subfunction_sources=(RIPPLE_CARRY_ADDER_IIF,),
+            default_parameters={"size": 4},
+            bindings=(
+                FunctionBinding(
+                    function="ADD",
+                    operand_map=(("I0", "A"), ("I1", "B"), ("Cin", "ADDSUB"), ("O0", "O"), ("Cout", "Cout")),
+                    controls=(ControlSetting("ADDSUB", 0),),
+                ),
+                FunctionBinding(
+                    function="SUB",
+                    operand_map=(("I0", "A"), ("I1", "B"), ("Cin", "ADDSUB"), ("O0", "O"), ("Cout", "Cout")),
+                    controls=(ControlSetting("ADDSUB", 1),),
+                ),
+            ),
+            description="Adder / subtractor built from the adder sub-function (Appendix A example 3)",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="alu",
+            component_type="ALU",
+            functions=("ADD", "SUB", "AND", "OR", "XOR", "NOT"),
+            iif_source=ALU_IIF,
+            default_parameters={"size": 4},
+            bindings=(
+                FunctionBinding(
+                    "ADD",
+                    (("I0", "A"), ("I1", "B"), ("O0", "O"), ("Cout", "Cout")),
+                    (ControlSetting("S2", 0), ControlSetting("S1", 0), ControlSetting("S0", 0)),
+                ),
+                FunctionBinding(
+                    "SUB",
+                    (("I0", "A"), ("I1", "B"), ("O0", "O"), ("Cout", "Cout")),
+                    (ControlSetting("S2", 0), ControlSetting("S1", 0), ControlSetting("S0", 1)),
+                ),
+                FunctionBinding(
+                    "AND",
+                    (("I0", "A"), ("I1", "B"), ("O0", "O")),
+                    (ControlSetting("S2", 1), ControlSetting("S1", 0), ControlSetting("S0", 0)),
+                ),
+                FunctionBinding(
+                    "OR",
+                    (("I0", "A"), ("I1", "B"), ("O0", "O")),
+                    (ControlSetting("S2", 1), ControlSetting("S1", 0), ControlSetting("S0", 1)),
+                ),
+                FunctionBinding(
+                    "XOR",
+                    (("I0", "A"), ("I1", "B"), ("O0", "O")),
+                    (ControlSetting("S2", 1), ControlSetting("S1", 1), ControlSetting("S0", 0)),
+                ),
+                FunctionBinding(
+                    "NOT",
+                    (("I0", "A"), ("O0", "O")),
+                    (ControlSetting("S2", 1), ControlSetting("S1", 1), ControlSetting("S0", 1)),
+                ),
+            ),
+            description="Ripple-carry ALU with three select lines",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="incrementer",
+            component_type="Counter",
+            functions=("INC", "INCREMENT"),
+            iif_source=INCREMENTER_IIF,
+            default_parameters={"size": 4},
+            bindings=(
+                FunctionBinding("INC", (("I0", "I0"), ("O0", "O")), ()),
+            ),
+            description="Combinational incrementer",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="comparator",
+            component_type="Comparator",
+            functions=("EQ", "NEQ", "GT", "GE", "LT", "LE"),
+            iif_source=COMPARATOR_IIF,
+            default_parameters={"size": 4},
+            bindings=(
+                FunctionBinding("EQ", (("I0", "A"), ("I1", "B"), ("O0", "OEQ")), ()),
+                FunctionBinding("NEQ", (("I0", "A"), ("I1", "B"), ("O0", "ONEQ")), ()),
+                FunctionBinding("GT", (("I0", "A"), ("I1", "B"), ("O0", "OGT")), ()),
+                FunctionBinding("LT", (("I0", "A"), ("I1", "B"), ("O0", "OLT")), ()),
+                FunctionBinding("GE", (("I0", "A"), ("I1", "B"), ("O0", "OGEQ")), ()),
+                FunctionBinding("LE", (("I0", "A"), ("I1", "B"), ("O0", "OLEQ")), ()),
+            ),
+            description="Ripple magnitude comparator with all six relational outputs",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="array_multiplier",
+            component_type="Multiplier",
+            functions=("MUL",),
+            iif_source=MULTIPLIER_IIF,
+            default_parameters={"size": 4},
+            bindings=(
+                FunctionBinding("MUL", (("I0", "A"), ("I1", "B"), ("O0", "P")), ()),
+            ),
+            description="Unsigned array multiplier (ripple rows)",
+        )
+    )

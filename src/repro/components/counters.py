@@ -1,0 +1,224 @@
+"""Counter implementations (the running example of the paper).
+
+The parameterized ``COUNTER`` description below follows Section 3.1 of the
+paper: a ``#for`` loop builds an n-bit counter from a one-bit cell, and
+``#if`` structures select the architecture style (ripple vs synchronous) and
+the options (ENABLE control, asynchronous parallel load, up / down / updown
+counting).  The TTL 74191-style four-bit up/down counter of Figure 4 is the
+expansion with ``size=4, type=2, load=1, enable=1, up_or_down=3``.
+"""
+
+from __future__ import annotations
+
+from .catalog import (
+    ComponentCatalog,
+    ComponentImplementation,
+    ControlSetting,
+    FunctionBinding,
+)
+
+#: Architecture-style parameter values.
+TYPE_RIPPLE = 1
+TYPE_SYNCHRONOUS = 2
+
+#: ``up_or_down`` parameter values.
+UP_ONLY = 1
+DOWN_ONLY = 2
+UP_DOWN = 3
+
+
+RIPPLE_COUNTER_IIF = """
+NAME: RIPPLE_COUNTER;
+PARAMETER: size;
+INORDER: CLK;
+OUTORDER: Q[size], MINMAX, RCLK;
+PIIFVARIABLE: CK[size];
+VARIABLE: i;
+{
+    CK[0] = CLK;
+    #for(i=0; i<size; i++)
+    {
+        Q[i] = (!Q[i]) @(~f CK[i]);
+        #if (i < size - 1)
+            CK[i+1] = Q[i];
+    }
+    MINMAX = Q[size-1];
+    RCLK = CLK;
+}
+"""
+
+
+COUNTER_IIF = """
+NAME: COUNTER;
+FUNCTIONS: INC;
+PARAMETER: size, type, load, enable, up_or_down;
+INORDER: D[size], CLK, LOAD, ENA, DWUP;
+OUTORDER: Q[size], MINMAX, RCLK;
+PIIFVARIABLE: C[size+1], OVFUNF, CLKO;
+VARIABLE: i, ripple_type;
+SUBFUNCTION: RIPPLE_COUNTER;
+{
+    #c_line ripple_type = 1;
+    #if (type == ripple_type)
+        #RIPPLE_COUNTER(size);
+    #else
+    {
+        C[0] = 1;
+        #if (enable)
+            CLKO = CLK @(~h ENA);
+        #else
+            CLKO = CLK;
+        #for(i=0; i<size; i++)
+        {
+            #if (up_or_down == 1)
+                C[i+1] = C[i] * Q[i];
+            #else
+            #if (up_or_down == 2)
+                C[i+1] = C[i] * !Q[i];
+            #else
+                C[i+1] = C[i] * (Q[i] (+) DWUP);
+            #if (load)
+                Q[i] = (Q[i] (+) C[i]) @(~r CLKO) ~a(0/(!LOAD*!D[i]), 1/(!LOAD*D[i]));
+            #else
+                Q[i] = (Q[i] (+) C[i]) @(~r CLKO);
+        }
+        OVFUNF = C[size];
+        MINMAX = CLK * OVFUNF;
+        RCLK = CLK * OVFUNF + !OVFUNF;
+    }
+}
+"""
+
+
+def counter_parameters(
+    size: int = 4,
+    style: int = TYPE_SYNCHRONOUS,
+    load: bool = False,
+    enable: bool = False,
+    up_or_down: int = UP_ONLY,
+) -> dict:
+    """Convenience builder for the COUNTER parameter dictionary."""
+    return {
+        "size": int(size),
+        "type": int(style),
+        "load": 1 if load else 0,
+        "enable": 1 if enable else 0,
+        "up_or_down": int(up_or_down),
+    }
+
+
+#: The five counter configurations plotted in Figure 5 of the paper.
+FIGURE5_CONFIGURATIONS = (
+    ("ripple", counter_parameters(size=5, style=TYPE_RIPPLE)),
+    ("synchronous_up", counter_parameters(size=5, up_or_down=UP_ONLY)),
+    ("synchronous_up_enable", counter_parameters(size=5, up_or_down=UP_ONLY, enable=True)),
+    ("synchronous_updown", counter_parameters(size=5, up_or_down=UP_DOWN)),
+    (
+        "synchronous_updown_load",
+        counter_parameters(size=5, up_or_down=UP_DOWN, load=True, enable=True),
+    ),
+)
+
+
+def _counter_bindings() -> tuple:
+    """Connection information matching the paper's INC example."""
+    inc = FunctionBinding(
+        function="INC",
+        operand_map=(("O0", "Q"),),
+        controls=(
+            ControlSetting("DWUP", 0),
+            ControlSetting("ENA", 1),
+            ControlSetting("LOAD", 1),
+            ControlSetting("CLK", 1, "edge_trigger"),
+        ),
+    )
+    dec = FunctionBinding(
+        function="DEC",
+        operand_map=(("O0", "Q"),),
+        controls=(
+            ControlSetting("DWUP", 1),
+            ControlSetting("ENA", 1),
+            ControlSetting("LOAD", 1),
+            ControlSetting("CLK", 1, "edge_trigger"),
+        ),
+    )
+    storage = FunctionBinding(
+        function="STORAGE",
+        operand_map=(("I0", "D"), ("O0", "Q")),
+        controls=(
+            ControlSetting("LOAD", 0),
+            ControlSetting("ENA", 0),
+        ),
+    )
+    counter = FunctionBinding(
+        function="COUNTER",
+        operand_map=(("O0", "Q"),),
+        controls=(
+            ControlSetting("ENA", 1),
+            ControlSetting("CLK", 1, "edge_trigger"),
+        ),
+    )
+    increment = FunctionBinding(
+        function="INCREMENT",
+        operand_map=(("O0", "Q"),),
+        controls=(
+            ControlSetting("DWUP", 0),
+            ControlSetting("ENA", 1),
+        ),
+    )
+    decrement = FunctionBinding(
+        function="DECREMENT",
+        operand_map=(("O0", "Q"),),
+        controls=(
+            ControlSetting("DWUP", 1),
+            ControlSetting("ENA", 1),
+        ),
+    )
+    return inc, dec, storage, counter, increment, decrement
+
+
+def register(catalog: ComponentCatalog) -> None:
+    """Register the counter implementations in ``catalog``."""
+    bindings = _counter_bindings()
+    catalog.add(
+        ComponentImplementation(
+            name="counter",
+            component_type="Counter",
+            functions=("INC", "DEC", "COUNTER", "INCREMENT", "DECREMENT", "STORAGE"),
+            iif_source=COUNTER_IIF,
+            subfunction_sources=(RIPPLE_COUNTER_IIF,),
+            default_parameters=counter_parameters(size=4, up_or_down=UP_DOWN, load=True, enable=True),
+            bindings=bindings,
+            description=(
+                "Parameterized counter: ripple or synchronous, optional enable, "
+                "optional asynchronous parallel load, up / down / up-down"
+            ),
+            attribute_parameters={"size": "size"},
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="up_counter",
+            component_type="Counter",
+            functions=("INC", "COUNTER", "INCREMENT"),
+            iif_source=COUNTER_IIF,
+            subfunction_sources=(RIPPLE_COUNTER_IIF,),
+            default_parameters=counter_parameters(size=4, up_or_down=UP_ONLY),
+            bindings=bindings[:1] + bindings[3:5],
+            description="Synchronous up-counter (fixed attribute preset of COUNTER)",
+            attribute_parameters={"size": "size"},
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="ripple_counter",
+            component_type="Counter",
+            functions=("INC", "COUNTER", "INCREMENT"),
+            iif_source=COUNTER_IIF,
+            subfunction_sources=(RIPPLE_COUNTER_IIF,),
+            default_parameters=counter_parameters(size=4, style=TYPE_RIPPLE),
+            bindings=bindings[:1] + bindings[3:5],
+            description="Asynchronous ripple counter (fixed attribute preset of COUNTER)",
+            attribute_parameters={"size": "size"},
+        )
+    )

@@ -1,0 +1,274 @@
+"""Interface / wiring component implementations.
+
+These are the GENUS interface, wire and switch-box functions: buffer,
+tri-state driver, schmitt trigger, clock driver, wired-or, delay element,
+bit-field concatenation / extraction, plus the selectable bitwise logic
+unit.
+"""
+
+from __future__ import annotations
+
+from .catalog import (
+    ComponentCatalog,
+    ComponentImplementation,
+    ControlSetting,
+    FunctionBinding,
+)
+
+BUFFER_IIF = """
+NAME: BUFFER;
+FUNCTIONS: BUF;
+PARAMETER: size;
+INORDER: I[size];
+OUTORDER: O[size];
+VARIABLE: i;
+{
+    #for(i=0; i<size; i++)
+        O[i] = ~b I[i];
+}
+"""
+
+TRI_STATE_IIF = """
+NAME: TRI_STATE;
+FUNCTIONS: TRI_STATE;
+PARAMETER: size;
+INORDER: I[size], EN;
+OUTORDER: O[size];
+VARIABLE: i;
+{
+    #for(i=0; i<size; i++)
+        O[i] = I[i] ~t EN;
+}
+"""
+
+SCHMITT_TRIGGER_IIF = """
+NAME: SCHMITT_TRIGGER;
+FUNCTIONS: SCHM_TGR;
+PARAMETER: size;
+INORDER: I[size];
+OUTORDER: O[size];
+VARIABLE: i;
+{
+    #for(i=0; i<size; i++)
+        O[i] = ~s I[i];
+}
+"""
+
+CLOCK_DRIVER_IIF = """
+NAME: CLOCK_DRIVER;
+FUNCTIONS: CLK_DR;
+PARAMETER: fanout;
+INORDER: CLK;
+OUTORDER: O[fanout];
+VARIABLE: i;
+{
+    #for(i=0; i<fanout; i++)
+        O[i] = ~b CLK;
+}
+"""
+
+WIRE_OR_IIF = """
+NAME: WIRE_OR;
+FUNCTIONS: WIRE_OR;
+PARAMETER: size;
+INORDER: A[size], B[size];
+OUTORDER: O[size];
+VARIABLE: i;
+{
+    #for(i=0; i<size; i++)
+        O[i] = A[i] ~w B[i];
+}
+"""
+
+DELAY_IIF = """
+NAME: DELAY_ELEMENT;
+FUNCTIONS: DELAY;
+PARAMETER: size, amount;
+INORDER: I[size];
+OUTORDER: O[size];
+VARIABLE: i;
+{
+    #for(i=0; i<size; i++)
+        O[i] = I[i] ~d amount;
+}
+"""
+
+CONCAT_IIF = """
+NAME: CONCAT;
+FUNCTIONS: CONCAT;
+PARAMETER: high_size, low_size;
+INORDER: H[high_size], L[low_size];
+OUTORDER: O[high_size+low_size];
+VARIABLE: i;
+{
+    #for(i=0; i<low_size; i++)
+        O[i] = L[i];
+    #for(i=0; i<high_size; i++)
+        O[low_size+i] = H[i];
+}
+"""
+
+EXTRACT_IIF = """
+NAME: EXTRACT;
+FUNCTIONS: EXTRACT;
+PARAMETER: size, offset, width;
+INORDER: I[size];
+OUTORDER: O[width];
+VARIABLE: i;
+{
+    #for(i=0; i<width; i++)
+        O[i] = I[offset+i];
+}
+"""
+
+LOGIC_UNIT_IIF = """
+NAME: LOGIC_UNIT;
+FUNCTIONS: AND, OR, XOR, NOT;
+PARAMETER: size;
+INORDER: A[size], B[size], S0, S1;
+OUTORDER: O[size];
+VARIABLE: i;
+{
+    #for(i=0; i<size; i++)
+        O[i] = !S1*!S0*(A[i]*B[i]) + !S1*S0*(A[i]+B[i])
+             + S1*!S0*(A[i](+)B[i]) + S1*S0*(!A[i]);
+}
+"""
+
+
+def register(catalog: ComponentCatalog) -> None:
+    """Register the interface / wiring implementations in ``catalog``."""
+    catalog.add(
+        ComponentImplementation(
+            name="buffer",
+            component_type="Buffer",
+            functions=("BUF",),
+            iif_source=BUFFER_IIF,
+            default_parameters={"size": 1},
+            bindings=(FunctionBinding("BUF", (("I0", "I"), ("O0", "O")), ()),),
+            description="Non-inverting buffer",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="tri_state",
+            component_type="Tri_state",
+            functions=("TRI_STATE",),
+            iif_source=TRI_STATE_IIF,
+            default_parameters={"size": 1},
+            bindings=(
+                FunctionBinding(
+                    "TRI_STATE",
+                    (("I0", "I"), ("C0", "EN"), ("O0", "O")),
+                    (ControlSetting("EN", 1),),
+                ),
+            ),
+            description="Tri-state bus driver",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="schmitt_trigger",
+            component_type="Schmitt_trigger",
+            functions=("SCHM_TGR",),
+            iif_source=SCHMITT_TRIGGER_IIF,
+            default_parameters={"size": 1},
+            bindings=(FunctionBinding("SCHM_TGR", (("I0", "I"), ("O0", "O")), ()),),
+            description="Schmitt-trigger input conditioner",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="clock_driver",
+            component_type="Clock_driver",
+            functions=("CLK_DR",),
+            iif_source=CLOCK_DRIVER_IIF,
+            default_parameters={"fanout": 4},
+            bindings=(FunctionBinding("CLK_DR", (("I0", "CLK"), ("O0", "O")), ()),),
+            description="Clock distribution driver",
+            attribute_parameters={"fanout": "fanout"},
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="wire_or",
+            component_type="Wire_or",
+            functions=("WIRE_OR",),
+            iif_source=WIRE_OR_IIF,
+            default_parameters={"size": 1},
+            bindings=(
+                FunctionBinding("WIRE_OR", (("I0", "A"), ("I1", "B"), ("O0", "O")), ()),
+            ),
+            description="Wired-or of two driven nets",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="delay_element",
+            component_type="Delay",
+            functions=("DELAY",),
+            iif_source=DELAY_IIF,
+            default_parameters={"size": 1, "amount": 10},
+            bindings=(FunctionBinding("DELAY", (("I0", "I"), ("O0", "O")), ()),),
+            description="Pure delay element",
+            attribute_parameters={"size": "size", "amount": "amount"},
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="concat",
+            component_type="Concat",
+            functions=("CONCAT",),
+            iif_source=CONCAT_IIF,
+            default_parameters={"high_size": 4, "low_size": 4},
+            bindings=(
+                FunctionBinding("CONCAT", (("I0", "H"), ("I1", "L"), ("O0", "O")), ()),
+            ),
+            description="Bit-field concatenation switch box",
+            attribute_parameters={"high_size": "high_size", "low_size": "low_size"},
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="extract",
+            component_type="Extract",
+            functions=("EXTRACT",),
+            iif_source=EXTRACT_IIF,
+            default_parameters={"size": 8, "offset": 0, "width": 4},
+            bindings=(FunctionBinding("EXTRACT", (("I0", "I"), ("O0", "O")), ()),),
+            description="Bit-field extraction switch box",
+            attribute_parameters={"size": "size", "offset": "offset", "width": "width"},
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="logic_unit",
+            component_type="Logic_unit",
+            functions=("AND", "OR", "XOR", "NOT"),
+            iif_source=LOGIC_UNIT_IIF,
+            default_parameters={"size": 4},
+            bindings=(
+                FunctionBinding(
+                    "AND",
+                    (("I0", "A"), ("I1", "B"), ("O0", "O")),
+                    (ControlSetting("S1", 0), ControlSetting("S0", 0)),
+                ),
+                FunctionBinding(
+                    "OR",
+                    (("I0", "A"), ("I1", "B"), ("O0", "O")),
+                    (ControlSetting("S1", 0), ControlSetting("S0", 1)),
+                ),
+                FunctionBinding(
+                    "XOR",
+                    (("I0", "A"), ("I1", "B"), ("O0", "O")),
+                    (ControlSetting("S1", 1), ControlSetting("S0", 0)),
+                ),
+                FunctionBinding(
+                    "NOT",
+                    (("I0", "A"), ("O0", "O")),
+                    (ControlSetting("S1", 1), ControlSetting("S0", 1)),
+                ),
+            ),
+            description="Bitwise logic unit with a two-bit operation select",
+        )
+    )

@@ -1,0 +1,281 @@
+"""Selection / routing component implementations: multiplexers, decoder,
+priority encoder, constant-distance shifter and barrel shifter."""
+
+from __future__ import annotations
+
+from .catalog import (
+    ComponentCatalog,
+    ComponentImplementation,
+    ControlSetting,
+    FunctionBinding,
+)
+
+#: Two-input multiplexer selected by an encoded control line (MUX_SCL).
+MUX2_IIF = """
+NAME: MUX2;
+FUNCTIONS: MUX_SCL;
+PARAMETER: size;
+INORDER: I0[size], I1[size], SEL;
+OUTORDER: O[size];
+VARIABLE: i;
+{
+    #for(i=0; i<size; i++)
+        O[i] = !SEL*I0[i] + SEL*I1[i];
+}
+"""
+
+#: Four-input multiplexer with a two-bit encoded select.
+MUX4_IIF = """
+NAME: MUX4;
+FUNCTIONS: MUX_SCL;
+PARAMETER: size;
+INORDER: I0[size], I1[size], I2[size], I3[size], S0, S1;
+OUTORDER: O[size];
+VARIABLE: i;
+{
+    #for(i=0; i<size; i++)
+        O[i] = !S1*!S0*I0[i] + !S1*S0*I1[i] + S1*!S0*I2[i] + S1*S0*I3[i];
+}
+"""
+
+#: Guard-select multiplexer (MUX_SCG): one-hot guards, wired as AND-OR.
+MUX_SCG_IIF = """
+NAME: MUX_SCG2;
+FUNCTIONS: MUX_SCG;
+PARAMETER: size;
+INORDER: I0[size], I1[size], G0, G1;
+OUTORDER: O[size];
+VARIABLE: i;
+{
+    #for(i=0; i<size; i++)
+        O[i] = G0*I0[i] + G1*I1[i];
+}
+"""
+
+DECODER_IIF = """
+NAME: DECODER;
+FUNCTIONS: DECODE;
+PARAMETER: size;
+INORDER: I[size], EN;
+OUTORDER: O[2**size];
+VARIABLE: w, k;
+{
+    #for(w=0; w<2**size; w++)
+    {
+        #for(k=0; k<size; k++)
+        {
+            #if ((w / (2**k)) % 2)
+                O[w] *= I[k];
+            #else
+                O[w] *= !I[k];
+        }
+        O[w] *= EN;
+    }
+}
+"""
+
+#: Constant-distance left shifter with zero fill (Appendix A example 4).
+SHIFTER_IIF = """
+NAME: SHLO;
+FUNCTIONS: SHL1;
+PARAMETER: size, shift_distance;
+INORDER: I[size];
+OUTORDER: O[size];
+VARIABLE: i;
+{
+    #for(i=0; i<size; i++)
+    {
+        #if (i <= shift_distance - 1)
+            O[i] = 0;
+        #else
+            O[i] = I[i - shift_distance];
+    }
+}
+"""
+
+#: Priority encoder: highest-numbered asserted input wins; V flags validity.
+ENCODER_IIF = """
+NAME: ENCODER;
+FUNCTIONS: ENCODE;
+PARAMETER: size;
+INORDER: I[2**size];
+OUTORDER: O[size], V;
+PIIFVARIABLE: HIGH[2**size], H[2**size];
+VARIABLE: w, k;
+{
+    HIGH[2**size - 1] = 0;
+    #for(w=2**size - 2; w>=0; w--)
+        HIGH[w] = HIGH[w+1] + I[w+1];
+    #for(w=0; w<2**size; w++)
+    {
+        H[w] = I[w] * !HIGH[w];
+        V += I[w];
+    }
+    #for(k=0; k<size; k++)
+    {
+        #for(w=0; w<2**size; w++)
+        {
+            #if ((w / (2**k)) % 2)
+                O[k] += H[w];
+        }
+    }
+}
+"""
+
+#: Logarithmic barrel shifter: left / right logical shift by SH, zero fill,
+#: built from ``awidth`` stages of 2:1 multiplexers.
+BARREL_SHIFTER_IIF = """
+NAME: BARREL_SHIFTER;
+FUNCTIONS: SHL, SHR;
+PARAMETER: size, awidth;
+INORDER: I[size], SH[awidth], DIR;
+OUTORDER: O[size];
+PIIFVARIABLE: L[(awidth+1)*size], R[(awidth+1)*size];
+VARIABLE: s, i, d;
+{
+    #for(i=0; i<size; i++)
+    {
+        L[i] = I[i];
+        R[i] = I[i];
+    }
+    #for(s=0; s<awidth; s++)
+    {
+        #c_line d = 2**s;
+        #for(i=0; i<size; i++)
+        {
+            #if (i >= d)
+                L[(s+1)*size+i] = !SH[s]*L[s*size+i] + SH[s]*L[s*size+i-d];
+            #else
+                L[(s+1)*size+i] = !SH[s]*L[s*size+i];
+            #if (i < size-d)
+                R[(s+1)*size+i] = !SH[s]*R[s*size+i] + SH[s]*R[s*size+i+d];
+            #else
+                R[(s+1)*size+i] = !SH[s]*R[s*size+i];
+        }
+    }
+    #for(i=0; i<size; i++)
+        O[i] = !DIR*L[awidth*size+i] + DIR*R[awidth*size+i];
+}
+"""
+
+
+def register(catalog: ComponentCatalog) -> None:
+    """Register the selection / routing implementations in ``catalog``."""
+    catalog.add(
+        ComponentImplementation(
+            name="mux2",
+            component_type="Mux_scl",
+            functions=("MUX_SCL",),
+            iif_source=MUX2_IIF,
+            default_parameters={"size": 4},
+            bindings=(
+                FunctionBinding(
+                    "MUX_SCL",
+                    (("I0", "I0"), ("I1", "I1"), ("C0", "SEL"), ("O0", "O")),
+                    (),
+                ),
+            ),
+            description="2-to-1 multiplexer with encoded select",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="mux4",
+            component_type="Mux_scl",
+            functions=("MUX_SCL",),
+            iif_source=MUX4_IIF,
+            default_parameters={"size": 4},
+            bindings=(
+                FunctionBinding(
+                    "MUX_SCL",
+                    (("I0", "I0"), ("I1", "I1"), ("C0", "S0"), ("O0", "O")),
+                    (),
+                ),
+            ),
+            description="4-to-1 multiplexer with two-bit encoded select",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="mux_scg2",
+            component_type="Mux_scg",
+            functions=("MUX_SCG",),
+            iif_source=MUX_SCG_IIF,
+            default_parameters={"size": 4},
+            bindings=(
+                FunctionBinding(
+                    "MUX_SCG",
+                    (("I0", "I0"), ("I1", "I1"), ("C0", "G0"), ("O0", "O")),
+                    (),
+                ),
+            ),
+            description="2-input guard-select multiplexer",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="decoder",
+            component_type="Decode",
+            functions=("DECODE",),
+            iif_source=DECODER_IIF,
+            default_parameters={"size": 2},
+            bindings=(
+                FunctionBinding(
+                    "DECODE",
+                    (("I0", "I"), ("O0", "O")),
+                    (ControlSetting("EN", 1),),
+                ),
+            ),
+            description="Binary decoder with enable",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="encoder",
+            component_type="Encode",
+            functions=("ENCODE",),
+            iif_source=ENCODER_IIF,
+            default_parameters={"size": 2},
+            bindings=(
+                FunctionBinding("ENCODE", (("I0", "I"), ("O0", "O")), ()),
+            ),
+            description="Priority encoder (highest asserted input wins)",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="shifter",
+            component_type="Shifter",
+            functions=("SHL1",),
+            iif_source=SHIFTER_IIF,
+            default_parameters={"size": 4, "shift_distance": 1},
+            bindings=(
+                FunctionBinding("SHL1", (("I0", "I"), ("O0", "O")), ()),
+            ),
+            description="Constant-distance left shifter with zero fill (Appendix A example 4)",
+            attribute_parameters={"size": "size", "shift_distance": "shift_distance"},
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="barrel_shifter",
+            component_type="Barrel_shifter",
+            functions=("SHL", "SHR"),
+            iif_source=BARREL_SHIFTER_IIF,
+            default_parameters={"size": 4, "awidth": 2},
+            bindings=(
+                FunctionBinding(
+                    "SHL",
+                    (("I0", "I"), ("I1", "SH"), ("O0", "O")),
+                    (ControlSetting("DIR", 0),),
+                ),
+                FunctionBinding(
+                    "SHR",
+                    (("I0", "I"), ("I1", "SH"), ("O0", "O")),
+                    (ControlSetting("DIR", 1),),
+                ),
+            ),
+            description="Logarithmic barrel shifter (left / right, zero fill)",
+            attribute_parameters={"size": "size", "awidth": "awidth"},
+        )
+    )

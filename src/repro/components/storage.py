@@ -1,0 +1,188 @@
+"""Storage component implementations: registers, shift register, register file.
+
+The parallel-load register follows Appendix A example 1; the universal shift
+register is a 74194-style component (hold / shift-left / shift-right /
+parallel load); the register file exercises the IIF aggregate-assignment
+operators for its read multiplexer and the ``**`` C-expression operator for
+its address decode.
+"""
+
+from __future__ import annotations
+
+from .catalog import (
+    ComponentCatalog,
+    ComponentImplementation,
+    ControlSetting,
+    FunctionBinding,
+)
+
+REGISTER_IIF = """
+NAME: REGISTER;
+FUNCTIONS: STORAGE;
+PARAMETER: size;
+INORDER: I[size], LOAD, CLK;
+OUTORDER: Q[size];
+PIIFVARIABLE: NL, LD, CP;
+VARIABLE: i;
+{
+    CP = ~b CLK;
+    NL = !LOAD;
+    LD = !NL;
+    #for(i=0; i<size; i++)
+    {
+        Q[i] = (I[i]*LD + Q[i]*NL) @(~r CP);
+    }
+}
+"""
+
+SHIFT_REGISTER_IIF = """
+NAME: SHIFT_REGISTER;
+FUNCTIONS: SHL1, SHR1, STORAGE;
+PARAMETER: size;
+INORDER: I[size], SIN_L, SIN_R, S0, S1, CLK;
+OUTORDER: Q[size];
+PIIFVARIABLE: D[size], LEFT_IN[size], RIGHT_IN[size];
+VARIABLE: i;
+{
+    #for(i=0; i<size; i++)
+    {
+        #if (i == 0)
+            LEFT_IN[i] = SIN_L;
+        #else
+            LEFT_IN[i] = Q[i-1];
+        #if (i == size-1)
+            RIGHT_IN[i] = SIN_R;
+        #else
+            RIGHT_IN[i] = Q[i+1];
+        D[i] = !S1*!S0*Q[i] + !S1*S0*LEFT_IN[i] + S1*!S0*RIGHT_IN[i] + S1*S0*I[i];
+        Q[i] = (D[i]) @(~r CLK);
+    }
+}
+"""
+
+#: ``awidth`` address bits select one of ``2**awidth`` words of ``size`` bits.
+REGISTER_FILE_IIF = """
+NAME: REGISTER_FILE;
+FUNCTIONS: READ, WRITE, STORAGE;
+PARAMETER: size, awidth;
+INORDER: WD[size], WA[awidth], RA[awidth], WE, CLK;
+OUTORDER: RD[size];
+PIIFVARIABLE: R[(2**awidth)*size], WSEL[2**awidth], RSEL[2**awidth];
+VARIABLE: w, j, k;
+{
+    #for(w=0; w<2**awidth; w++)
+    {
+        #for(k=0; k<awidth; k++)
+        {
+            #if ((w / (2**k)) % 2)
+            {
+                WSEL[w] *= WA[k];
+                RSEL[w] *= RA[k];
+            }
+            #else
+            {
+                WSEL[w] *= !WA[k];
+                RSEL[w] *= !RA[k];
+            }
+        }
+        #for(j=0; j<size; j++)
+        {
+            R[w*size+j] = (WD[j]*WSEL[w]*WE + R[w*size+j]*!(WSEL[w]*WE)) @(~r CLK);
+        }
+    }
+    #for(j=0; j<size; j++)
+    {
+        #for(w=0; w<2**awidth; w++)
+            RD[j] += RSEL[w] * R[w*size+j];
+    }
+}
+"""
+
+
+def register(catalog: ComponentCatalog) -> None:
+    """Register the storage implementations in ``catalog``."""
+    catalog.add(
+        ComponentImplementation(
+            name="register",
+            component_type="Register",
+            functions=("STORAGE", "LOAD", "STORE"),
+            iif_source=REGISTER_IIF,
+            default_parameters={"size": 4},
+            bindings=(
+                FunctionBinding(
+                    "STORAGE",
+                    (("I0", "I"), ("O0", "Q")),
+                    (ControlSetting("LOAD", 1), ControlSetting("CLK", 1, "edge_trigger")),
+                ),
+                FunctionBinding(
+                    "LOAD",
+                    (("I0", "I"), ("O0", "Q")),
+                    (ControlSetting("LOAD", 1), ControlSetting("CLK", 1, "edge_trigger")),
+                ),
+                FunctionBinding(
+                    "STORE",
+                    (("I0", "I"), ("O0", "Q")),
+                    (ControlSetting("LOAD", 1), ControlSetting("CLK", 1, "edge_trigger")),
+                ),
+            ),
+            description="Parallel-load register (Appendix A example 1)",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="shift_register",
+            component_type="Register",
+            functions=("SHL1", "SHR1", "STORAGE"),
+            iif_source=SHIFT_REGISTER_IIF,
+            default_parameters={"size": 4},
+            bindings=(
+                FunctionBinding(
+                    "SHL1",
+                    (("I0", "Q"), ("O0", "Q")),
+                    (ControlSetting("S1", 0), ControlSetting("S0", 1),
+                     ControlSetting("CLK", 1, "edge_trigger")),
+                ),
+                FunctionBinding(
+                    "SHR1",
+                    (("I0", "Q"), ("O0", "Q")),
+                    (ControlSetting("S1", 1), ControlSetting("S0", 0),
+                     ControlSetting("CLK", 1, "edge_trigger")),
+                ),
+                FunctionBinding(
+                    "STORAGE",
+                    (("I0", "I"), ("O0", "Q")),
+                    (ControlSetting("S1", 1), ControlSetting("S0", 1),
+                     ControlSetting("CLK", 1, "edge_trigger")),
+                ),
+            ),
+            description="Universal shift register (74194-style)",
+        )
+    )
+    catalog.add(
+        ComponentImplementation(
+            name="register_file",
+            component_type="Register_file",
+            functions=("READ", "WRITE", "STORAGE"),
+            iif_source=REGISTER_FILE_IIF,
+            default_parameters={"size": 4, "awidth": 2},
+            bindings=(
+                FunctionBinding(
+                    "WRITE",
+                    (("I0", "WD"), ("I1", "WA")),
+                    (ControlSetting("WE", 1), ControlSetting("CLK", 1, "edge_trigger")),
+                ),
+                FunctionBinding(
+                    "READ",
+                    (("I0", "RA"), ("O0", "RD")),
+                    (),
+                ),
+                FunctionBinding(
+                    "STORAGE",
+                    (("I0", "WD"), ("O0", "RD")),
+                    (ControlSetting("WE", 0),),
+                ),
+            ),
+            description="Small register file with decoded write enable and read multiplexer",
+            attribute_parameters={"size": "size", "awidth": "awidth"},
+        )
+    )

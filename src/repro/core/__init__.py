@@ -1,0 +1,38 @@
+"""ICDB core: the component server, generation manager, instance and
+knowledge management."""
+
+from .generation import (
+    EmbeddedGenerator,
+    GenerationError,
+    GeneratorDescription,
+    ToolDescription,
+    ToolManager,
+    default_tool_manager,
+)
+from .icdb import ICDB, IcdbError
+from .instances import (
+    ComponentInstance,
+    InstanceError,
+    InstanceManager,
+    TARGET_LAYOUT,
+    TARGET_LOGIC,
+)
+from .knowledge import KnowledgeError, KnowledgeServer
+
+__all__ = [
+    "ComponentInstance",
+    "EmbeddedGenerator",
+    "GenerationError",
+    "GeneratorDescription",
+    "ICDB",
+    "IcdbError",
+    "InstanceError",
+    "InstanceManager",
+    "KnowledgeError",
+    "KnowledgeServer",
+    "TARGET_LAYOUT",
+    "TARGET_LOGIC",
+    "ToolDescription",
+    "ToolManager",
+    "default_tool_manager",
+]

@@ -1,0 +1,318 @@
+"""Component generation manager and tool management (Section 4.2 / 4.3).
+
+A *component generator* is an ordered list of tool steps: step 1 produces
+delay and shape-function estimates from a design description, step 2
+generates the layout.  ICDB's embedded generator runs the full path of
+Figure 8 -- IIF expansion, MILO-like logic synthesis and technology
+mapping, transistor sizing, delay / area estimation and (on request) strip
+layout generation.  Additional generators can be registered through the
+tool manager, exactly as the paper inserts external tools via shell
+scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..components.catalog import ComponentImplementation, FunctionBinding
+from ..constraints import Constraints
+from ..estimation.area import AreaEstimator
+from ..estimation.delay import estimate_delay
+from ..estimation.shape import ShapeFunction, shape_function
+from ..iif import FlatComponent, IifModule, flat_to_milo, parse_module
+from ..layout.generator import ComponentLayout, generate_layout
+from ..logic.milo import SynthesisOptions, synthesize
+from ..netlist.gates import GateNetlist
+from ..netlist.structural import StructuralNetlist, flatten_to_gates
+from ..sizing import SizingOptions, size_for_constraints
+from ..techlib import CellLibrary, standard_cells
+from .instances import ComponentInstance, TARGET_LAYOUT, TARGET_LOGIC
+
+
+class GenerationError(RuntimeError):
+    """Raised when a component cannot be generated."""
+
+
+@dataclass
+class ToolDescription:
+    """One registered tool: a named callable with a step classification."""
+
+    name: str
+    step: str  # "estimate" or "layout"
+    description: str = ""
+    runner: Optional[Callable] = None
+
+
+@dataclass
+class GeneratorDescription:
+    """A component generator: an ordered list of (step number, tool name)."""
+
+    name: str
+    input_format: str
+    steps: Tuple[Tuple[int, str], ...]
+    description: str = ""
+
+
+class ToolManager:
+    """Registry of tools and component generators (Section 4.2)."""
+
+    def __init__(self) -> None:
+        self._tools: Dict[str, ToolDescription] = {}
+        self._generators: Dict[str, GeneratorDescription] = {}
+
+    def register_tool(
+        self,
+        name: str,
+        step: str,
+        runner: Optional[Callable] = None,
+        description: str = "",
+    ) -> ToolDescription:
+        tool = ToolDescription(name=name, step=step, description=description, runner=runner)
+        self._tools[name] = tool
+        return tool
+
+    def register_generator(
+        self,
+        name: str,
+        input_format: str,
+        steps: Sequence[Tuple[int, str]],
+        description: str = "",
+    ) -> GeneratorDescription:
+        for _, tool_name in steps:
+            if tool_name not in self._tools:
+                raise GenerationError(
+                    f"generator {name!r} references unknown tool {tool_name!r}; "
+                    "a tool which does not belong to any component generator will "
+                    "never be used"
+                )
+        generator = GeneratorDescription(
+            name=name,
+            input_format=input_format,
+            steps=tuple(sorted(steps)),
+            description=description,
+        )
+        self._generators[name] = generator
+        return generator
+
+    def tools(self) -> List[ToolDescription]:
+        return list(self._tools.values())
+
+    def generators(self) -> List[GeneratorDescription]:
+        return list(self._generators.values())
+
+    def generator_for_format(self, input_format: str) -> Optional[GeneratorDescription]:
+        for generator in self._generators.values():
+            if generator.input_format == input_format:
+                return generator
+        return None
+
+    def unused_tools(self) -> List[str]:
+        """Tools not referenced by any generator (never used by ICDB)."""
+        used = {tool for gen in self._generators.values() for _, tool in gen.steps}
+        return [name for name in self._tools if name not in used]
+
+
+class EmbeddedGenerator:
+    """ICDB's built-in component generator (Figure 8)."""
+
+    name = "icdb_embedded_generator"
+
+    def __init__(
+        self,
+        cell_library: Optional[CellLibrary] = None,
+        synthesis_options: Optional[SynthesisOptions] = None,
+        sizing_options: Optional[SizingOptions] = None,
+    ):
+        self.cell_library = cell_library or standard_cells()
+        self.synthesis_options = synthesis_options or SynthesisOptions()
+        self.sizing_options = sizing_options or SizingOptions()
+
+    # --------------------------------------------------------------- pipeline
+
+    def run_flow(
+        self,
+        flat: FlatComponent,
+        constraints: Constraints,
+        target: str = TARGET_LOGIC,
+    ) -> Tuple[GateNetlist, object, ShapeFunction, object, Optional[ComponentLayout], int, List[str]]:
+        """Run synthesis, sizing, estimation and optional layout on a flat
+        component; returns the artifacts needed to build an instance."""
+        netlist = synthesize(flat, self.cell_library, self.synthesis_options)
+        sizing = size_for_constraints(netlist, constraints, self.sizing_options)
+        report = sizing.report
+        shape = shape_function(netlist)
+        if constraints.strips is not None:
+            area_record = AreaEstimator(netlist).estimate(constraints.strips)
+        elif constraints.aspect_ratio is not None:
+            area_record = shape.best_for_aspect_ratio(constraints.aspect_ratio)
+        else:
+            area_record = shape.min_area()
+        layout = None
+        if target == TARGET_LAYOUT:
+            layout = generate_layout(
+                netlist,
+                strips=constraints.strips or area_record.strips,
+                port_positions=constraints.port_positions,
+            )
+        violations = report.violations(constraints)
+        return netlist, report, shape, area_record, layout, sizing.iterations, violations
+
+    # ------------------------------------------------------------- front ends
+
+    def generate_from_implementation(
+        self,
+        implementation: ComponentImplementation,
+        parameters: Optional[Mapping[str, int]],
+        constraints: Constraints,
+        instance_name: str,
+        target: str = TARGET_LOGIC,
+    ) -> ComponentInstance:
+        """Generate an instance from a catalog implementation."""
+        flat = implementation.expand(parameters, name=instance_name)
+        netlist, report, shape, area_record, layout, iterations, violations = self.run_flow(
+            flat, constraints, target
+        )
+        return ComponentInstance(
+            name=instance_name,
+            implementation=implementation.name,
+            component_type=implementation.component_type,
+            parameters=dict(flat.parameters),
+            functions=list(implementation.functions),
+            constraints=constraints,
+            flat=flat,
+            netlist=netlist,
+            delay_report=report,
+            shape=shape,
+            area_record=area_record,
+            connection_info=implementation.connection_info(),
+            target=target,
+            layout=layout,
+            constraint_violations=violations,
+            sizing_iterations=iterations,
+        )
+
+    def generate_from_iif(
+        self,
+        iif_source: str,
+        parameters: Optional[Mapping[str, int]],
+        constraints: Constraints,
+        instance_name: str,
+        target: str = TARGET_LOGIC,
+        functions: Sequence[str] = (),
+        subfunction_library: Optional[Mapping[str, IifModule]] = None,
+    ) -> ComponentInstance:
+        """Generate an instance directly from an IIF description.
+
+        This is the path control-logic generation uses (Section 3.2.2): the
+        control synthesis tool emits boolean equations and registers in IIF
+        and asks ICDB for the component.
+        """
+        from ..iif import Expander
+
+        module = parse_module(iif_source)
+        expander = Expander(subfunction_library)
+        flat = expander.expand(module, parameters or {}, name=instance_name)
+        netlist, report, shape, area_record, layout, iterations, violations = self.run_flow(
+            flat, constraints, target
+        )
+        return ComponentInstance(
+            name=instance_name,
+            implementation=module.name,
+            component_type="Custom",
+            parameters=dict(flat.parameters),
+            functions=list(functions) or list(module.functions),
+            constraints=constraints,
+            flat=flat,
+            netlist=netlist,
+            delay_report=report,
+            shape=shape,
+            area_record=area_record,
+            connection_info="",
+            target=target,
+            layout=layout,
+            constraint_violations=violations,
+            sizing_iterations=iterations,
+        )
+
+    def generate_from_structure(
+        self,
+        structure: StructuralNetlist,
+        resolver: Callable,
+        constraints: Constraints,
+        instance_name: str,
+        target: str = TARGET_LOGIC,
+    ) -> ComponentInstance:
+        """Generate an instance for a cluster of existing ICDB instances.
+
+        ``resolver`` maps a :class:`ComponentRef` to the gate netlist of the
+        referenced instance; the cluster is flattened and re-estimated as a
+        whole (the partitioner / floorplanner use this to evaluate
+        clusterings, Section 6.3 of Appendix B).
+        """
+        merged = flatten_to_gates(structure, resolver)
+        merged.name = instance_name
+        flat = FlatComponent(
+            name=instance_name,
+            inputs=list(structure.inputs),
+            outputs=list(structure.outputs),
+        )
+        sizing = size_for_constraints(merged, constraints, self.sizing_options)
+        report = sizing.report
+        shape = shape_function(merged)
+        if constraints.strips is not None:
+            area_record = AreaEstimator(merged).estimate(constraints.strips)
+        else:
+            area_record = shape.min_area()
+        layout = None
+        if target == TARGET_LAYOUT:
+            layout = generate_layout(
+                merged,
+                strips=constraints.strips or area_record.strips,
+                port_positions=constraints.port_positions,
+            )
+        return ComponentInstance(
+            name=instance_name,
+            implementation=structure.name,
+            component_type="Cluster",
+            parameters={},
+            functions=[],
+            constraints=constraints,
+            flat=flat,
+            netlist=merged,
+            delay_report=report,
+            shape=shape,
+            area_record=area_record,
+            connection_info="",
+            target=target,
+            layout=layout,
+            constraint_violations=report.violations(constraints),
+            sizing_iterations=sizing.iterations,
+        )
+
+
+def default_tool_manager() -> ToolManager:
+    """Tool manager pre-loaded with the embedded generator's tool steps."""
+    manager = ToolManager()
+    manager.register_tool("iif_expander", "estimate", description="IIF macro expansion")
+    manager.register_tool("milo", "estimate", description="logic optimization and technology mapping")
+    manager.register_tool("tilos_sizer", "estimate", description="transistor sizing")
+    manager.register_tool("delay_estimator", "estimate", description="X/Y/Z path delay estimation")
+    manager.register_tool("area_estimator", "estimate", description="strip width / track estimation")
+    manager.register_tool("les_layout", "layout", description="strip layout generation")
+    manager.register_tool("cif_writer", "layout", description="CIF emission")
+    manager.register_generator(
+        EmbeddedGenerator.name,
+        input_format="iif",
+        steps=(
+            (1, "iif_expander"),
+            (1, "milo"),
+            (1, "tilos_sizer"),
+            (1, "delay_estimator"),
+            (1, "area_estimator"),
+            (2, "les_layout"),
+            (2, "cif_writer"),
+        ),
+        description="ICDB embedded component generation path (Figure 8)",
+    )
+    return manager

@@ -1,0 +1,160 @@
+"""Generated component instances and their in-memory manager.
+
+A *component instance* is a design ICDB generated for one
+``request_component`` command (Appendix B.2): the flat IIF, the mapped and
+sized gate netlist, the delay report, the shape function, the connection
+information and the generated files.  Instances are kept so they can be
+queried, refined and reused instead of regenerated (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..constraints import Constraints
+from ..estimation.area import AreaRecord
+from ..estimation.delay import DelayReport
+from ..estimation.shape import ShapeFunction
+from ..iif.flat import FlatComponent
+from ..layout.generator import ComponentLayout
+from ..netlist.gates import GateNetlist
+from ..netlist.vhdl import gate_netlist_to_vhdl, vhdl_component_declaration
+
+
+class InstanceError(KeyError):
+    """Raised when an instance lookup fails."""
+
+
+#: Generation target levels (Appendix B.6.1): a logic-level netlist or a layout.
+TARGET_LOGIC = "logic"
+TARGET_LAYOUT = "layout"
+
+
+@dataclass
+class ComponentInstance:
+    """One generated component and everything ICDB knows about it."""
+
+    name: str
+    implementation: str
+    component_type: str
+    parameters: Dict[str, int]
+    functions: List[str]
+    constraints: Constraints
+    flat: FlatComponent
+    netlist: GateNetlist
+    delay_report: DelayReport
+    shape: ShapeFunction
+    area_record: AreaRecord
+    connection_info: str = ""
+    target: str = TARGET_LOGIC
+    layout: Optional[ComponentLayout] = None
+    constraint_violations: List[str] = field(default_factory=list)
+    sizing_iterations: int = 0
+    design: str = ""
+    files: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ facts
+
+    @property
+    def area(self) -> float:
+        """Estimated (or laid-out) area in square microns."""
+        if self.layout is not None:
+            return self.layout.area
+        return self.area_record.area
+
+    @property
+    def clock_width(self) -> float:
+        return self.delay_report.clock_width
+
+    def delay_to(self, output: str) -> float:
+        return self.delay_report.delay_to(output)
+
+    def worst_delay(self) -> float:
+        return self.delay_report.worst_output_delay()
+
+    @property
+    def inputs(self) -> List[str]:
+        return list(self.flat.inputs)
+
+    @property
+    def outputs(self) -> List[str]:
+        return list(self.flat.outputs)
+
+    def met_constraints(self) -> bool:
+        return not self.constraint_violations
+
+    # -------------------------------------------------------------- renderings
+
+    def render_delay(self) -> str:
+        """Delay information in the paper's instance-query format."""
+        return self.delay_report.render()
+
+    def render_shape(self) -> str:
+        """Shape function in the ``Alternative=...`` format."""
+        return self.shape.render()
+
+    def render_area_records(self) -> str:
+        """Area records in the ``strip = ...`` format."""
+        return "\n".join(record.render() for record in self.shape.alternatives)
+
+    def vhdl_netlist(self) -> str:
+        return gate_netlist_to_vhdl(self.netlist)
+
+    def vhdl_head(self) -> str:
+        return vhdl_component_declaration(self.name, self.inputs, self.outputs)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: impl={self.implementation} "
+            f"cells={self.netlist.cell_count()} CW={self.clock_width:.1f} ns "
+            f"area={self.area:,.0f} um^2"
+        )
+
+
+class InstanceManager:
+    """Keeps the generated instances of one ICDB session."""
+
+    def __init__(self) -> None:
+        self._instances: Dict[str, ComponentInstance] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instances
+
+    def new_name(self, base: str) -> str:
+        """A fresh instance name derived from ``base``."""
+        self._counter += 1
+        candidate = f"{base}_{self._counter}"
+        while candidate in self._instances:
+            self._counter += 1
+            candidate = f"{base}_{self._counter}"
+        return candidate
+
+    def add(self, instance: ComponentInstance) -> ComponentInstance:
+        if instance.name in self._instances:
+            raise InstanceError(f"instance {instance.name!r} already exists")
+        self._instances[instance.name] = instance
+        return instance
+
+    def get(self, name: str) -> ComponentInstance:
+        try:
+            return self._instances[name]
+        except KeyError as exc:
+            raise InstanceError(f"no generated component instance named {name!r}") from exc
+
+    def remove(self, name: str) -> Optional[ComponentInstance]:
+        return self._instances.pop(name, None)
+
+    def names(self) -> List[str]:
+        return list(self._instances)
+
+    def instances(self) -> List[ComponentInstance]:
+        return list(self._instances.values())
+
+    def by_design(self, design: str) -> List[ComponentInstance]:
+        return [inst for inst in self._instances.values() if inst.design == design]

@@ -1,0 +1,30 @@
+"""Component Query Language: parser, executor, ``ICDB()`` call interface and
+interactive session."""
+
+from .executor import CqlExecutionError, CqlExecutor
+from .icdb_call import IcdbCall, OutParam, make_icdb_call
+from .interactive import InteractiveSession, format_result
+from .parser import (
+    CqlCommand,
+    CqlSyntaxError,
+    CqlTerm,
+    VariableSlot,
+    parse_command,
+    split_terms,
+)
+
+__all__ = [
+    "CqlCommand",
+    "CqlExecutionError",
+    "CqlExecutor",
+    "CqlSyntaxError",
+    "CqlTerm",
+    "IcdbCall",
+    "InteractiveSession",
+    "OutParam",
+    "VariableSlot",
+    "format_result",
+    "make_icdb_call",
+    "parse_command",
+    "split_terms",
+]

@@ -1,0 +1,315 @@
+"""CQL command execution against an :class:`~repro.core.icdb.ICDB` server.
+
+Each CQL command has a corresponding executor (Section 2.3: "Each CQL
+command has a corresponding program to execute it").  The executor receives
+the parsed command plus the caller's input values (bound to ``%`` slots in
+order) and returns a dictionary keyed by the keywords of the ``?`` output
+slots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..constraints import (
+    Constraints,
+    parse_delay_constraints,
+    parse_port_positions,
+)
+from ..core.icdb import ICDB
+from ..core.instances import TARGET_LAYOUT, TARGET_LOGIC
+from ..netlist.cif import layout_to_cif
+from ..netlist.structural import StructuralNetlist
+from .parser import CqlCommand, CqlSyntaxError, CqlTerm, VariableSlot, parse_command
+
+
+class CqlExecutionError(RuntimeError):
+    """Raised when a command cannot be executed."""
+
+
+def _as_list(value) -> List[str]:
+    if value is None:
+        return []
+    if isinstance(value, str):
+        return [item.strip() for item in value.split(",") if item.strip()]
+    if isinstance(value, dict):
+        return list(value)
+    return list(value)
+
+
+def _as_int(value, keyword: str) -> int:
+    try:
+        return int(float(value))
+    except (TypeError, ValueError) as exc:
+        raise CqlExecutionError(f"{keyword} expects an integer, got {value!r}") from exc
+
+
+def _as_float(value, keyword: str) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError) as exc:
+        raise CqlExecutionError(f"{keyword} expects a number, got {value!r}") from exc
+
+
+class CqlExecutor:
+    """Binds parsed CQL commands to the ICDB server."""
+
+    def __init__(self, server: ICDB):
+        self.server = server
+
+    # ------------------------------------------------------------------ entry
+
+    def execute_text(self, text: str, inputs: Sequence[Any] = ()) -> Dict[str, Any]:
+        return self.execute(parse_command(text), inputs)
+
+    def execute(self, command: CqlCommand, inputs: Sequence[Any] = ()) -> Dict[str, Any]:
+        resolved = self._bind_inputs(command, list(inputs))
+        handler = getattr(self, f"_cmd_{command.command}", None)
+        if handler is None:
+            raise CqlExecutionError(f"unknown CQL command {command.command!r}")
+        return handler(command, resolved)
+
+    def _bind_inputs(self, command: CqlCommand, inputs: List[Any]) -> Dict[str, Any]:
+        """Resolve term values, substituting ``%`` slots with caller inputs."""
+        values: Dict[str, Any] = {}
+        cursor = 0
+        for term in command.terms:
+            if term.is_input_slot:
+                if cursor >= len(inputs):
+                    raise CqlExecutionError(
+                        f"command {command.command!r} needs an input value for "
+                        f"{term.keyword!r} but none was supplied"
+                    )
+                values[term.keyword] = inputs[cursor]
+                cursor += 1
+            elif not term.is_output_slot:
+                values[term.keyword] = term.value
+        return values
+
+    # --------------------------------------------------------------- queries
+
+    def _cmd_component_query(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        implementation = values.get("implementation")
+        component = values.get("component") or values.get("component_name")
+        functions = _as_list(values.get("function"))
+        wants_functions = any(term.keyword == "function" for term in command.output_slots())
+        if wants_functions and (implementation or component):
+            name = implementation or component
+            return {"function": self.server.functions_of(str(name))}
+        result = self.server.component_query(
+            component=str(component) if component else None,
+            implementation=str(implementation) if implementation else None,
+            functions=functions or None,
+        )
+        outputs: Dict[str, Any] = {}
+        for term in command.output_slots():
+            if term.keyword in ("implementation",):
+                outputs["implementation"] = result.get("implementation", [])
+            elif term.keyword in ("component",):
+                outputs["component"] = result.get("component", [])
+            elif term.keyword == "function":
+                outputs["function"] = result.get("function", [])
+        return outputs or result
+
+    def _cmd_function_query(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        functions = _as_list(values.get("function"))
+        if not functions:
+            raise CqlExecutionError("function_query needs a 'function' term")
+        outputs: Dict[str, Any] = {}
+        for term in command.output_slots():
+            if term.keyword == "component":
+                outputs["component"] = self.server.function_query(functions, want="component")
+            elif term.keyword == "implementation":
+                outputs["implementation"] = self.server.function_query(functions, want="implementation")
+        if not outputs:
+            outputs["implementation"] = self.server.function_query(functions)
+        return outputs
+
+    # --------------------------------------------------------------- request
+
+    def _build_constraints(self, values: Dict[str, Any]) -> Constraints:
+        constraints = Constraints()
+        if "clock_width" in values and values["clock_width"] not in (None, ""):
+            constraints = constraints.with_updates(
+                clock_width=_as_float(values["clock_width"], "clock_width")
+            )
+        if "seq_delay" in values and values["seq_delay"] not in (None, ""):
+            constraints = constraints.with_updates(
+                setup_time=_as_float(values["seq_delay"], "seq_delay")
+            )
+        comb = values.get("comb_delay")
+        if comb not in (None, ""):
+            if isinstance(comb, dict):
+                constraints = constraints.with_updates(
+                    comb_delay={key: float(value) for key, value in comb.items()}
+                )
+            elif isinstance(comb, str) and ("rdelay" in comb or "oload" in comb):
+                parsed = parse_delay_constraints(comb)
+                constraints = constraints.with_updates(
+                    comb_delay=parsed.comb_delay, output_loads=parsed.output_loads
+                )
+            else:
+                constraints = constraints.with_updates(
+                    default_comb_delay=_as_float(comb, "comb_delay")
+                )
+        loads = values.get("oload")
+        if isinstance(loads, dict):
+            constraints = constraints.with_updates(
+                output_loads={key: float(value) for key, value in loads.items()}
+            )
+        elif loads not in (None, ""):
+            constraints = constraints.with_updates(
+                default_output_load=_as_float(loads, "oload")
+            )
+        strategy = values.get("strategy")
+        if strategy:
+            constraints = constraints.with_updates(strategy=str(strategy))
+        if "strips" in values and values["strips"] not in (None, ""):
+            constraints = constraints.with_updates(strips=_as_int(values["strips"], "strips"))
+        positions = values.get("port_position") or values.get("pin_position")
+        if isinstance(positions, str) and positions.strip():
+            constraints = constraints.with_updates(
+                port_positions=parse_port_positions(positions)
+            )
+        return constraints
+
+    def _attributes(self, values: Dict[str, Any]) -> Dict[str, Any]:
+        attributes: Dict[str, Any] = {}
+        raw = values.get("attribute")
+        if isinstance(raw, dict):
+            attributes.update(raw)
+        elif isinstance(raw, list):
+            for item in raw:
+                attributes[item] = 1
+        if "size" in values and values["size"] not in (None, ""):
+            attributes["size"] = values["size"]
+        return {key: _as_int(value, key) for key, value in attributes.items()}
+
+    def _cmd_request_component(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        # Layout request on an existing instance (Section 3.3): the command
+        # carries an 'instance' input together with 'alternative' and/or port
+        # positions and a CIF output slot.
+        existing = values.get("instance")
+        output_keywords = [term.keyword for term in command.output_slots()]
+        if existing and ("cif_layout" in output_keywords or "alternative" in values):
+            return self._layout_request(command, values, str(existing))
+
+        constraints = self._build_constraints(values)
+        functions = _as_list(values.get("function"))
+        attributes = self._attributes(values)
+        target = str(values.get("target") or TARGET_LOGIC)
+        structure = values.get("vhdl_net_list")
+        iif_source = values.get("iif")
+        naming = values.get("naming")
+
+        instance = self.server.request_component(
+            component_name=str(values["component_name"]) if values.get("component_name") else None,
+            implementation=str(values["implementation"]) if values.get("implementation") else None,
+            iif=str(iif_source) if iif_source else None,
+            structure=structure if isinstance(structure, StructuralNetlist) else None,
+            functions=functions or None,
+            attributes=attributes or None,
+            constraints=constraints,
+            target="layout" if target.lower() == "layout" else TARGET_LOGIC,
+            instance_name=str(naming) if naming else None,
+        )
+        outputs: Dict[str, Any] = {}
+        for term in command.output_slots():
+            if term.keyword == "instance":
+                outputs["instance"] = (
+                    [instance.name] if isinstance(term.value, VariableSlot) and term.value.is_array else instance.name
+                )
+            elif term.keyword == "delay":
+                outputs["delay"] = instance.render_delay()
+            elif term.keyword == "area":
+                outputs["area"] = instance.render_area_records()
+            elif term.keyword == "shape_function":
+                outputs["shape_function"] = instance.render_shape()
+        outputs.setdefault("instance", instance.name)
+        return outputs
+
+    def _layout_request(self, command: CqlCommand, values: Dict[str, Any], instance_name: str) -> Dict[str, Any]:
+        alternative = values.get("alternative")
+        positions = values.get("port_position") or values.get("pin_position")
+        port_positions = ()
+        if isinstance(positions, str) and positions.strip():
+            port_positions = parse_port_positions(positions)
+        layout = self.server.request_layout(
+            instance_name,
+            alternative=_as_int(alternative, "alternative") if alternative not in (None, "") else None,
+            port_positions=port_positions,
+        )
+        outputs: Dict[str, Any] = {}
+        for term in command.output_slots():
+            if term.keyword == "cif_layout":
+                outputs["cif_layout"] = layout_to_cif(layout)
+            elif term.keyword == "area":
+                outputs["area"] = layout.area
+        outputs.setdefault("cif_layout", layout_to_cif(layout))
+        return outputs
+
+    # ----------------------------------------------------------- instance info
+
+    def _cmd_instance_query(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        name = values.get("instance") or values.get("implementation")
+        if not name:
+            raise CqlExecutionError("instance_query needs an 'instance' term")
+        info = self.server.instance_query(str(name))
+        outputs: Dict[str, Any] = {}
+        for term in command.output_slots():
+            if term.keyword == "function":
+                outputs["function"] = info["function"]
+            elif term.keyword == "delay":
+                outputs["delay"] = info["delay"]
+            elif term.keyword == "area":
+                outputs["area"] = info["area"]
+            elif term.keyword == "shape_function":
+                outputs["shape_function"] = info["shape_function"]
+            elif term.keyword == "vhdl_net_list":
+                outputs["vhdl_net_list"] = info["VHDL_net_list"]
+            elif term.keyword == "vhdl_head":
+                outputs["vhdl_head"] = info["VHDL_head"]
+            elif term.keyword == "connect":
+                outputs["connect"] = info["connect"]
+        return outputs or info
+
+    def _cmd_connect_component(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        name = values.get("instance")
+        if not name:
+            raise CqlExecutionError("connect_component needs an 'instance' term")
+        return {"connect": self.server.connect_component(str(name))}
+
+    # -------------------------------------------------------- list management
+
+    def _cmd_start_a_design(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        self.server.start_a_design(str(values.get("design")))
+        return {"design": values.get("design")}
+
+    def _cmd_start_a_transaction(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        self.server.start_a_transaction(str(values.get("design")) if values.get("design") else None)
+        return {"design": values.get("design") or self.server.current_design}
+
+    def _cmd_put_in_component_list(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        instance = values.get("instance")
+        if not instance:
+            raise CqlExecutionError("put_in_component_list needs an 'instance' term")
+        design = str(values.get("design")) if values.get("design") else None
+        self.server.put_in_component_list(str(instance), design)
+        return {"instance": instance}
+
+    def _cmd_end_a_transaction(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        design = str(values.get("design")) if values.get("design") else None
+        removed = self.server.end_a_transaction(design)
+        return {"removed": removed}
+
+    def _cmd_end_a_design(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        design = str(values.get("design")) if values.get("design") else None
+        removed = self.server.end_a_design(design)
+        return {"removed": removed}
+
+    # Some examples in the paper spell the list-management commands with
+    # spaces ("start_a_design" vs "start_design"); accept short aliases.
+    _cmd_start_design = _cmd_start_a_design
+    _cmd_start_transaction = _cmd_start_a_transaction
+    _cmd_end_transaction = _cmd_end_a_transaction
+    _cmd_end_design = _cmd_end_a_design

@@ -1,0 +1,74 @@
+"""Interactive CQL interface.
+
+The paper provides "an interactive user interface program" where the user
+types command description strings and the results are displayed on the
+screen (Appendix B.4).  :class:`InteractiveSession` reproduces that for
+scripts and the examples; :func:`main` provides a tiny REPL.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, Iterable, List, Optional, TextIO
+
+from ..core.icdb import ICDB
+from .executor import CqlExecutionError, CqlExecutor
+from .parser import CqlSyntaxError, parse_command
+
+
+def format_result(outputs: Dict[str, Any]) -> str:
+    """Human-readable rendering of an executor result dictionary."""
+    lines: List[str] = []
+    for keyword, value in outputs.items():
+        if isinstance(value, str) and "\n" in value:
+            lines.append(f"{keyword}:")
+            lines.extend("  " + line for line in value.splitlines())
+        elif isinstance(value, (list, tuple)):
+            lines.append(f"{keyword}: " + ", ".join(str(item) for item in value))
+        else:
+            lines.append(f"{keyword}: {value}")
+    return "\n".join(lines)
+
+
+class InteractiveSession:
+    """Executes command strings and renders results as text."""
+
+    def __init__(self, server: Optional[ICDB] = None):
+        self.server = server or ICDB()
+        self.executor = CqlExecutor(self.server)
+        self.history: List[str] = []
+
+    def run_command(self, text: str) -> str:
+        """Execute one command string; returns the rendered result."""
+        self.history.append(text)
+        try:
+            outputs = self.executor.execute(parse_command(text))
+        except (CqlSyntaxError, CqlExecutionError) as exc:
+            return f"error: {exc}"
+        return format_result(outputs)
+
+    def run_script(self, commands: Iterable[str]) -> List[str]:
+        """Execute several command strings; returns one rendering per command."""
+        return [self.run_command(command) for command in commands]
+
+
+def main(argv: Optional[List[str]] = None, stdin: TextIO = sys.stdin, stdout: TextIO = sys.stdout) -> int:
+    """A minimal REPL: commands are terminated by a blank line."""
+    session = InteractiveSession()
+    stdout.write("ICDB interactive CQL interface; finish a command with a blank line.\n")
+    buffer: List[str] = []
+    for line in stdin:
+        stripped = line.rstrip("\n")
+        if stripped.strip():
+            buffer.append(stripped)
+            continue
+        if buffer:
+            stdout.write(session.run_command(" ".join(buffer)) + "\n")
+            buffer = []
+    if buffer:
+        stdout.write(session.run_command(" ".join(buffer)) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(main())

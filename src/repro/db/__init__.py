@@ -1,0 +1,40 @@
+"""Relational engine, ICDB schema and design-data file store."""
+
+from .engine import Column, Database, DatabaseError, Table
+from .schema import (
+    COMPONENT_TYPES,
+    DESIGNS,
+    DESIGN_FILES,
+    DESIGN_INSTANCES,
+    FUNCTIONS,
+    GENERATORS,
+    IMPLEMENTATIONS,
+    IMPLEMENTATION_FUNCTIONS,
+    INSTANCES,
+    TOOLS,
+    create_schema,
+    new_database,
+)
+from .store import ARTIFACT_EXTENSIONS, DesignDataStore, StoreError
+
+__all__ = [
+    "ARTIFACT_EXTENSIONS",
+    "COMPONENT_TYPES",
+    "Column",
+    "DESIGNS",
+    "DESIGN_FILES",
+    "DESIGN_INSTANCES",
+    "Database",
+    "DatabaseError",
+    "DesignDataStore",
+    "FUNCTIONS",
+    "GENERATORS",
+    "IMPLEMENTATIONS",
+    "IMPLEMENTATION_FUNCTIONS",
+    "INSTANCES",
+    "StoreError",
+    "TOOLS",
+    "Table",
+    "create_schema",
+    "new_database",
+]

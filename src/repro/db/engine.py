@@ -1,0 +1,221 @@
+"""A small relational engine (the INGRES substitute).
+
+The paper stores ICDB's component metadata in the INGRES DBMS and the
+design data (IIF, VHDL, CIF files) in the UNIX file system.  This module
+provides the relational half: typed tables with insert / select / update /
+delete, simple predicates, unique keys, and JSON persistence so a knowledge
+base survives between sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+
+class DatabaseError(ValueError):
+    """Raised on schema violations and bad queries."""
+
+
+#: Column types supported by the engine.
+COLUMN_TYPES = {"str": str, "int": int, "float": float, "bool": bool, "json": object}
+
+Predicate = Union[Mapping[str, Any], Callable[[Dict[str, Any]], bool], None]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed table column."""
+
+    name: str
+    type: str = "str"
+    required: bool = False
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if self.type not in COLUMN_TYPES:
+            raise DatabaseError(f"unknown column type {self.type!r} for {self.name!r}")
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            if self.required:
+                raise DatabaseError(f"column {self.name!r} is required")
+            return self.default
+        if self.type == "json":
+            return value
+        expected = COLUMN_TYPES[self.type]
+        if isinstance(value, expected):
+            return value
+        try:
+            return expected(value)
+        except (TypeError, ValueError) as exc:
+            raise DatabaseError(
+                f"cannot store {value!r} in {self.type} column {self.name!r}"
+            ) from exc
+
+
+class Table:
+    """A single relation: named, typed columns and a list of rows."""
+
+    def __init__(self, name: str, columns: Sequence[Column], key: Optional[str] = None):
+        self.name = name
+        self.columns: Dict[str, Column] = {column.name: column for column in columns}
+        if key is not None and key not in self.columns:
+            raise DatabaseError(f"key column {key!r} is not a column of {name!r}")
+        self.key = key
+        self.rows: List[Dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------ write
+
+    def insert(self, **values: Any) -> Dict[str, Any]:
+        unknown = [name for name in values if name not in self.columns]
+        if unknown:
+            raise DatabaseError(f"table {self.name!r} has no columns {unknown}")
+        row = {
+            name: column.coerce(values.get(name))
+            for name, column in self.columns.items()
+        }
+        if self.key is not None:
+            key_value = row[self.key]
+            if any(existing[self.key] == key_value for existing in self.rows):
+                raise DatabaseError(
+                    f"duplicate key {key_value!r} in table {self.name!r}"
+                )
+        self.rows.append(row)
+        return dict(row)
+
+    def update(self, where: Predicate, **changes: Any) -> int:
+        count = 0
+        for row in self.rows:
+            if self._matches(row, where):
+                for name, value in changes.items():
+                    if name not in self.columns:
+                        raise DatabaseError(f"table {self.name!r} has no column {name!r}")
+                    row[name] = self.columns[name].coerce(value)
+                count += 1
+        return count
+
+    def delete(self, where: Predicate) -> int:
+        before = len(self.rows)
+        self.rows = [row for row in self.rows if not self._matches(row, where)]
+        return before - len(self.rows)
+
+    # ------------------------------------------------------------------- read
+
+    def select(self, where: Predicate = None, order_by: Optional[str] = None) -> List[Dict[str, Any]]:
+        rows = [dict(row) for row in self.rows if self._matches(row, where)]
+        if order_by is not None:
+            rows.sort(key=lambda row: row.get(order_by))
+        return rows
+
+    def get(self, **key_values: Any) -> Optional[Dict[str, Any]]:
+        matches = self.select(key_values)
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise DatabaseError(
+                f"expected at most one row matching {key_values!r} in {self.name!r}"
+            )
+        return matches[0]
+
+    def count(self, where: Predicate = None) -> int:
+        return len(self.select(where))
+
+    @staticmethod
+    def _matches(row: Mapping[str, Any], where: Predicate) -> bool:
+        if where is None:
+            return True
+        if callable(where):
+            return bool(where(dict(row)))
+        return all(row.get(name) == value for name, value in where.items())
+
+    # ------------------------------------------------------------ persistence
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "key": self.key,
+            "columns": [
+                {
+                    "name": column.name,
+                    "type": column.type,
+                    "required": column.required,
+                    "default": column.default,
+                }
+                for column in self.columns.values()
+            ],
+            "rows": self.rows,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "Table":
+        columns = [
+            Column(
+                name=item["name"],
+                type=item.get("type", "str"),
+                required=item.get("required", False),
+                default=item.get("default"),
+            )
+            for item in data["columns"]
+        ]
+        table = Table(data["name"], columns, key=data.get("key"))
+        for row in data.get("rows", []):
+            table.rows.append(dict(row))
+        return table
+
+
+class Database:
+    """A named collection of tables with JSON persistence."""
+
+    def __init__(self, name: str = "icdb"):
+        self.name = name
+        self.tables: Dict[str, Table] = {}
+
+    def create_table(
+        self, name: str, columns: Sequence[Column], key: Optional[str] = None
+    ) -> Table:
+        if name in self.tables:
+            raise DatabaseError(f"table {name!r} already exists")
+        table = Table(name, columns, key=key)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError as exc:
+            raise DatabaseError(f"no table named {name!r}") from exc
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def drop_table(self, name: str) -> None:
+        self.tables.pop(name, None)
+
+    def table_names(self) -> List[str]:
+        return list(self.tables)
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        payload = {
+            "name": self.name,
+            "tables": {name: table.to_dict() for name, table in self.tables.items()},
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return path
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "Database":
+        payload = json.loads(Path(path).read_text())
+        database = Database(payload.get("name", "icdb"))
+        for name, table_data in payload.get("tables", {}).items():
+            database.tables[name] = Table.from_dict(table_data)
+        return database

@@ -1,0 +1,149 @@
+"""ICDB relational schema (Section 4.1 of the paper).
+
+The ICDB data stored in the database comprises: component types, the
+functions a component performs, component implementations (with parameter
+descriptions and the file names of the design data), component generators
+and their tool steps, generated component instances, and the per-designer
+component lists / design transactions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .engine import Column, Database
+
+#: Table names.
+FUNCTIONS = "functions"
+COMPONENT_TYPES = "component_types"
+IMPLEMENTATIONS = "implementations"
+IMPLEMENTATION_FUNCTIONS = "implementation_functions"
+GENERATORS = "generators"
+TOOLS = "tools"
+INSTANCES = "instances"
+DESIGNS = "designs"
+DESIGN_INSTANCES = "design_instances"
+DESIGN_FILES = "design_files"
+
+
+def create_schema(database: Database) -> Database:
+    """Create every ICDB table in ``database`` (idempotent)."""
+    if not database.has_table(FUNCTIONS):
+        database.create_table(
+            FUNCTIONS,
+            [
+                Column("name", "str", required=True),
+                Column("group", "str"),
+            ],
+            key="name",
+        )
+    if not database.has_table(COMPONENT_TYPES):
+        database.create_table(
+            COMPONENT_TYPES,
+            [
+                Column("name", "str", required=True),
+                Column("description", "str"),
+                Column("functions", "json", default=[]),
+            ],
+            key="name",
+        )
+    if not database.has_table(IMPLEMENTATIONS):
+        database.create_table(
+            IMPLEMENTATIONS,
+            [
+                Column("name", "str", required=True),
+                Column("component_type", "str", required=True),
+                Column("description", "str"),
+                Column("format", "str", default="iif"),
+                Column("parameters", "json", default={}),
+                Column("iif_file", "str"),
+                Column("fixed", "bool", default=False),
+            ],
+            key="name",
+        )
+    if not database.has_table(IMPLEMENTATION_FUNCTIONS):
+        database.create_table(
+            IMPLEMENTATION_FUNCTIONS,
+            [
+                Column("implementation", "str", required=True),
+                Column("function", "str", required=True),
+            ],
+        )
+    if not database.has_table(GENERATORS):
+        database.create_table(
+            GENERATORS,
+            [
+                Column("name", "str", required=True),
+                Column("description", "str"),
+                Column("input_format", "str", default="iif"),
+                Column("steps", "json", default=[]),
+            ],
+            key="name",
+        )
+    if not database.has_table(TOOLS):
+        database.create_table(
+            TOOLS,
+            [
+                Column("name", "str", required=True),
+                Column("description", "str"),
+                Column("step", "str"),
+                Column("input_format", "str"),
+                Column("output_format", "str"),
+            ],
+            key="name",
+        )
+    if not database.has_table(INSTANCES):
+        database.create_table(
+            INSTANCES,
+            [
+                Column("name", "str", required=True),
+                Column("implementation", "str", required=True),
+                Column("component_type", "str"),
+                Column("parameters", "json", default={}),
+                Column("functions", "json", default=[]),
+                Column("target", "str", default="logic"),
+                Column("clock_width", "float", default=0.0),
+                Column("area", "float", default=0.0),
+                Column("width", "float", default=0.0),
+                Column("height", "float", default=0.0),
+                Column("strips", "int", default=1),
+                Column("cells", "int", default=0),
+                Column("transistors", "float", default=0.0),
+                Column("design", "str", default=""),
+            ],
+            key="name",
+        )
+    if not database.has_table(DESIGNS):
+        database.create_table(
+            DESIGNS,
+            [
+                Column("name", "str", required=True),
+                Column("status", "str", default="open"),
+                Column("transaction_open", "bool", default=False),
+            ],
+            key="name",
+        )
+    if not database.has_table(DESIGN_INSTANCES):
+        database.create_table(
+            DESIGN_INSTANCES,
+            [
+                Column("design", "str", required=True),
+                Column("instance", "str", required=True),
+                Column("kept", "bool", default=False),
+            ],
+        )
+    if not database.has_table(DESIGN_FILES):
+        database.create_table(
+            DESIGN_FILES,
+            [
+                Column("instance", "str", required=True),
+                Column("kind", "str", required=True),
+                Column("path", "str", required=True),
+            ],
+        )
+    return database
+
+
+def new_database(name: str = "icdb") -> Database:
+    """A fresh database with the ICDB schema installed."""
+    return create_schema(Database(name))

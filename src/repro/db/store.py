@@ -1,0 +1,114 @@
+"""Design-data file store (the UNIX file system half of ICDB's storage).
+
+The paper keeps component design data (IIF descriptions, VHDL netlists, CIF
+layouts, delay / shape reports) in plain files; tools retrieve the file
+names from ICDB and do their own I/O so that ICDB never becomes a data
+bottleneck.  :class:`DesignDataStore` reproduces that: it writes text
+artifacts under a root directory (a temporary directory by default) and
+returns their paths, which the database records per instance.
+"""
+
+from __future__ import annotations
+
+import re
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+
+class StoreError(ValueError):
+    """Raised on bad file-store requests."""
+
+
+#: Artifact kinds and the file extension used for each.
+ARTIFACT_EXTENSIONS = {
+    "iif": ".iif",
+    "flat_iif": ".piif",
+    "vhdl": ".vhd",
+    "vhdl_head": ".cmp.vhd",
+    "cif": ".cif",
+    "delay": ".delay",
+    "shape": ".shape",
+    "area": ".area",
+    "connect": ".connect",
+    "report": ".txt",
+}
+
+
+def _safe_name(name: str) -> str:
+    cleaned = re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+    return cleaned or "unnamed"
+
+
+class DesignDataStore:
+    """Writes and retrieves per-instance design-data files."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        if root is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="icdb_store_")
+            self.root = Path(self._tempdir.name)
+        else:
+            self._tempdir = None
+            self.root = Path(root)
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ write
+
+    def write(self, instance: str, kind: str, text: str) -> Path:
+        """Store one artifact; returns the file path."""
+        if kind not in ARTIFACT_EXTENSIONS:
+            raise StoreError(
+                f"unknown artifact kind {kind!r}; expected one of {sorted(ARTIFACT_EXTENSIONS)}"
+            )
+        directory = self.root / _safe_name(instance)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{_safe_name(instance)}{ARTIFACT_EXTENSIONS[kind]}"
+        path.write_text(text)
+        return path
+
+    # ------------------------------------------------------------------- read
+
+    def read(self, instance: str, kind: str) -> str:
+        path = self.path_of(instance, kind)
+        if path is None or not path.exists():
+            raise StoreError(f"instance {instance!r} has no stored {kind!r} artifact")
+        return path.read_text()
+
+    def path_of(self, instance: str, kind: str) -> Optional[Path]:
+        if kind not in ARTIFACT_EXTENSIONS:
+            raise StoreError(f"unknown artifact kind {kind!r}")
+        path = self.root / _safe_name(instance) / (
+            _safe_name(instance) + ARTIFACT_EXTENSIONS[kind]
+        )
+        return path if path.exists() else None
+
+    def artifacts_of(self, instance: str) -> Dict[str, Path]:
+        """All stored artifacts of an instance, keyed by kind."""
+        directory = self.root / _safe_name(instance)
+        found: Dict[str, Path] = {}
+        if not directory.exists():
+            return found
+        for kind, extension in ARTIFACT_EXTENSIONS.items():
+            path = directory / (_safe_name(instance) + extension)
+            if path.exists():
+                found[kind] = path
+        return found
+
+    def remove_instance(self, instance: str) -> int:
+        """Delete every artifact of an instance; returns the file count."""
+        directory = self.root / _safe_name(instance)
+        if not directory.exists():
+            return 0
+        count = 0
+        for path in sorted(directory.iterdir()):
+            if path.is_file():
+                path.unlink()
+                count += 1
+        try:
+            directory.rmdir()
+        except OSError:
+            pass
+        return count
+
+    def instances(self) -> List[str]:
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())

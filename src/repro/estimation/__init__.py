@@ -1,0 +1,19 @@
+"""Delay, area and shape-function estimators (Section 4.4 of the paper)."""
+
+from .area import AreaEstimator, AreaRecord, estimate_area, render_area_records, track_utilization
+from .delay import DelayAnalysis, DelayReport, estimate_delay
+from .shape import ShapeFunction, pareto_filter, shape_function
+
+__all__ = [
+    "AreaEstimator",
+    "AreaRecord",
+    "DelayAnalysis",
+    "DelayReport",
+    "ShapeFunction",
+    "estimate_area",
+    "estimate_delay",
+    "pareto_filter",
+    "render_area_records",
+    "shape_function",
+    "track_utilization",
+]

@@ -1,0 +1,75 @@
+"""Irvine Intermediate Form (IIF): language, parser, expander, flat form.
+
+Public surface::
+
+    from repro.iif import parse_module, Expander, FlatComponent
+
+    module = parse_module(COUNTER_IIF_TEXT)
+    flat = Expander().expand(module, {"size": 4, "type": 2, ...})
+"""
+
+from .ast import (
+    Assign,
+    Binary,
+    Block,
+    CLine,
+    CallExpr,
+    DeclItem,
+    For,
+    If,
+    IifModule,
+    IifSyntaxError,
+    Name,
+    Num,
+    SubCall,
+    Unary,
+)
+from .expander import Expander, IifExpansionError, expand_module
+from .flat import (
+    AsyncTerm,
+    CombAssign,
+    FlatComponent,
+    FlatIifError,
+    SeqAssign,
+    bus_signals,
+    expand_signal,
+)
+from .lexer import Token, tokenize
+from .parser import parse_expression, parse_module, parse_modules
+from .printer import assign_to_text, expr_to_text, flat_to_milo, module_to_iif
+
+__all__ = [
+    "Assign",
+    "AsyncTerm",
+    "Binary",
+    "Block",
+    "CLine",
+    "CallExpr",
+    "CombAssign",
+    "DeclItem",
+    "Expander",
+    "FlatComponent",
+    "FlatIifError",
+    "For",
+    "If",
+    "IifExpansionError",
+    "IifModule",
+    "IifSyntaxError",
+    "Name",
+    "Num",
+    "SeqAssign",
+    "SubCall",
+    "Token",
+    "Unary",
+    "assign_to_text",
+    "bus_signals",
+    "expand_module",
+    "expand_signal",
+    "expr_to_text",
+    "flat_to_milo",
+    "module_to_iif",
+    "parse_expression",
+    "parse_module",
+    "parse_modules",
+    "tokenize",
+]

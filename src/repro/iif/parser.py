@@ -1,0 +1,353 @@
+"""Recursive-descent parser for parameterized IIF descriptions.
+
+The grammar follows Appendix A.2 of the paper: a declaration section
+(``NAME``, ``PARAMETER``, ``INORDER``, ``OUTORDER``, ``PIIFVARIABLE``,
+``VARIABLE``, ``SUBFUNCTION``, ``SUBCOMPONENT``, optional ``FUNCTIONS``)
+followed by a compound statement containing assignments, ``#if`` / ``#for``
+/ ``#c_line`` directives, and ``#NAME(...)`` sub-function calls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .ast import (
+    Assign,
+    Binary,
+    Block,
+    CLine,
+    CallExpr,
+    DeclItem,
+    For,
+    If,
+    IifModule,
+    IifSyntaxError,
+    Name,
+    Node,
+    Num,
+    SubCall,
+    Unary,
+)
+from .lexer import (
+    KIND_DIRECTIVE,
+    KIND_EOF,
+    KIND_IDENT,
+    KIND_NUMBER,
+    KIND_OP,
+    KIND_SUBCALL,
+    Token,
+    TokenStream,
+    tokenize,
+)
+
+#: Binary operator binding powers (higher binds tighter).  ``,`` is handled
+#: explicitly because it is only legal inside parentheses / argument lists.
+_BINARY_POWER = {
+    "||": 20,
+    "&&": 30,
+    "==": 40,
+    "!=": 40,
+    "<": 50,
+    "<=": 50,
+    ">": 50,
+    ">=": 50,
+    "~a": 55,
+    "+": 60,
+    "-": 60,
+    "~d": 60,
+    "~t": 60,
+    "~w": 60,
+    "@": 60,
+    "*": 70,
+    "/": 70,
+    "%": 70,
+    "(+)": 80,
+    "(.)": 80,
+    "**": 90,
+}
+
+_RIGHT_ASSOC = {"**"}
+
+_UNARY_OPS = {"!", "~b", "~s", "~r", "~f", "~h", "~l", "-"}
+
+_ASSIGN_OPS = {"=", "+=", "*=", "(+)=", "(.)="}
+
+_DECL_KEYWORDS = {
+    "NAME",
+    "FUNCTIONS",
+    "FUNCTION",
+    "PARAMETER",
+    "PARAMETERS",
+    "INORDER",
+    "OUTORDER",
+    "PIIFVARIABLE",
+    "VARIABLE",
+    "VARIABLES",
+    "SUBFUNCTION",
+    "SUBCOMPONENT",
+}
+
+
+class IifParser:
+    """Parser over a :class:`TokenStream`."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.stream = TokenStream(tokenize(source))
+
+    # ------------------------------------------------------------------ file
+
+    def parse_file(self) -> List[IifModule]:
+        """Parse a source file containing one or more IIF modules."""
+        modules: List[IifModule] = []
+        while not self.stream.at_end():
+            modules.append(self.parse_module())
+        if not modules:
+            raise IifSyntaxError("empty IIF source")
+        return modules
+
+    def parse_module(self) -> IifModule:
+        """Parse a single module (declarations plus body block)."""
+        module = IifModule(name="", source=self.source)
+        while self._at_declaration():
+            self._parse_declaration(module)
+        if not module.name:
+            raise IifSyntaxError(
+                "IIF module is missing a NAME declaration", self.stream.current.line
+            )
+        module.body = self._parse_block()
+        return module
+
+    # --------------------------------------------------------------- declarations
+
+    def _at_declaration(self) -> bool:
+        token = self.stream.current
+        if token.kind != KIND_IDENT or token.value.upper() not in _DECL_KEYWORDS:
+            return False
+        return self.stream.peek().kind == KIND_OP and self.stream.peek().value == ":"
+
+    def _parse_declaration(self, module: IifModule) -> None:
+        keyword = self.stream.expect(KIND_IDENT).value.upper()
+        self.stream.expect(KIND_OP, ":")
+        if keyword == "NAME":
+            module.name = self.stream.expect(KIND_IDENT).value
+        elif keyword in ("FUNCTIONS", "FUNCTION"):
+            module.functions.extend(item.ident for item in self._parse_decl_items())
+        elif keyword in ("PARAMETER", "PARAMETERS"):
+            module.parameters.extend(self._parse_decl_items())
+        elif keyword == "INORDER":
+            module.inorder.extend(self._parse_decl_items())
+        elif keyword == "OUTORDER":
+            module.outorder.extend(self._parse_decl_items())
+        elif keyword == "PIIFVARIABLE":
+            module.piif_variables.extend(self._parse_decl_items())
+        elif keyword in ("VARIABLE", "VARIABLES"):
+            module.variables.extend(self._parse_decl_items())
+        elif keyword == "SUBFUNCTION":
+            module.subfunctions.extend(item.ident for item in self._parse_decl_items())
+        elif keyword == "SUBCOMPONENT":
+            module.subcomponents.extend(item.ident for item in self._parse_decl_items())
+        self.stream.expect(KIND_OP, ";")
+
+    def _parse_decl_items(self) -> List[DeclItem]:
+        items = [self._parse_decl_item()]
+        while self.stream.accept(KIND_OP, ","):
+            items.append(self._parse_decl_item())
+        return items
+
+    def _parse_decl_item(self) -> DeclItem:
+        ident = self.stream.expect(KIND_IDENT).value
+        dims: List[Node] = []
+        while self.stream.accept(KIND_OP, "["):
+            dims.append(self._parse_expression())
+            self.stream.expect(KIND_OP, "]")
+        return DeclItem(ident, tuple(dims))
+
+    # --------------------------------------------------------------- statements
+
+    def _parse_block(self) -> Block:
+        open_token = self.stream.expect(KIND_OP, "{")
+        block = Block(line=open_token.line)
+        while not self.stream.check(KIND_OP, "}"):
+            if self.stream.at_end():
+                raise IifSyntaxError("unterminated block", open_token.line)
+            block.statements.append(self._parse_statement())
+        self.stream.expect(KIND_OP, "}")
+        return block
+
+    def _parse_statement(self):
+        token = self.stream.current
+        if token.kind == KIND_OP and token.value == "{":
+            return self._parse_block()
+        if token.kind == KIND_DIRECTIVE:
+            if token.value == "#if":
+                return self._parse_if()
+            if token.value == "#for":
+                return self._parse_for()
+            if token.value == "#c_line":
+                self.stream.advance()
+                assign = self._parse_assignment(expect_semicolon=True)
+                return CLine(assign=assign, line=token.line)
+            raise IifSyntaxError(f"unexpected directive {token.value!r}", token.line)
+        if token.kind == KIND_SUBCALL:
+            return self._parse_subcall()
+        return self._parse_assignment(expect_semicolon=True)
+
+    def _parse_if(self) -> If:
+        token = self.stream.expect(KIND_DIRECTIVE, "#if")
+        self.stream.expect(KIND_OP, "(")
+        cond = self._parse_expression(allow_comma=True)
+        self.stream.expect(KIND_OP, ")")
+        then = self._parse_statement()
+        orelse = None
+        if self.stream.check(KIND_DIRECTIVE, "#else"):
+            self.stream.advance()
+            orelse = self._parse_statement()
+        return If(cond=cond, then=then, orelse=orelse, line=token.line)
+
+    def _parse_for(self) -> For:
+        token = self.stream.expect(KIND_DIRECTIVE, "#for")
+        self.stream.expect(KIND_OP, "(")
+        init = self._parse_for_assign()
+        self.stream.expect(KIND_OP, ";")
+        cond = self._parse_expression()
+        self.stream.expect(KIND_OP, ";")
+        step = self._parse_for_assign()
+        self.stream.expect(KIND_OP, ")")
+        body = self._parse_statement()
+        return For(init=init, cond=cond, step=step, body=body, line=token.line)
+
+    def _parse_for_assign(self) -> Assign:
+        target = self._parse_name()
+        token = self.stream.current
+        if token.kind == KIND_OP and token.value in ("++", "--"):
+            self.stream.advance()
+            delta = "+" if token.value == "++" else "-"
+            value = Binary(delta, target, Num(1))
+            return Assign(target=target, op="=", value=value, line=token.line)
+        if token.kind == KIND_OP and token.value in _ASSIGN_OPS:
+            self.stream.advance()
+            value = self._parse_expression()
+            return Assign(target=target, op=token.value, value=value, line=token.line)
+        raise IifSyntaxError("expected assignment in for clause", token.line)
+
+    def _parse_subcall(self) -> SubCall:
+        token = self.stream.expect(KIND_SUBCALL)
+        args: List[Node] = []
+        if self.stream.accept(KIND_OP, "("):
+            if not self.stream.check(KIND_OP, ")"):
+                args.append(self._parse_expression())
+                while self.stream.accept(KIND_OP, ","):
+                    args.append(self._parse_expression())
+            self.stream.expect(KIND_OP, ")")
+        self.stream.expect(KIND_OP, ";")
+        return SubCall(name=token.value, args=args, line=token.line)
+
+    def _parse_assignment(self, expect_semicolon: bool) -> Assign:
+        target = self._parse_name()
+        op_token = self.stream.current
+        if op_token.kind != KIND_OP or op_token.value not in _ASSIGN_OPS:
+            raise IifSyntaxError(
+                f"expected assignment operator, found {op_token.value!r}", op_token.line
+            )
+        self.stream.advance()
+        value = self._parse_expression()
+        if expect_semicolon:
+            self.stream.expect(KIND_OP, ";")
+        return Assign(target=target, op=op_token.value, value=value, line=op_token.line)
+
+    # --------------------------------------------------------------- expressions
+
+    def _parse_name(self) -> Name:
+        ident = self.stream.expect(KIND_IDENT)
+        indices: List[Node] = []
+        while self.stream.check(KIND_OP, "["):
+            self.stream.advance()
+            indices.append(self._parse_expression())
+            self.stream.expect(KIND_OP, "]")
+        return Name(ident.value, tuple(indices))
+
+    def _parse_expression(self, min_power: int = 0, allow_comma: bool = False) -> Node:
+        left = self._parse_unary(allow_comma)
+        while True:
+            token = self.stream.current
+            if token.kind != KIND_OP:
+                break
+            op = token.value
+            if op == "," and allow_comma:
+                power = 10
+            elif op in _BINARY_POWER:
+                power = _BINARY_POWER[op]
+            else:
+                break
+            if power < min_power:
+                break
+            self.stream.advance()
+            next_min = power if op in _RIGHT_ASSOC else power + 1
+            right = self._parse_expression(next_min, allow_comma=allow_comma)
+            left = Binary(op, left, right)
+        return left
+
+    def _parse_unary(self, allow_comma: bool) -> Node:
+        token = self.stream.current
+        if token.kind == KIND_OP and token.value in _UNARY_OPS:
+            self.stream.advance()
+            operand = self._parse_unary(allow_comma)
+            return Unary(token.value, operand)
+        if token.kind == KIND_OP and token.value in ("++", "--"):
+            self.stream.advance()
+            operand = self._parse_unary(allow_comma)
+            return Unary(token.value, operand)
+        return self._parse_atom(allow_comma)
+
+    def _parse_atom(self, allow_comma: bool) -> Node:
+        token = self.stream.current
+        if token.kind == KIND_NUMBER:
+            self.stream.advance()
+            return Num(int(token.value))
+        if token.kind == KIND_IDENT:
+            # Function-style call in a C expression, otherwise a (possibly
+            # indexed) signal / variable reference.
+            if self.stream.peek().kind == KIND_OP and self.stream.peek().value == "(":
+                func = token.value
+                self.stream.advance()
+                self.stream.advance()
+                args: List[Node] = []
+                if not self.stream.check(KIND_OP, ")"):
+                    args.append(self._parse_expression())
+                    while self.stream.accept(KIND_OP, ","):
+                        args.append(self._parse_expression())
+                self.stream.expect(KIND_OP, ")")
+                return CallExpr(func, tuple(args))
+            return self._parse_name()
+        if token.kind == KIND_OP and token.value == "(":
+            self.stream.advance()
+            inner = self._parse_expression(allow_comma=True)
+            self.stream.expect(KIND_OP, ")")
+            return inner
+        raise IifSyntaxError(f"unexpected token {token.value!r}", token.line)
+
+
+def parse_module(source: str) -> IifModule:
+    """Parse a single IIF module from source text."""
+    parser = IifParser(source)
+    module = parser.parse_module()
+    if not parser.stream.at_end():
+        extra = parser.stream.current
+        raise IifSyntaxError(f"trailing input after module: {extra.value!r}", extra.line)
+    return module
+
+
+def parse_modules(source: str) -> List[IifModule]:
+    """Parse all modules found in ``source``."""
+    return IifParser(source).parse_file()
+
+
+def parse_expression(source: str) -> Node:
+    """Parse a standalone IIF expression (useful in tests)."""
+    parser = IifParser(source)
+    expr = parser._parse_expression(allow_comma=True)
+    if not parser.stream.at_end():
+        extra = parser.stream.current
+        raise IifSyntaxError(f"trailing input after expression: {extra.value!r}", extra.line)
+    return expr

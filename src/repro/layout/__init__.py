@@ -1,0 +1,47 @@
+"""Strip-based layout generation and slicing floorplanning."""
+
+from .floorplan import (
+    Block,
+    FloorplanResult,
+    Placement,
+    Shape,
+    Slice,
+    floorplan,
+    row,
+    stack,
+)
+from .generator import (
+    ComponentLayout,
+    LayoutError,
+    LayoutRect,
+    PlacedPort,
+    generate_layout,
+)
+from .strips import (
+    PlacedCell,
+    StripPlacement,
+    net_spans,
+    place_in_strips,
+    routing_tracks_per_strip,
+)
+
+__all__ = [
+    "Block",
+    "ComponentLayout",
+    "FloorplanResult",
+    "LayoutError",
+    "LayoutRect",
+    "PlacedCell",
+    "PlacedPort",
+    "Placement",
+    "Shape",
+    "Slice",
+    "StripPlacement",
+    "floorplan",
+    "generate_layout",
+    "net_spans",
+    "place_in_strips",
+    "routing_tracks_per_strip",
+    "row",
+    "stack",
+]

@@ -1,0 +1,6 @@
+"""Logic synthesis substrate: expression IR, minimization, factoring,
+technology mapping and the MILO-like optimization flow."""
+
+from . import expr
+
+__all__ = ["expr"]

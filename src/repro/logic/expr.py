@@ -1,0 +1,553 @@
+"""Boolean expression intermediate representation.
+
+Every stage of the ICDB component-generation pipeline that manipulates
+combinational behaviour (the IIF expander output, the MILO-like optimizer,
+the technology mapper and the estimators) works on the small expression IR
+defined here.
+
+The IR is deliberately minimal: variables, the constants 0/1, NOT, n-ary
+AND/OR, binary XOR/XNOR, an explicit BUF node, and a ``Special`` node for
+the interface operators of IIF (tri-state, wire-or, delay, schmitt trigger)
+that map one-to-one onto library cells and are never restructured by the
+optimizer.
+
+Expressions are immutable and hashable, so they can be shared freely and
+used as dictionary keys during common-subexpression extraction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+
+class ExprError(ValueError):
+    """Raised for malformed boolean expressions."""
+
+
+class BExpr:
+    """Base class for boolean expressions."""
+
+    __slots__ = ()
+
+    # -- structural queries -------------------------------------------------
+
+    def variables(self) -> FrozenSet[str]:
+        """Return the set of variable names appearing in the expression."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["BExpr", ...]:
+        """Return direct sub-expressions."""
+        return ()
+
+    # -- semantics -----------------------------------------------------------
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate under a 0/1 assignment.  Missing variables raise KeyError."""
+        raise NotImplementedError
+
+    # -- convenience operators ------------------------------------------------
+
+    def __and__(self, other: "BExpr") -> "BExpr":
+        return and_(self, other)
+
+    def __or__(self, other: "BExpr") -> "BExpr":
+        return or_(self, other)
+
+    def __xor__(self, other: "BExpr") -> "BExpr":
+        return xor(self, other)
+
+    def __invert__(self) -> "BExpr":
+        return not_(self)
+
+
+@dataclass(frozen=True)
+class Const(BExpr):
+    """The constant 0 or 1."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ExprError(f"constant must be 0 or 1, got {self.value!r}")
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+
+TRUE = Const(1)
+FALSE = Const(0)
+
+
+@dataclass(frozen=True)
+class Var(BExpr):
+    """A named signal."""
+
+    name: str
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return 1 if env[self.name] else 0
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Not(BExpr):
+    operand: BExpr
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def children(self) -> Tuple[BExpr, ...]:
+        return (self.operand,)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return 1 - self.operand.evaluate(env)
+
+
+@dataclass(frozen=True)
+class Buf(BExpr):
+    """An explicit buffer (kept so technology mapping can emit a BUF cell)."""
+
+    operand: BExpr
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def children(self) -> Tuple[BExpr, ...]:
+        return (self.operand,)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.operand.evaluate(env)
+
+
+@dataclass(frozen=True)
+class And(BExpr):
+    args: Tuple[BExpr, ...]
+
+    def variables(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out = out | arg.variables()
+        return out
+
+    def children(self) -> Tuple[BExpr, ...]:
+        return self.args
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        for arg in self.args:
+            if not arg.evaluate(env):
+                return 0
+        return 1
+
+
+@dataclass(frozen=True)
+class Or(BExpr):
+    args: Tuple[BExpr, ...]
+
+    def variables(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out = out | arg.variables()
+        return out
+
+    def children(self) -> Tuple[BExpr, ...]:
+        return self.args
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        for arg in self.args:
+            if arg.evaluate(env):
+                return 1
+        return 0
+
+
+@dataclass(frozen=True)
+class Xor(BExpr):
+    left: BExpr
+    right: BExpr
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def children(self) -> Tuple[BExpr, ...]:
+        return (self.left, self.right)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.left.evaluate(env) ^ self.right.evaluate(env)
+
+
+@dataclass(frozen=True)
+class Xnor(BExpr):
+    left: BExpr
+    right: BExpr
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def children(self) -> Tuple[BExpr, ...]:
+        return (self.left, self.right)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return 1 - (self.left.evaluate(env) ^ self.right.evaluate(env))
+
+
+#: IIF interface operators that bypass boolean restructuring.
+SPECIAL_KINDS = ("tristate", "wireor", "delay", "schmitt")
+
+
+@dataclass(frozen=True)
+class Special(BExpr):
+    """Interface operator node (tri-state, wire-or, delay, schmitt trigger).
+
+    ``param`` carries the delay amount for ``delay`` nodes and is ``None``
+    otherwise.  The optimizer treats these nodes as opaque: their operands are
+    optimized independently and the node itself maps onto a dedicated cell.
+    """
+
+    kind: str
+    args: Tuple[BExpr, ...]
+    param: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SPECIAL_KINDS:
+            raise ExprError(f"unknown special kind {self.kind!r}")
+
+    def variables(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out = out | arg.variables()
+        return out
+
+    def children(self) -> Tuple[BExpr, ...]:
+        return self.args
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        # Functional (zero-delay, driven) semantics: the data input wins for
+        # tri-state and delay, wire-or behaves as OR, schmitt as buffer.
+        if self.kind == "wireor":
+            return 1 if any(arg.evaluate(env) for arg in self.args) else 0
+        return self.args[0].evaluate(env)
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors (light constant folding / flattening)
+# ---------------------------------------------------------------------------
+
+
+def const(value: int) -> Const:
+    """Return the constant TRUE or FALSE node for ``value``."""
+    return TRUE if value else FALSE
+
+
+def var(name: str) -> Var:
+    """Return a variable node."""
+    return Var(name)
+
+
+def not_(operand: BExpr) -> BExpr:
+    """Negation with folding of constants and double negation."""
+    if isinstance(operand, Const):
+        return const(1 - operand.value)
+    if isinstance(operand, Not):
+        return operand.operand
+    return Not(operand)
+
+
+def buf(operand: BExpr) -> BExpr:
+    """Explicit buffer node (constants pass through)."""
+    if isinstance(operand, Const):
+        return operand
+    return Buf(operand)
+
+
+def _flatten(cls, args: Iterable[BExpr]) -> Iterator[BExpr]:
+    for arg in args:
+        if isinstance(arg, cls):
+            yield from arg.args
+        else:
+            yield arg
+
+
+def and_(*args: BExpr) -> BExpr:
+    """N-ary AND with flattening, constant folding and duplicate removal."""
+    flat = list(_flatten(And, args))
+    kept = []
+    seen = set()
+    for arg in flat:
+        if isinstance(arg, Const):
+            if arg.value == 0:
+                return FALSE
+            continue
+        if arg in seen:
+            continue
+        seen.add(arg)
+        kept.append(arg)
+    if not kept:
+        return TRUE
+    if len(kept) == 1:
+        return kept[0]
+    return And(tuple(kept))
+
+
+def or_(*args: BExpr) -> BExpr:
+    """N-ary OR with flattening, constant folding and duplicate removal."""
+    flat = list(_flatten(Or, args))
+    kept = []
+    seen = set()
+    for arg in flat:
+        if isinstance(arg, Const):
+            if arg.value == 1:
+                return TRUE
+            continue
+        if arg in seen:
+            continue
+        seen.add(arg)
+        kept.append(arg)
+    if not kept:
+        return FALSE
+    if len(kept) == 1:
+        return kept[0]
+    return Or(tuple(kept))
+
+
+def xor(left: BExpr, right: BExpr) -> BExpr:
+    """Binary XOR with constant folding."""
+    if isinstance(left, Const):
+        return right if left.value == 0 else not_(right)
+    if isinstance(right, Const):
+        return left if right.value == 0 else not_(left)
+    if left == right:
+        return FALSE
+    return Xor(left, right)
+
+
+def xnor(left: BExpr, right: BExpr) -> BExpr:
+    """Binary XNOR with constant folding."""
+    if isinstance(left, Const):
+        return not_(right) if left.value == 0 else right
+    if isinstance(right, Const):
+        return not_(left) if right.value == 0 else left
+    if left == right:
+        return TRUE
+    return Xnor(left, right)
+
+
+def special(kind: str, args: Sequence[BExpr], param: Optional[int] = None) -> Special:
+    """Construct an interface-operator node."""
+    return Special(kind, tuple(args), param)
+
+
+def tristate(data: BExpr, control: BExpr) -> Special:
+    """Tri-state buffer: ``data ~t control``."""
+    return special("tristate", (data, control))
+
+
+def wire_or(left: BExpr, right: BExpr) -> Special:
+    """Wired-or of two driven nets: ``a ~w b``."""
+    return special("wireor", (left, right))
+
+
+def delay(data: BExpr, amount: int) -> Special:
+    """Pure delay element of ``amount`` nanoseconds: ``a ~d amount``."""
+    return special("delay", (data,), amount)
+
+
+def schmitt(data: BExpr) -> Special:
+    """Schmitt-trigger input conditioner: ``~s a``."""
+    return special("schmitt", (data,))
+
+
+# ---------------------------------------------------------------------------
+# Traversal / analysis helpers
+# ---------------------------------------------------------------------------
+
+
+def walk(expr: BExpr) -> Iterator[BExpr]:
+    """Yield ``expr`` and every sub-expression (pre-order)."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())
+
+
+def count_literals(expr: BExpr) -> int:
+    """Count literal occurrences (variable references) -- the classic cost."""
+    return sum(1 for node in walk(expr) if isinstance(node, Var))
+
+
+def count_nodes(expr: BExpr) -> int:
+    """Count operator nodes (excluding variables and constants)."""
+    return sum(
+        1
+        for node in walk(expr)
+        if not isinstance(node, (Var, Const))
+    )
+
+
+def depth(expr: BExpr) -> int:
+    """Return the operator depth (a variable or constant has depth 0)."""
+    if isinstance(expr, (Var, Const)):
+        return 0
+    kids = expr.children()
+    if not kids:
+        return 0
+    return 1 + max(depth(child) for child in kids)
+
+
+def substitute(expr: BExpr, mapping: Mapping[str, BExpr]) -> BExpr:
+    """Replace variables by expressions (simultaneously)."""
+    if isinstance(expr, Var):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Not):
+        return not_(substitute(expr.operand, mapping))
+    if isinstance(expr, Buf):
+        return buf(substitute(expr.operand, mapping))
+    if isinstance(expr, And):
+        return and_(*(substitute(arg, mapping) for arg in expr.args))
+    if isinstance(expr, Or):
+        return or_(*(substitute(arg, mapping) for arg in expr.args))
+    if isinstance(expr, Xor):
+        return xor(substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, Xnor):
+        return xnor(substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, Special):
+        return Special(
+            expr.kind,
+            tuple(substitute(arg, mapping) for arg in expr.args),
+            expr.param,
+        )
+    raise ExprError(f"cannot substitute into {expr!r}")
+
+
+def rename_variables(expr: BExpr, mapping: Mapping[str, str]) -> BExpr:
+    """Rename variables according to ``mapping`` (missing names unchanged)."""
+    return substitute(expr, {old: Var(new) for old, new in mapping.items()})
+
+
+def cofactor(expr: BExpr, name: str, value: int) -> BExpr:
+    """Shannon cofactor of ``expr`` with respect to ``name`` = ``value``."""
+    return substitute(expr, {name: const(value)})
+
+
+def truth_table(expr: BExpr, order: Optional[Sequence[str]] = None) -> Tuple[int, ...]:
+    """Return the truth table of ``expr`` over ``order`` (default: sorted vars).
+
+    The result has ``2**n`` entries; entry ``i`` is the value of the
+    expression when the variables take the bits of ``i`` (``order[0]`` is the
+    most-significant bit).  Only usable for small variable counts.
+    """
+    names = list(order) if order is not None else sorted(expr.variables())
+    n = len(names)
+    if n > 20:
+        raise ExprError(f"truth table over {n} variables is too large")
+    rows = []
+    for bits in itertools.product((0, 1), repeat=n):
+        env = dict(zip(names, bits))
+        rows.append(expr.evaluate(env))
+    return tuple(rows)
+
+
+def equivalent(left: BExpr, right: BExpr, max_vars: int = 16) -> bool:
+    """Check semantic equivalence by exhaustive evaluation over the union of
+    the two expressions' variables.  Intended for tests and assertions on the
+    small component functions ICDB manipulates."""
+    names = sorted(left.variables() | right.variables())
+    if len(names) > max_vars:
+        raise ExprError(
+            f"equivalence check over {len(names)} variables exceeds max_vars={max_vars}"
+        )
+    for bits in itertools.product((0, 1), repeat=len(names)):
+        env = dict(zip(names, bits))
+        if left.evaluate(env) != right.evaluate(env):
+            return False
+    return True
+
+
+def support_size(expr: BExpr) -> int:
+    """Number of distinct variables in the expression."""
+    return len(expr.variables())
+
+
+# ---------------------------------------------------------------------------
+# Text rendering (IIF-style operators)
+# ---------------------------------------------------------------------------
+
+_PRECEDENCE = {
+    "or": 1,
+    "xor": 2,
+    "and": 3,
+    "unary": 4,
+    "atom": 5,
+}
+
+
+def to_iif_string(expr: BExpr) -> str:
+    """Render an expression using IIF operator syntax (``+ * ! (+) (.)``)."""
+    return _render(expr, 0)
+
+
+def _paren(text: str, inner: int, outer: int) -> str:
+    return f"({text})" if inner < outer else text
+
+
+def _render(expr: BExpr, outer: int) -> str:
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Not):
+        return "!" + _render(expr.operand, _PRECEDENCE["unary"])
+    if isinstance(expr, Buf):
+        return "~b " + _render(expr.operand, _PRECEDENCE["unary"])
+    if isinstance(expr, And):
+        text = "*".join(_render(arg, _PRECEDENCE["and"]) for arg in expr.args)
+        return _paren(text, _PRECEDENCE["and"], outer)
+    if isinstance(expr, Or):
+        text = " + ".join(_render(arg, _PRECEDENCE["or"]) for arg in expr.args)
+        return _paren(text, _PRECEDENCE["or"], outer)
+    if isinstance(expr, Xor):
+        text = (
+            _render(expr.left, _PRECEDENCE["xor"])
+            + " (+) "
+            + _render(expr.right, _PRECEDENCE["xor"])
+        )
+        return _paren(text, _PRECEDENCE["xor"], outer)
+    if isinstance(expr, Xnor):
+        text = (
+            _render(expr.left, _PRECEDENCE["xor"])
+            + " (.) "
+            + _render(expr.right, _PRECEDENCE["xor"])
+        )
+        return _paren(text, _PRECEDENCE["xor"], outer)
+    if isinstance(expr, Special):
+        if expr.kind == "tristate":
+            return (
+                _render(expr.args[0], _PRECEDENCE["unary"])
+                + " ~t "
+                + _render(expr.args[1], _PRECEDENCE["unary"])
+            )
+        if expr.kind == "wireor":
+            return (
+                _render(expr.args[0], _PRECEDENCE["unary"])
+                + " ~w "
+                + _render(expr.args[1], _PRECEDENCE["unary"])
+            )
+        if expr.kind == "delay":
+            return _render(expr.args[0], _PRECEDENCE["unary"]) + f" ~d {expr.param}"
+        if expr.kind == "schmitt":
+            return "~s " + _render(expr.args[0], _PRECEDENCE["unary"])
+    raise ExprError(f"cannot render {expr!r}")

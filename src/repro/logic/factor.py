@@ -1,0 +1,139 @@
+"""Algebraic factoring (the "quick factor" step of the MILO-like flow).
+
+After two-level minimization the equations are sums of products.  Mapping a
+wide SOP directly onto 2/3/4-input cells wastes area, so the flow factors
+each SOP algebraically first: the literal appearing in the largest number of
+product terms is pulled out, and the quotient and remainder are factored
+recursively.  This is the classic "most-common-literal" quick factoring
+used by multi-level synthesis systems; it reduces literal count and, more
+importantly, shortens the longest paths the paper's second optimization
+phase cares about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import expr as E
+
+
+def _as_product_terms(expression: E.BExpr) -> Optional[List[Tuple[E.BExpr, ...]]]:
+    """View an expression as a list of product terms, or ``None`` if it is
+    not a simple OR-of-ANDs over literals/opaque factors."""
+    if isinstance(expression, E.Or):
+        terms = []
+        for arg in expression.args:
+            term = _as_single_term(arg)
+            if term is None:
+                return None
+            terms.append(term)
+        return terms
+    term = _as_single_term(expression)
+    if term is None:
+        return None
+    return [term]
+
+
+def _as_single_term(expression: E.BExpr) -> Optional[Tuple[E.BExpr, ...]]:
+    if isinstance(expression, E.And):
+        factors = []
+        for arg in expression.args:
+            if _is_factor(arg):
+                factors.append(arg)
+            else:
+                return None
+        return tuple(factors)
+    if _is_factor(expression):
+        return (expression,)
+    return None
+
+
+def _is_factor(expression: E.BExpr) -> bool:
+    """Literals and opaque sub-terms count as atomic factors."""
+    if isinstance(expression, (E.Var, E.Const, E.Buf, E.Special, E.Xor, E.Xnor)):
+        return True
+    if isinstance(expression, E.Not):
+        return True
+    return False
+
+
+def _most_common_factor(terms: Sequence[Tuple[E.BExpr, ...]]) -> Optional[E.BExpr]:
+    counts: Dict[E.BExpr, int] = {}
+    for term in terms:
+        for factor in set(term):
+            counts[factor] = counts.get(factor, 0) + 1
+    best = None
+    best_count = 1
+    for factor, count in counts.items():
+        if count > best_count:
+            best = factor
+            best_count = count
+    return best
+
+
+def factor(expression: E.BExpr, max_depth: int = 16) -> E.BExpr:
+    """Return an algebraically factored form of ``expression``.
+
+    The result is logically identical (same on-set); only its structure
+    changes.  Expressions that are not OR-of-AND shaped are returned with
+    their children factored recursively.
+    """
+    if max_depth <= 0:
+        return expression
+    if isinstance(expression, (E.Var, E.Const)):
+        return expression
+    if isinstance(expression, E.Not):
+        return E.not_(factor(expression.operand, max_depth - 1))
+    if isinstance(expression, E.Buf):
+        return E.buf(factor(expression.operand, max_depth - 1))
+    if isinstance(expression, E.Xor):
+        return E.xor(factor(expression.left, max_depth - 1), factor(expression.right, max_depth - 1))
+    if isinstance(expression, E.Xnor):
+        return E.xnor(factor(expression.left, max_depth - 1), factor(expression.right, max_depth - 1))
+    if isinstance(expression, E.Special):
+        return E.Special(
+            expression.kind,
+            tuple(factor(arg, max_depth - 1) for arg in expression.args),
+            expression.param,
+        )
+    if isinstance(expression, E.And):
+        return E.and_(*(factor(arg, max_depth - 1) for arg in expression.args))
+
+    terms = _as_product_terms(expression)
+    if terms is None or len(terms) < 2:
+        if isinstance(expression, E.Or):
+            return E.or_(*(factor(arg, max_depth - 1) for arg in expression.args))
+        return expression
+
+    divisor = _most_common_factor(terms)
+    if divisor is None:
+        return expression
+
+    quotient_terms: List[Tuple[E.BExpr, ...]] = []
+    remainder_terms: List[Tuple[E.BExpr, ...]] = []
+    for term in terms:
+        if divisor in term:
+            rest = tuple(f for f in term if f != divisor)
+            quotient_terms.append(rest if rest else ())
+        else:
+            remainder_terms.append(term)
+
+    quotient = E.or_(*(_term_to_expr(term) for term in quotient_terms))
+    factored_quotient = factor(quotient, max_depth - 1)
+    product = E.and_(divisor, factored_quotient)
+    if not remainder_terms:
+        return product
+    remainder = E.or_(*(_term_to_expr(term) for term in remainder_terms))
+    factored_remainder = factor(remainder, max_depth - 1)
+    return E.or_(product, factored_remainder)
+
+
+def _term_to_expr(term: Tuple[E.BExpr, ...]) -> E.BExpr:
+    if not term:
+        return E.TRUE
+    return E.and_(*term)
+
+
+def factoring_gain(expression: E.BExpr) -> int:
+    """Literal-count reduction achieved by factoring (>= 0)."""
+    return max(0, E.count_literals(expression) - E.count_literals(factor(expression)))

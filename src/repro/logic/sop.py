@@ -1,0 +1,167 @@
+"""Sum-of-products (two-level) representation used by the minimizer.
+
+A :class:`Cube` is a product term: a partial assignment of variables to
+0 / 1.  A :class:`SumOfProducts` is a list of cubes over a fixed variable
+order.  The minimizer converts small expressions to minterms, computes prime
+implicants (Quine-McCluskey) and covers them; this module holds the data
+structures and the conversions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from . import expr as E
+
+
+class SopError(ValueError):
+    """Raised on malformed cubes or SOPs."""
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product term: mapping of variable name to required value (0 or 1).
+
+    An empty cube is the constant-1 term.
+    """
+
+    literals: Tuple[Tuple[str, int], ...]
+
+    @staticmethod
+    def from_mapping(mapping: Mapping[str, int]) -> "Cube":
+        items = tuple(sorted((name, 1 if value else 0) for name, value in mapping.items()))
+        return Cube(items)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.literals)
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset(name for name, _ in self.literals)
+
+    def literal_count(self) -> int:
+        return len(self.literals)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        for name, value in self.literals:
+            if (1 if env[name] else 0) != value:
+                return 0
+        return 1
+
+    def covers(self, other: "Cube") -> bool:
+        """True if every assignment satisfying ``other`` satisfies ``self``."""
+        own = self.as_dict()
+        theirs = other.as_dict()
+        for name, value in own.items():
+            if name not in theirs or theirs[name] != value:
+                return False
+        return True
+
+    def to_expr(self) -> E.BExpr:
+        if not self.literals:
+            return E.TRUE
+        terms = [
+            E.Var(name) if value else E.not_(E.Var(name))
+            for name, value in self.literals
+        ]
+        return E.and_(*terms)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.literals:
+            return "1"
+        return "*".join(
+            (name if value else f"!{name}") for name, value in self.literals
+        )
+
+
+@dataclass
+class SumOfProducts:
+    """A disjunction of cubes over an explicit variable order."""
+
+    order: Tuple[str, ...]
+    cubes: Tuple[Cube, ...]
+
+    def literal_count(self) -> int:
+        return sum(cube.literal_count() for cube in self.cubes)
+
+    def cube_count(self) -> int:
+        return len(self.cubes)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return 1 if any(cube.evaluate(env) for cube in self.cubes) else 0
+
+    def to_expr(self) -> E.BExpr:
+        if not self.cubes:
+            return E.FALSE
+        return E.or_(*(cube.to_expr() for cube in self.cubes))
+
+    def is_constant(self) -> Optional[int]:
+        if not self.cubes:
+            return 0
+        if any(not cube.literals for cube in self.cubes):
+            return 1
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Expression <-> minterms
+# ---------------------------------------------------------------------------
+
+
+def expr_minterms(expression: E.BExpr, order: Sequence[str]) -> Set[int]:
+    """Minterm indices (over ``order``; index bit 0 is ``order[-1]``) where
+    the expression evaluates to 1."""
+    names = list(order)
+    minterms: Set[int] = set()
+    for index, bits in enumerate(itertools.product((0, 1), repeat=len(names))):
+        env = dict(zip(names, bits))
+        if expression.evaluate(env):
+            minterms.add(index)
+    return minterms
+
+
+def minterm_to_cube(index: int, order: Sequence[str]) -> Cube:
+    names = list(order)
+    bits = []
+    for position, name in enumerate(names):
+        shift = len(names) - 1 - position
+        bits.append((name, (index >> shift) & 1))
+    return Cube(tuple(sorted(bits)))
+
+
+def cube_minterms(cube: Cube, order: Sequence[str]) -> Set[int]:
+    """All minterm indices covered by ``cube`` over ``order``."""
+    names = list(order)
+    fixed = cube.as_dict()
+    free = [name for name in names if name not in fixed]
+    minterms: Set[int] = set()
+    for bits in itertools.product((0, 1), repeat=len(free)):
+        env = dict(fixed)
+        env.update(zip(free, bits))
+        index = 0
+        for name in names:
+            index = (index << 1) | env[name]
+        minterms.add(index)
+    return minterms
+
+
+def sop_from_cubes(order: Sequence[str], cubes: Iterable[Cube]) -> SumOfProducts:
+    return SumOfProducts(tuple(order), tuple(cubes))
+
+
+def remove_contained_cubes(cubes: Sequence[Cube]) -> List[Cube]:
+    """Single-cube containment: drop cubes covered by another cube."""
+    kept: List[Cube] = []
+    for cube in cubes:
+        if any(other is not cube and other.covers(cube) for other in cubes):
+            continue
+        kept.append(cube)
+    # Deduplicate while preserving order.
+    seen: Set[Cube] = set()
+    unique: List[Cube] = []
+    for cube in kept:
+        if cube not in seen:
+            seen.add(cube)
+            unique.append(cube)
+    return unique

@@ -1,0 +1,209 @@
+"""Gate-level netlist produced by the logic synthesis / technology mapping
+stage and consumed by the sizing, estimation, layout and simulation tools."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..techlib import Cell, CellLibrary
+
+
+class NetlistError(ValueError):
+    """Raised when a netlist is malformed."""
+
+
+@dataclass
+class GateInstance:
+    """One placed library cell: a cell reference, pin-to-net map and drive size."""
+
+    name: str
+    cell: Cell
+    pins: Dict[str, str]
+    size: float = 1.0
+
+    def output_net(self, pin: Optional[str] = None) -> str:
+        """The net driven by the (single) output pin."""
+        pin = pin or self.cell.outputs[0]
+        return self.pins[pin]
+
+    def input_nets(self) -> List[str]:
+        return [self.pins[p] for p in self.cell.inputs if p in self.pins]
+
+    def pin_of_net(self, net: str) -> List[str]:
+        return [pin for pin, attached in self.pins.items() if attached == net]
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.cell.is_sequential
+
+    def clock_net(self) -> Optional[str]:
+        if self.cell.clock_pin is None:
+            return None
+        return self.pins.get(self.cell.clock_pin)
+
+    def width_um(self) -> float:
+        return self.cell.width_at_size(self.size)
+
+    def transistor_units(self) -> float:
+        return self.cell.transistor_units_at_size(self.size)
+
+
+@dataclass
+class NetInfo:
+    """Connectivity of one net: its driver and its sink pins."""
+
+    name: str
+    driver_instance: Optional[str] = None
+    driver_pin: Optional[str] = None
+    is_primary_input: bool = False
+    sinks: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+
+class GateNetlist:
+    """A flat netlist of library-cell instances."""
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        library: Optional[CellLibrary] = None,
+    ):
+        self.name = name
+        self.inputs: List[str] = list(inputs)
+        self.outputs: List[str] = list(outputs)
+        self.library = library
+        self.instances: Dict[str, GateInstance] = {}
+        self._counter = 0
+
+    # ----------------------------------------------------------------- build
+
+    def add_instance(
+        self,
+        cell: Cell,
+        pins: Mapping[str, str],
+        name: Optional[str] = None,
+        size: float = 1.0,
+    ) -> GateInstance:
+        """Add a cell instance; missing pins raise :class:`NetlistError`."""
+        for pin in cell.inputs + cell.outputs:
+            if pin not in pins:
+                raise NetlistError(
+                    f"instance of {cell.name} is missing a connection for pin {pin!r}"
+                )
+        if name is None:
+            self._counter += 1
+            name = f"U{self._counter}_{cell.name.lower()}"
+        if name in self.instances:
+            raise NetlistError(f"instance name {name!r} already used")
+        instance = GateInstance(name=name, cell=cell, pins=dict(pins), size=size)
+        self.instances[name] = instance
+        return instance
+
+    def new_net(self, hint: str = "n") -> str:
+        """Return a fresh internal net name."""
+        self._counter += 1
+        return f"{hint}${self._counter}"
+
+    # ------------------------------------------------------------------ query
+
+    def instance(self, name: str) -> GateInstance:
+        try:
+            return self.instances[name]
+        except KeyError as exc:
+            raise NetlistError(f"no instance named {name!r}") from exc
+
+    def all_instances(self) -> List[GateInstance]:
+        return list(self.instances.values())
+
+    def sequential_instances(self) -> List[GateInstance]:
+        return [inst for inst in self.instances.values() if inst.is_sequential]
+
+    def combinational_instances(self) -> List[GateInstance]:
+        return [inst for inst in self.instances.values() if not inst.is_sequential]
+
+    def nets(self) -> Dict[str, NetInfo]:
+        """Build the net table (drivers and sinks) of the current netlist."""
+        table: Dict[str, NetInfo] = {}
+
+        def info(net: str) -> NetInfo:
+            if net not in table:
+                table[net] = NetInfo(name=net)
+            return table[net]
+
+        for name in self.inputs:
+            entry = info(name)
+            entry.is_primary_input = True
+        for instance in self.instances.values():
+            for pin in instance.cell.outputs:
+                net = instance.pins[pin]
+                entry = info(net)
+                if entry.driver_instance is not None or entry.is_primary_input:
+                    # Wired-or nets legitimately have several drivers; they are
+                    # modelled through WIREOR cells, so a second driver here is
+                    # a real error.
+                    raise NetlistError(f"net {net!r} has multiple drivers")
+                entry.driver_instance = instance.name
+                entry.driver_pin = pin
+            for pin in instance.cell.inputs:
+                net = instance.pins[pin]
+                info(net).sinks.append((instance.name, pin))
+        return table
+
+    def net_load_units(self, external_loads: Optional[Mapping[str, float]] = None) -> Dict[str, float]:
+        """Unit-transistor load on every net (sink input loads plus any
+        externally supplied output loads, e.g. the ``oload`` constraints)."""
+        loads: Dict[str, float] = {}
+        for net, entry in self.nets().items():
+            total = 0.0
+            for sink_name, pin in entry.sinks:
+                sink = self.instances[sink_name]
+                total += sink.cell.input_load_at_size(sink.size)
+            loads[net] = total
+        if external_loads:
+            for net, extra in external_loads.items():
+                loads[net] = loads.get(net, 0.0) + float(extra)
+        return loads
+
+    def validate(self) -> None:
+        """Check that every output is driven and every used net has a driver."""
+        table = self.nets()
+        for output in self.outputs:
+            entry = table.get(output)
+            if entry is None or (entry.driver_instance is None and not entry.is_primary_input):
+                raise NetlistError(f"output {output!r} is not driven")
+        for net, entry in table.items():
+            if entry.sinks and entry.driver_instance is None and not entry.is_primary_input:
+                raise NetlistError(f"net {net!r} is used but never driven")
+
+    # ------------------------------------------------------------------ stats
+
+    def cell_count(self) -> int:
+        return len(self.instances)
+
+    def cell_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for instance in self.instances.values():
+            histogram[instance.cell.name] = histogram.get(instance.cell.name, 0) + 1
+        return histogram
+
+    def transistor_units(self) -> float:
+        return sum(instance.transistor_units() for instance in self.instances.values())
+
+    def total_width_um(self) -> float:
+        return sum(instance.width_um() for instance in self.instances.values())
+
+    def flip_flop_count(self) -> int:
+        return len(self.sequential_instances())
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.cell_count()} cells "
+            f"({self.flip_flop_count()} sequential), "
+            f"{self.transistor_units():.0f} transistor units"
+        )

@@ -1,0 +1,24 @@
+"""Simulators used to verify generated components (flat and gate level)."""
+
+from .functional import FlatSimulator, SimulationError
+from .gatesim import GateSimulationError, GateSimulator, evaluate_combinational_cell
+from .vectors import (
+    EquivalenceResult,
+    bus_assignment,
+    check_combinational_equivalence,
+    check_sequential_equivalence,
+    read_bus,
+)
+
+__all__ = [
+    "EquivalenceResult",
+    "FlatSimulator",
+    "GateSimulationError",
+    "GateSimulator",
+    "SimulationError",
+    "bus_assignment",
+    "check_combinational_equivalence",
+    "check_sequential_equivalence",
+    "evaluate_combinational_cell",
+    "read_bus",
+]

@@ -1,0 +1,194 @@
+"""Gate-level simulation of mapped netlists.
+
+Used to check that the output of the MILO-like synthesis flow is
+functionally equivalent to the flat IIF description it came from (the
+paper runs a VHDL simulator for the same purpose).  Cell behaviour is
+defined per cell *kind*; sequential cells react to clock edges / levels on
+their clock pin and to asynchronous set / reset pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist.gates import GateInstance, GateNetlist
+from ..netlist.graph import combinational_order
+
+
+class GateSimulationError(RuntimeError):
+    """Raised on unknown cells or missing input values."""
+
+
+def _all(values: Sequence[int]) -> int:
+    return 1 if all(values) else 0
+
+
+def _any(values: Sequence[int]) -> int:
+    return 1 if any(values) else 0
+
+
+def _inputs(instance: GateInstance, values: Mapping[str, int], pins: Sequence[str]) -> List[int]:
+    return [values[instance.pins[pin]] for pin in pins if pin in instance.pins]
+
+
+#: Combinational cell evaluation functions, keyed by cell kind.
+_COMBINATIONAL_KINDS: Dict[str, Callable[[List[int]], int]] = {
+    "INV": lambda v: 1 - v[0],
+    "BUF": lambda v: v[0],
+    "BUFH": lambda v: v[0],
+    "SCHMITT": lambda v: v[0],
+    "DELAY": lambda v: v[0],
+    "AND2": _all,
+    "AND3": _all,
+    "AND4": _all,
+    "OR2": _any,
+    "OR3": _any,
+    "OR4": _any,
+    "NAND2": lambda v: 1 - _all(v),
+    "NAND3": lambda v: 1 - _all(v),
+    "NAND4": lambda v: 1 - _all(v),
+    "NOR2": lambda v: 1 - _any(v),
+    "NOR3": lambda v: 1 - _any(v),
+    "XOR2": lambda v: v[0] ^ v[1],
+    "XNOR2": lambda v: 1 - (v[0] ^ v[1]),
+    "AOI21": lambda v: 1 - ((v[0] & v[1]) | v[2]),
+    "AOI22": lambda v: 1 - ((v[0] & v[1]) | (v[2] & v[3])),
+    "OAI21": lambda v: 1 - ((v[0] | v[1]) & v[2]),
+    "WIREOR": _any,
+    "TIE0": lambda v: 0,
+    "TIE1": lambda v: 1,
+}
+
+
+def evaluate_combinational_cell(instance: GateInstance, values: Mapping[str, int]) -> int:
+    """Evaluate a combinational cell output given current net values."""
+    kind = instance.cell.kind
+    if kind == "MUX2":
+        i0, i1, select = (values[instance.pins[p]] for p in ("I0", "I1", "S"))
+        return i1 if select else i0
+    if kind == "TRIBUF":
+        data = values[instance.pins["I0"]]
+        enable = values[instance.pins["EN"]]
+        # When disabled the output keeps its previous value (bus-hold model).
+        return data if enable else values.get(instance.output_net(), 0)
+    function = _COMBINATIONAL_KINDS.get(kind)
+    if function is None:
+        raise GateSimulationError(f"no functional model for cell kind {kind!r}")
+    operands = [values[instance.pins[pin]] for pin in instance.cell.inputs]
+    return function(operands)
+
+
+class GateSimulator:
+    """Event-style simulator over a mapped gate netlist."""
+
+    def __init__(self, netlist: GateNetlist, initial_state: int = 0):
+        self.netlist = netlist
+        self.order = combinational_order(netlist)
+        self.values: Dict[str, int] = {}
+        for name in netlist.inputs:
+            self.values[name] = 0
+        for instance in netlist.all_instances():
+            for pin in instance.cell.outputs:
+                self.values[instance.pins[pin]] = initial_state
+        self._previous_clock: Dict[str, int] = {}
+        self._settle()
+        for instance in netlist.sequential_instances():
+            clock_net = instance.clock_net()
+            self._previous_clock[instance.name] = self.values.get(clock_net, 0)
+
+    # ------------------------------------------------------------------ drive
+
+    def apply(self, inputs: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        """Apply primary-input values, settle, and return output values."""
+        if inputs:
+            for name, value in inputs.items():
+                if name not in self.netlist.inputs:
+                    raise GateSimulationError(f"unknown input {name!r}")
+                self.values[name] = 1 if value else 0
+        self._settle()
+        return self.output_values()
+
+    def clock_cycle(self, clock: str, inputs: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        low = dict(inputs or {})
+        low[clock] = 0
+        self.apply(low)
+        return self.apply({clock: 1})
+
+    def output_values(self) -> Dict[str, int]:
+        return {name: self.values[name] for name in self.netlist.outputs}
+
+    def bus_value(self, base: str, width: int) -> int:
+        total = 0
+        for index in range(width):
+            total |= (self.values[f"{base}[{index}]"] & 1) << index
+        return total
+
+    # ----------------------------------------------------------------- settle
+
+    def _settle(self, max_iterations: int = 200) -> None:
+        for _ in range(max_iterations):
+            changed = self._propagate()
+            changed |= self._sequential_step()
+            if not changed:
+                return
+        raise GateSimulationError(
+            f"{self.netlist.name}: gate-level simulation did not settle"
+        )
+
+    def _propagate(self) -> bool:
+        changed = False
+        for _ in range(200):
+            pass_changed = False
+            for instance in self.order:
+                new_value = evaluate_combinational_cell(instance, self.values)
+                out_net = instance.output_net()
+                if self.values.get(out_net) != new_value:
+                    self.values[out_net] = new_value
+                    pass_changed = True
+            if not pass_changed:
+                return changed
+            changed = True
+        raise GateSimulationError(
+            f"{self.netlist.name}: combinational gates did not settle"
+        )
+
+    def _sequential_step(self) -> bool:
+        updates: List[Tuple[str, int]] = []
+        for instance in self.netlist.sequential_instances():
+            kind = instance.cell.kind
+            clock_net = instance.clock_net()
+            clock = self.values.get(clock_net, 0)
+            out_net = instance.output_net()
+            set_value = self.values.get(instance.pins.get("S", ""), 0) if "S" in instance.pins else 0
+            reset_value = self.values.get(instance.pins.get("R", ""), 0) if "R" in instance.pins else 0
+
+            if kind.startswith("LATCH"):
+                transparent = clock == 1 if kind == "LATCH_H" else clock == 0
+                if transparent:
+                    updates.append((out_net, self.values[instance.pins["D"]]))
+                self._previous_clock[instance.name] = clock
+                continue
+
+            previous = self._previous_clock.get(instance.name, clock)
+            self._previous_clock[instance.name] = clock
+            if set_value:
+                updates.append((out_net, 1))
+                continue
+            if reset_value:
+                updates.append((out_net, 0))
+                continue
+            falling_edge_cell = kind.startswith("DFF_N")
+            triggered = (
+                (previous == 1 and clock == 0)
+                if falling_edge_cell
+                else (previous == 0 and clock == 1)
+            )
+            if triggered:
+                updates.append((out_net, self.values[instance.pins["D"]]))
+        changed = False
+        for net, value in updates:
+            if self.values.get(net) != value:
+                self.values[net] = value
+                changed = True
+        return changed

@@ -1,0 +1,5 @@
+"""Transistor sizing tool (TILOS-like greedy critical-path sizing)."""
+
+from .tilos import SizingOptions, SizingResult, size_for_constraints
+
+__all__ = ["SizingOptions", "SizingResult", "size_for_constraints"]

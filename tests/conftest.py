@@ -1,0 +1,62 @@
+"""Shared fixtures for the ICDB reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components import standard_catalog
+from repro.components.counters import counter_parameters, TYPE_SYNCHRONOUS, UP_DOWN, UP_ONLY
+from repro.core import ICDB
+from repro.logic.milo import synthesize
+from repro.techlib import standard_cells
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The standard component catalog (shared, read-only)."""
+    return standard_catalog()
+
+
+@pytest.fixture(scope="session")
+def cells():
+    """The default cell library (shared, read-only)."""
+    return standard_cells()
+
+
+@pytest.fixture(scope="session")
+def updown_counter_flat(catalog):
+    """Flat IIF of the 4-bit synchronous up/down counter with load+enable."""
+    return catalog.get("counter").expand(
+        counter_parameters(size=4, style=TYPE_SYNCHRONOUS, load=True, enable=True,
+                           up_or_down=UP_DOWN)
+    )
+
+
+@pytest.fixture(scope="session")
+def updown_counter_netlist(updown_counter_flat, cells):
+    """Synthesized gate netlist of the up/down counter fixture."""
+    return synthesize(updown_counter_flat, cells)
+
+
+@pytest.fixture(scope="session")
+def adder_flat(catalog):
+    """Flat IIF of a 4-bit ripple-carry adder."""
+    return catalog.get("ripple_carry_adder").expand({"size": 4})
+
+
+@pytest.fixture(scope="session")
+def adder_netlist(adder_flat, cells):
+    return synthesize(adder_flat, cells)
+
+
+@pytest.fixture()
+def icdb(tmp_path):
+    """A fresh ICDB server per test (isolated catalog, database and store)."""
+    return ICDB(catalog=standard_catalog(fresh=True), store_root=tmp_path / "store")
+
+
+@pytest.fixture(scope="session")
+def shared_icdb(tmp_path_factory):
+    """A session-wide ICDB server for read-mostly integration tests."""
+    root = tmp_path_factory.mktemp("icdb_store")
+    return ICDB(catalog=standard_catalog(fresh=True), store_root=root)

@@ -1,0 +1,177 @@
+"""Tests for the GENUS taxonomy and the component catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components import genus, standard_catalog
+from repro.components.catalog import (
+    CatalogError,
+    ComponentCatalog,
+    ComponentImplementation,
+    ControlSetting,
+    FunctionBinding,
+)
+from repro.components.counters import FIGURE5_CONFIGURATIONS, counter_parameters
+
+
+# ---------------------------------------------------------------------------
+# GENUS taxonomy
+# ---------------------------------------------------------------------------
+
+
+def test_function_groups_cover_all_functions():
+    assert set(genus.ALL_FUNCTIONS) == {
+        f for group in genus.FUNCTION_GROUPS.values() for f in group
+    }
+    assert "ADD" in genus.ARITHMETIC_FUNCTIONS
+    assert "MUX_SCL" in genus.SELECT_FUNCTIONS
+    assert "STORAGE" in genus.STRUCTURAL_FUNCTIONS
+
+
+def test_normalize_function_accepts_aliases_and_case():
+    assert genus.normalize_function("+") == "ADD"
+    assert genus.normalize_function("add") == "ADD"
+    assert genus.normalize_function(">=") == "GE"
+    with pytest.raises(genus.UnknownFunctionError):
+        genus.normalize_function("FROBNICATE")
+
+
+def test_function_group_lookup():
+    assert genus.function_group("ADD") == "arithmetic"
+    assert genus.function_group("EQ") == "relational"
+    assert genus.function_group("STORAGE") == "structural"
+
+
+def test_component_type_lookup_and_functions():
+    counter = genus.component_type("Counter")
+    assert "INC" in counter.functions
+    assert genus.component_type("counter").name == "Counter"
+    with pytest.raises(genus.UnknownComponentTypeError):
+        genus.component_type("Gizmo")
+    adders = genus.component_types_for_function("ADD")
+    names = {ct.name for ct in adders}
+    assert {"Adder", "Adder_Subtractor", "ALU"} <= names
+
+
+def test_comparator_aliases():
+    comparator = genus.component_type("Comparator")
+    aliases = comparator.alias_map()
+    assert aliases["O0"] == "OEQ"
+    assert aliases["O2"] == "OGT"
+
+
+def test_default_attributes_and_merge():
+    merged = genus.merge_attributes({"size": 8})
+    assert merged["size"] == 8
+    assert merged["input_type"] == "high"
+    assert genus.merge_attributes()["output_tri_state"] == 0
+
+
+def test_function_operands_shapes():
+    inputs, outputs = genus.function_operands("ADD")
+    assert inputs == ("I0", "I1", "Cin") and outputs == ("O0", "Cout")
+    inputs, outputs = genus.function_operands("NOT")
+    assert inputs == ("I0",) and outputs == ("O0",)
+    inputs, outputs = genus.function_operands("MUX_SCL")
+    assert "C0" in inputs
+
+
+# ---------------------------------------------------------------------------
+# Catalog structure
+# ---------------------------------------------------------------------------
+
+
+def test_standard_catalog_is_populated(catalog):
+    assert len(catalog) >= 25
+    names = set(catalog.names())
+    assert {"counter", "ripple_carry_adder", "adder_subtractor", "alu",
+            "register", "mux2", "comparator"} <= names
+
+
+def test_catalog_lookup_by_type_and_function(catalog):
+    counters = catalog.by_component_type("Counter")
+    assert any(impl.name == "counter" for impl in counters)
+    both = catalog.by_functions(["ADD", "SUB"])
+    assert {impl.name for impl in both} == {"adder_subtractor", "alu"}
+    storage = catalog.by_functions(["STORAGE"])
+    assert any(impl.name == "register" for impl in storage)
+    assert any(impl.name == "counter" for impl in storage)
+
+
+def test_catalog_get_is_case_insensitive(catalog):
+    assert catalog.get("COUNTER").name == "counter"
+    with pytest.raises(CatalogError):
+        catalog.get("does_not_exist")
+
+
+def test_every_implementation_expands_with_defaults(catalog):
+    for implementation in catalog.implementations():
+        flat = implementation.expand()
+        assert flat.inputs or flat.outputs
+        flat.validate()
+
+
+def test_resolve_parameters_rejects_unknown_override(catalog):
+    counter = catalog.get("counter")
+    with pytest.raises(CatalogError):
+        counter.resolve_parameters({"bogus": 3})
+
+
+def test_attributes_to_parameters_maps_size(catalog):
+    counter = catalog.get("counter")
+    overrides = counter.attributes_to_parameters({"size": 6, "input_type": "high"})
+    assert overrides == {"size": 6}
+
+
+def test_connection_info_format(catalog):
+    counter = catalog.get("counter")
+    info = counter.connection_info()
+    assert "## function INC" in info
+    assert "** DWUP 0" in info
+    assert "** CLK 1 edge_trigger" in info
+    binding = counter.binding_for("INC")
+    assert binding.operands()["O0"] == "Q"
+    with pytest.raises(CatalogError):
+        counter.binding_for("MUL")
+
+
+def test_duplicate_registration_rejected(catalog):
+    fresh = ComponentCatalog()
+    impl = ComponentImplementation(
+        name="dup",
+        component_type="Buffer",
+        functions=("BUF",),
+        iif_source="NAME: D;\nINORDER: A;\nOUTORDER: O;\n{ O = A; }",
+        default_parameters={},
+    )
+    fresh.add(impl)
+    with pytest.raises(CatalogError):
+        fresh.add(impl)
+
+
+def test_figure5_configurations_are_valid(catalog):
+    counter = catalog.get("counter")
+    labels = [label for label, _ in FIGURE5_CONFIGURATIONS]
+    assert labels[0] == "ripple"
+    assert len(labels) == 5
+    for _, parameters in FIGURE5_CONFIGURATIONS:
+        flat = counter.expand(parameters)
+        assert len([s for s in flat.state_signals() if s.startswith("Q[")]) == 5
+
+
+def test_counter_parameters_helper():
+    params = counter_parameters(size=6, load=True, enable=False, up_or_down=3)
+    assert params == {"size": 6, "type": 2, "load": 1, "enable": 0, "up_or_down": 3}
+
+
+def test_function_binding_render():
+    binding = FunctionBinding(
+        function="ADD",
+        operand_map=(("I0", "A"), ("O0", "O")),
+        controls=(ControlSetting("S0", 1), ControlSetting("CLK", 1, "edge_trigger")),
+    )
+    text = binding.render()
+    assert text.splitlines()[0] == "## function ADD"
+    assert "I0 is A high" in text
+    assert "** CLK 1 edge_trigger" in text

@@ -1,0 +1,262 @@
+"""Tests for the CQL parser, executor, ICDB() call interface and interactive
+session."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cql import (
+    CqlExecutionError,
+    CqlExecutor,
+    CqlSyntaxError,
+    InteractiveSession,
+    OutParam,
+    VariableSlot,
+    format_result,
+    make_icdb_call,
+    parse_command,
+    split_terms,
+)
+from repro.cql.interactive import main as interactive_main
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def test_split_terms_and_parse_basic_command():
+    pairs = split_terms("command: component_query; component: counter; function: (INC)")
+    assert pairs[0] == ("command", "component_query")
+    command = parse_command(
+        "command: component_query; component: counter; function: (INC); implementation: ?s[]"
+    )
+    assert command.command == "component_query"
+    assert command.get("component") == "counter"
+    assert command.get("function") == ["INC"]
+    slot = command.get("implementation")
+    assert isinstance(slot, VariableSlot)
+    assert slot.direction == "out" and slot.is_array
+
+
+def test_parse_attribute_lists_and_aliases():
+    command = parse_command(
+        "command: request_component; component_name: counter;"
+        "attribute: (size:5, input_type:high); ICDB components: ?s[];"
+        "set_up_time: 30; generated_component: ?s"
+    )
+    assert command.get("attribute") == {"size": "5", "input_type": "high"}
+    assert command.get("seq_delay") == "30"
+    # keyword aliases map onto canonical names
+    assert command.has("implementation")
+    assert command.has("instance")
+
+
+def test_parse_input_and_output_slots_order():
+    command = parse_command(
+        "command: instance_query; instance: %s; delay: ?s; shape_function: ?s"
+    )
+    slots = command.slots()
+    assert [term.keyword for term in slots] == ["instance", "delay", "shape_function"]
+    assert slots[0].is_input_slot and slots[1].is_output_slot
+    assert command.input_slots()[0].keyword == "instance"
+    assert len(command.output_slots()) == 2
+
+
+def test_parse_errors():
+    with pytest.raises(CqlSyntaxError):
+        parse_command("component: counter")  # no command term
+    with pytest.raises(CqlSyntaxError):
+        parse_command("")
+    with pytest.raises(CqlSyntaxError):
+        parse_command("command request_component")
+
+
+def test_variable_slot_render_and_types():
+    slot = VariableSlot("out", "d", True)
+    assert slot.render() == "?d[]"
+    assert slot.python_type is int
+    assert VariableSlot("in", "r").render() == "%r"
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+def test_executor_component_and_function_queries(icdb):
+    executor = CqlExecutor(icdb)
+    result = executor.execute_text(
+        "command: component_query; component: counter; function: (INC); implementation: ?s[]"
+    )
+    assert "counter" in result["implementation"]
+    result = executor.execute_text(
+        "command: function_query; function: (ADD,SUB); implementation: ?s[]; component: ?s[]"
+    )
+    assert set(result["implementation"]) == {"adder_subtractor", "alu"}
+    assert "Adder_Subtractor" in result["component"]
+    with pytest.raises(CqlExecutionError):
+        executor.execute_text("command: function_query; implementation: ?s[]")
+
+
+def test_executor_request_and_instance_query(icdb):
+    executor = CqlExecutor(icdb)
+    result = executor.execute_text(
+        "command: request_component; component_name: counter; function: (INC);"
+        "attribute: (size:4); clock_width: 40; set_up_time: 40; instance: ?s"
+    )
+    name = result["instance"]
+    assert name in icdb.instances
+    info = executor.execute_text(
+        "command: instance_query; instance: %s; delay: ?s; area: ?s; function: ?s[]",
+        [name],
+    )
+    assert info["delay"].startswith("CW")
+    assert "strip = 1" in info["area"]
+    assert "INC" in info["function"]
+    connect = executor.execute_text(
+        "command: connect_component; instance: %s; connect: ?s", [name]
+    )
+    assert "## function" in connect["connect"]
+
+
+def test_executor_request_with_delay_constraint_text(icdb):
+    executor = CqlExecutor(icdb)
+    constraint_text = "rdelay O[3] 40\noload O[3] 10"
+    result = executor.execute_text(
+        "command: request_component; implementation: ripple_carry_adder;"
+        "attribute: (size:4); comb_delay: %s; instance: ?s",
+        [constraint_text],
+    )
+    instance = icdb.instance(result["instance"])
+    assert instance.constraints.comb_delay == {"O[3]": 40.0}
+    assert instance.constraints.output_loads == {"O[3]": 10.0}
+
+
+def test_executor_layout_request_on_existing_instance(icdb):
+    executor = CqlExecutor(icdb)
+    created = executor.execute_text(
+        "command: request_component; implementation: register; size: 2; instance: ?s"
+    )
+    result = executor.execute_text(
+        "command: request_component; instance: %s; alternative: 1;"
+        "port_position: %s; CIF_layout: ?s",
+        [created["instance"], "CLK left s1.0"],
+    )
+    assert result["cif_layout"].startswith("(CIF file for")
+    assert icdb.instance(created["instance"]).layout is not None
+
+
+def test_executor_list_management_commands(icdb):
+    executor = CqlExecutor(icdb)
+    executor.execute_text("command: start_a_design; design: proj")
+    executor.execute_text("command: start_a_transaction; design: proj")
+    created = executor.execute_text(
+        "command: request_component; implementation: mux2; size: 2; instance: ?s"
+    )
+    executor.execute_text(
+        "command: put_in_component_list; design: proj; instance: %s", [created["instance"]]
+    )
+    removed = executor.execute_text("command: end_a_transaction; design: proj")
+    assert created["instance"] not in removed["removed"]
+    removed = executor.execute_text("command: end_a_design; design: proj")
+    assert created["instance"] in removed["removed"]
+
+
+def test_executor_errors(icdb):
+    executor = CqlExecutor(icdb)
+    with pytest.raises(CqlExecutionError):
+        executor.execute_text("command: bogus_command; x: 1")
+    with pytest.raises(CqlExecutionError):
+        executor.execute_text("command: instance_query; delay: ?s")
+    with pytest.raises(CqlExecutionError):
+        executor.execute_text("command: instance_query; instance: %s; delay: ?s")  # missing input
+
+
+# ---------------------------------------------------------------------------
+# ICDB() call convention
+# ---------------------------------------------------------------------------
+
+
+def test_icdb_call_with_outparams_and_return_values(icdb):
+    call = make_icdb_call(icdb)
+    names = call(
+        "command: component_query; component: counter; function: (INC);"
+        "ICDB components: ?s[]"
+    )
+    assert "counter" in names
+    holder = OutParam()
+    returned = call(
+        "command: request_component; component_name: counter; attribute: (size:3);"
+        "function: (INC); generated_component: ?s",
+        holder,
+    )
+    assert holder.value == returned
+    delay, shape = call(
+        "command: instance_query; generated_component: %s; delay: ?s; shape_function: ?s",
+        returned,
+    )
+    assert delay.startswith("CW")
+    assert shape.startswith("Alternative=1")
+
+
+def test_icdb_call_input_binding_in_paper_style(icdb):
+    call = make_icdb_call(icdb)
+    instance = call(
+        "command: request_component; component_name: %s; size: %d;"
+        "strategy: fastest; component_instance: ?s",
+        "Adder_Subtractor",
+        4,
+    )
+    assert instance in icdb.instances
+    assert icdb.instance(instance).implementation == "adder_subtractor"
+
+
+def test_icdb_call_missing_input_raises(icdb):
+    call = make_icdb_call(icdb)
+    with pytest.raises(CqlExecutionError):
+        call("command: instance_query; instance: %s; delay: ?s")
+
+
+def test_icdb_call_default_server_constructs():
+    call = make_icdb_call()
+    result = call("command: function_query; function: (MUL); implementation: ?s[]")
+    assert "array_multiplier" in result
+
+
+# ---------------------------------------------------------------------------
+# Interactive session
+# ---------------------------------------------------------------------------
+
+
+def test_interactive_session_runs_commands(icdb):
+    session = InteractiveSession(icdb)
+    text = session.run_command(
+        "command: function_query; function: (ADD,SUB); implementation: ?s[]"
+    )
+    assert "adder_subtractor" in text
+    error_text = session.run_command("command: nonsense")
+    assert error_text.startswith("error:")
+    outputs = session.run_script([
+        "command: component_query; component: Register; implementation: ?s[]",
+    ])
+    assert len(outputs) == 1 and "register" in outputs[0]
+    assert len(session.history) == 3
+
+
+def test_format_result_handles_multiline_and_lists():
+    text = format_result({"delay": "CW 1\nWD X 2", "names": ["a", "b"], "n": 3})
+    assert "delay:" in text and "  CW 1" in text
+    assert "names: a, b" in text
+    assert "n: 3" in text
+
+
+def test_interactive_main_reads_blank_line_separated_commands():
+    stdin = io.StringIO(
+        "command: function_query; function: (MUL);\nimplementation: ?s[]\n\n"
+    )
+    stdout = io.StringIO()
+    assert interactive_main([], stdin=stdin, stdout=stdout) == 0
+    assert "array_multiplier" in stdout.getvalue()

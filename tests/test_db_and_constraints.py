@@ -1,0 +1,207 @@
+"""Tests for the relational engine, the ICDB schema, the design-data store
+and the constraint parsers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import (
+    ConstraintError,
+    Constraints,
+    PortPosition,
+    parse_delay_constraints,
+    parse_port_positions,
+    render_port_positions,
+    STRATEGY_CHEAPEST,
+    STRATEGY_FASTEST,
+)
+from repro.db import (
+    Column,
+    Database,
+    DatabaseError,
+    DesignDataStore,
+    IMPLEMENTATIONS,
+    INSTANCES,
+    StoreError,
+    Table,
+    new_database,
+)
+
+
+# ---------------------------------------------------------------------------
+# Relational engine
+# ---------------------------------------------------------------------------
+
+
+def _people_table():
+    return Table(
+        "people",
+        [
+            Column("name", "str", required=True),
+            Column("age", "int", default=0),
+            Column("tags", "json", default=[]),
+        ],
+        key="name",
+    )
+
+
+def test_table_insert_select_update_delete():
+    table = _people_table()
+    table.insert(name="ada", age=36)
+    table.insert(name="grace", age=45, tags=["navy"])
+    assert len(table) == 2
+    assert table.get(name="ada")["age"] == 36
+    assert table.count(lambda row: row["age"] > 40) == 1
+    assert table.update({"name": "ada"}, age=37) == 1
+    assert table.get(name="ada")["age"] == 37
+    assert table.delete({"name": "grace"}) == 1
+    assert table.get(name="grace") is None
+
+
+def test_table_type_coercion_and_errors():
+    table = _people_table()
+    table.insert(name="t", age="12")
+    assert table.get(name="t")["age"] == 12
+    with pytest.raises(DatabaseError):
+        table.insert(age=3)  # missing required key
+    with pytest.raises(DatabaseError):
+        table.insert(name="t")  # duplicate key
+    with pytest.raises(DatabaseError):
+        table.insert(name="x", bogus=1)
+    with pytest.raises(DatabaseError):
+        table.update(None, bogus=2)
+    with pytest.raises(DatabaseError):
+        Column("c", "weird")
+
+
+def test_table_select_ordering_and_callable_predicates():
+    table = _people_table()
+    for name, age in (("c", 3), ("a", 1), ("b", 2)):
+        table.insert(name=name, age=age)
+    ordered = table.select(order_by="age")
+    assert [row["name"] for row in ordered] == ["a", "b", "c"]
+    assert len(table.select(lambda row: row["age"] % 2 == 1)) == 2
+
+
+def test_database_tables_and_persistence(tmp_path):
+    database = Database("testdb")
+    table = database.create_table("t", [Column("k", "str", required=True), Column("v", "int")], key="k")
+    table.insert(k="a", v=1)
+    with pytest.raises(DatabaseError):
+        database.create_table("t", [Column("k")])
+    with pytest.raises(DatabaseError):
+        database.table("missing")
+    path = database.save(tmp_path / "db.json")
+    loaded = Database.load(path)
+    assert loaded.table("t").get(k="a")["v"] == 1
+    assert loaded.name == "testdb"
+
+
+def test_icdb_schema_created():
+    database = new_database()
+    assert IMPLEMENTATIONS in database.table_names()
+    assert INSTANCES in database.table_names()
+    # Creating the schema twice must not fail (idempotent).
+    from repro.db import create_schema
+
+    create_schema(database)
+
+
+# ---------------------------------------------------------------------------
+# Design-data store
+# ---------------------------------------------------------------------------
+
+
+def test_store_write_read_and_listing(tmp_path):
+    store = DesignDataStore(tmp_path / "root")
+    path = store.write("counter_1", "iif", "NAME: X;\n")
+    assert path.exists()
+    assert store.read("counter_1", "iif") == "NAME: X;\n"
+    store.write("counter_1", "delay", "CW 10.0\n")
+    artifacts = store.artifacts_of("counter_1")
+    assert set(artifacts) == {"iif", "delay"}
+    assert store.instances() == ["counter_1"]
+    assert store.path_of("counter_1", "cif") is None
+    removed = store.remove_instance("counter_1")
+    assert removed == 2
+    assert store.instances() == []
+
+
+def test_store_rejects_unknown_kind(tmp_path):
+    store = DesignDataStore(tmp_path)
+    with pytest.raises(StoreError):
+        store.write("x", "unknown_kind", "text")
+    with pytest.raises(StoreError):
+        store.read("x", "iif")
+
+
+def test_store_sanitizes_instance_names(tmp_path):
+    store = DesignDataStore(tmp_path)
+    path = store.write("weird/name with spaces", "iif", "x")
+    assert path.exists()
+    assert "/" not in path.parent.name
+
+
+def test_store_uses_temporary_directory_by_default():
+    store = DesignDataStore()
+    path = store.write("a", "iif", "x")
+    assert path.exists()
+
+
+# ---------------------------------------------------------------------------
+# Constraints
+# ---------------------------------------------------------------------------
+
+
+def test_parse_delay_constraints_rdelay_oload():
+    text = "rdelay Q[4] 10\nrdelay Q[3] 10\noload Q[4] 10\n\noload Q[3] 12"
+    constraints = parse_delay_constraints(text)
+    assert constraints.comb_delay == {"Q[4]": 10.0, "Q[3]": 10.0}
+    assert constraints.output_loads == {"Q[4]": 10.0, "Q[3]": 12.0}
+    with pytest.raises(ConstraintError):
+        parse_delay_constraints("rdelay Q[0]")
+    with pytest.raises(ConstraintError):
+        parse_delay_constraints("bogus Q[0] 10")
+
+
+def test_parse_port_positions_paper_example():
+    positions = parse_port_positions("CLK left s1.0\nD[0] top 10\nQ[0] bottom 10")
+    assert positions[0] == PortPosition("CLK", "left", 1.0)
+    assert positions[1].side == "top" and positions[1].order == 10.0
+    rendered = render_port_positions(positions)
+    assert "CLK left 1" in rendered
+    with pytest.raises(ConstraintError):
+        parse_port_positions("CLK somewhere 1")
+    with pytest.raises(ConstraintError):
+        parse_port_positions("CLK left abc")
+
+
+def test_constraints_strategy_resolution():
+    fastest = Constraints(strategy=STRATEGY_FASTEST)
+    cheapest = Constraints(strategy=STRATEGY_CHEAPEST)
+    assert fastest.effective_clock_width() == 0.0
+    assert cheapest.effective_clock_width() == 1000.0
+    assert fastest.comb_delay_for("O") == 0.0
+    explicit = Constraints(clock_width=25.0, strategy=STRATEGY_CHEAPEST)
+    assert explicit.effective_clock_width() == 25.0
+    with pytest.raises(ConstraintError):
+        Constraints(strategy="weird")
+
+
+def test_constraints_lookup_and_updates():
+    constraints = Constraints(
+        comb_delay={"O[1]": 12.0},
+        default_comb_delay=20.0,
+        output_loads={"O[1]": 5.0},
+        default_output_load=2.0,
+    )
+    assert constraints.comb_delay_for("O[1]") == 12.0
+    assert constraints.comb_delay_for("O[0]") == 20.0
+    assert constraints.load_for("O[1]") == 5.0
+    assert constraints.load_for("O[9]") == 2.0
+    assert constraints.all_output_loads(["O[1]", "O[9]"]) == {"O[1]": 5.0, "O[9]": 2.0}
+    assert constraints.has_delay_constraints()
+    updated = constraints.with_updates(clock_width=30.0)
+    assert updated.clock_width == 30.0
+    assert constraints.clock_width is None
+    assert not Constraints().has_delay_constraints()

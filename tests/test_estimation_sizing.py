@@ -1,0 +1,248 @@
+"""Tests for the delay / area / shape estimators and the transistor sizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components.counters import counter_parameters, TYPE_RIPPLE, UP_DOWN, UP_ONLY
+from repro.constraints import Constraints
+from repro.estimation import (
+    AreaEstimator,
+    DelayAnalysis,
+    ShapeFunction,
+    estimate_area,
+    estimate_delay,
+    pareto_filter,
+    render_area_records,
+    shape_function,
+    track_utilization,
+)
+from repro.logic.milo import synthesize
+from repro.sizing import SizingOptions, size_for_constraints
+
+
+def _counter_netlist(catalog, cells, **kwargs):
+    flat = catalog.get("counter").expand(counter_parameters(**kwargs))
+    return synthesize(flat, cells)
+
+
+# ---------------------------------------------------------------------------
+# Delay estimation
+# ---------------------------------------------------------------------------
+
+
+def test_delay_report_fields_for_sequential_component(updown_counter_netlist):
+    report = estimate_delay(updown_counter_netlist)
+    assert report.is_sequential
+    assert report.clock_width > 0
+    assert all(delay > 0 for delay in report.clock_to_output.values())
+    assert "DWUP" in report.setup_times
+    assert report.setup_times["DWUP"] > report.setup_times["D[0]"]
+    assert report.worst_output_delay() >= max(report.clock_to_output.values())
+
+
+def test_delay_report_render_format(updown_counter_netlist):
+    text = estimate_delay(updown_counter_netlist).render()
+    lines = text.splitlines()
+    assert lines[0].startswith("CW ")
+    assert any(line.startswith("WD Q[") for line in lines)
+    assert any(line.startswith("SD ") for line in lines)
+
+
+def test_combinational_component_has_no_clock_width(adder_netlist):
+    report = estimate_delay(adder_netlist)
+    assert not report.is_sequential
+    assert report.clock_to_output == {}
+    assert report.comb_delays["O[3]"] > report.comb_delays["O[0]"]
+    assert "CW" not in report.render()
+
+
+def test_output_load_increases_delay(adder_netlist):
+    light = estimate_delay(adder_netlist)
+    heavy = estimate_delay(adder_netlist, external_loads={"Cout": 40.0})
+    assert heavy.comb_delays["Cout"] > light.comb_delays["Cout"]
+
+
+def test_ripple_counter_has_accumulated_output_delay(catalog, cells):
+    ripple = _counter_netlist(catalog, cells, size=5, style=TYPE_RIPPLE)
+    synchronous = _counter_netlist(catalog, cells, size=5, up_or_down=UP_ONLY)
+    ripple_report = estimate_delay(ripple)
+    sync_report = estimate_delay(synchronous)
+    # The ripple chain makes the MSB output far slower than the synchronous
+    # counter's, while its minimum clock width is smaller (Figure 5).
+    assert ripple_report.clock_to_output["Q[4]"] > 2 * sync_report.clock_to_output["Q[4]"]
+    assert ripple_report.clock_width < sync_report.clock_width
+
+
+def test_enable_latch_slows_clock_to_output(catalog, cells):
+    plain = estimate_delay(_counter_netlist(catalog, cells, size=4, up_or_down=UP_ONLY))
+    gated = estimate_delay(
+        _counter_netlist(catalog, cells, size=4, up_or_down=UP_ONLY, enable=True)
+    )
+    assert gated.clock_to_output["Q[3]"] > plain.clock_to_output["Q[3]"]
+
+
+def test_delay_analysis_critical_path(updown_counter_netlist):
+    analysis = DelayAnalysis(updown_counter_netlist)
+    path = analysis.critical_path()
+    assert len(path) >= 2
+    instances = analysis.critical_instances()
+    assert instances
+    nets = {inst.output_net() for inst in instances}
+    assert nets & set(path)
+
+
+def test_delay_violations_reported(updown_counter_netlist):
+    report = estimate_delay(updown_counter_netlist)
+    tight = Constraints(clock_width=max(1.0, report.clock_width / 4))
+    assert report.violations(tight)
+    loose = Constraints(clock_width=report.clock_width * 2)
+    assert not report.violations(loose)
+
+
+# ---------------------------------------------------------------------------
+# Area / shape estimation
+# ---------------------------------------------------------------------------
+
+
+def test_strip_width_between_random_and_best(updown_counter_netlist):
+    estimator = AreaEstimator(updown_counter_netlist)
+    for strips in (1, 2, 3, 5):
+        x_width = estimator.random_width(strips)
+        y_width = estimator.best_width(strips)
+        width = estimator.strip_width(strips)
+        assert min(x_width, y_width) - 1e-9 <= width <= max(x_width, y_width) + 1e-9
+        assert width == pytest.approx((x_width + y_width) / 2)
+
+
+def test_area_records_and_render(updown_counter_netlist):
+    estimator = AreaEstimator(updown_counter_netlist)
+    records = estimator.alternatives()
+    assert records[0].strips == 1
+    assert all(record.area > 0 for record in records)
+    text = render_area_records(records)
+    assert text.splitlines()[0].startswith("strip = 1 width = ")
+    best = estimator.best()
+    assert best.area == min(record.area for record in records)
+    single = estimate_area(updown_counter_netlist, strips=2)
+    assert single.strips == 2
+
+
+def test_more_strips_means_narrower_and_taller(updown_counter_netlist):
+    estimator = AreaEstimator(updown_counter_netlist)
+    one = estimator.estimate(1)
+    many = estimator.estimate(6)
+    assert many.width < one.width
+    assert many.height > one.height
+
+
+def test_track_utilization_monotone():
+    assert track_utilization(2) > track_utilization(20) > track_utilization(200)
+    assert 0 < track_utilization(1000) <= 1.0
+
+
+def test_shape_function_monotone_and_pareto(updown_counter_netlist):
+    shape = shape_function(updown_counter_netlist)
+    assert len(shape) >= 3
+    assert shape.is_monotone()
+    raw = AreaEstimator(updown_counter_netlist).alternatives()
+    filtered = pareto_filter(raw)
+    assert len(filtered) <= len(raw)
+    assert {(r.strips) for r in shape.alternatives} <= {r.strips for r in raw}
+
+
+def test_shape_function_selection_helpers(updown_counter_netlist):
+    shape = shape_function(updown_counter_netlist)
+    first = shape.alternative(1)
+    assert first.strips == shape.alternatives[0].strips
+    with pytest.raises(IndexError):
+        shape.alternative(len(shape) + 1)
+    wide = shape.best_for_aspect_ratio(8.0)
+    tall = shape.best_for_aspect_ratio(0.125)
+    assert wide.aspect_ratio > tall.aspect_ratio
+    boxed = shape.best_for_bounding_box(first.width * 2, first.height * 2)
+    assert boxed is not None
+    assert shape.best_for_bounding_box(1.0, 1.0) is None
+    rendered = shape.render()
+    assert rendered.splitlines()[0].startswith("Alternative=1 width=")
+
+
+def test_empty_netlist_area_is_zero(cells):
+    from repro.netlist import GateNetlist
+
+    empty = GateNetlist("empty", [], [], cells)
+    estimator = AreaEstimator(empty)
+    assert estimator.estimate(1).width == 0
+
+
+# ---------------------------------------------------------------------------
+# Transistor sizing
+# ---------------------------------------------------------------------------
+
+
+def test_sizing_without_constraints_is_a_no_op(catalog, cells):
+    netlist = _counter_netlist(catalog, cells, size=4, up_or_down=UP_DOWN)
+    result = size_for_constraints(netlist, Constraints())
+    assert result.iterations == 0
+    assert result.met_constraints
+    assert all(inst.size == 1.0 for inst in netlist.all_instances())
+
+
+def test_sizing_improves_clock_width(catalog, cells):
+    netlist = _counter_netlist(catalog, cells, size=5, up_or_down=UP_DOWN)
+    baseline = estimate_delay(netlist).clock_width
+    target = baseline * 0.9
+    result = size_for_constraints(netlist, Constraints(clock_width=target))
+    assert result.iterations > 0
+    assert result.report.clock_width < baseline
+    assert result.upsized_instances()
+
+
+def test_sizing_meets_output_load_constraint(catalog, cells):
+    netlist = _counter_netlist(catalog, cells, size=5, up_or_down=UP_DOWN)
+    constraints = Constraints(
+        clock_width=25.0, output_loads={f"Q[{i}]": 40.0 for i in range(5)}
+    )
+    result = size_for_constraints(netlist, constraints)
+    assert result.met_constraints, result.violations
+    assert result.report.clock_width <= 25.0 + 1e-6
+
+
+def test_sizing_increases_area_modestly(catalog, cells):
+    reference = _counter_netlist(catalog, cells, size=5, up_or_down=UP_DOWN)
+    unsized_area = AreaEstimator(reference).best().area
+
+    sized = _counter_netlist(catalog, cells, size=5, up_or_down=UP_DOWN)
+    constraints = Constraints(
+        clock_width=25.0, output_loads={f"Q[{i}]": 40.0 for i in range(5)}
+    )
+    size_for_constraints(sized, constraints)
+    sized_area = AreaEstimator(sized).best().area
+    assert sized_area > unsized_area
+    assert sized_area < unsized_area * 1.35  # "only a few percent" in the paper
+
+
+def test_uniform_sizing_ablation_costs_more_area(catalog, cells):
+    constraints = Constraints(
+        clock_width=25.0, output_loads={f"Q[{i}]": 30.0 for i in range(5)}
+    )
+    greedy_netlist = _counter_netlist(catalog, cells, size=5, up_or_down=UP_DOWN)
+    uniform_netlist = _counter_netlist(catalog, cells, size=5, up_or_down=UP_DOWN)
+    greedy = size_for_constraints(greedy_netlist, constraints)
+    uniform = size_for_constraints(
+        uniform_netlist, constraints, SizingOptions(uniform=True)
+    )
+    greedy_area = AreaEstimator(greedy_netlist).best().area
+    uniform_area = AreaEstimator(uniform_netlist).best().area
+    if uniform.met_constraints and greedy.met_constraints:
+        assert greedy_area <= uniform_area
+
+
+def test_sizing_reports_unmet_constraints(catalog, cells):
+    netlist = _counter_netlist(catalog, cells, size=5, up_or_down=UP_DOWN)
+    impossible = Constraints(clock_width=1.0)
+    result = size_for_constraints(netlist, impossible)
+    assert not result.met_constraints
+    assert result.violations
+    histogram = result.size_histogram()
+    assert sum(histogram.values()) == netlist.cell_count()

@@ -1,0 +1,232 @@
+"""Unit and property tests for the boolean expression IR."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import expr as E
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def test_const_values():
+    assert E.const(1) is E.TRUE
+    assert E.const(0) is E.FALSE
+    with pytest.raises(E.ExprError):
+        E.Const(2)
+
+
+def test_not_folds_constants_and_double_negation():
+    a = E.var("a")
+    assert E.not_(E.TRUE) is E.FALSE
+    assert E.not_(E.FALSE) is E.TRUE
+    assert E.not_(E.not_(a)) == a
+
+
+def test_and_flattening_and_identities():
+    a, b, c = E.var("a"), E.var("b"), E.var("c")
+    assert E.and_(a, E.TRUE) == a
+    assert E.and_(a, E.FALSE) is E.FALSE
+    assert E.and_() is E.TRUE
+    nested = E.and_(E.and_(a, b), c)
+    assert isinstance(nested, E.And)
+    assert len(nested.args) == 3
+    assert E.and_(a, a) == a
+
+
+def test_or_flattening_and_identities():
+    a, b = E.var("a"), E.var("b")
+    assert E.or_(a, E.FALSE) == a
+    assert E.or_(a, E.TRUE) is E.TRUE
+    assert E.or_() is E.FALSE
+    assert E.or_(a, a) == a
+    nested = E.or_(E.or_(a, b), a)
+    assert isinstance(nested, E.Or)
+    assert len(nested.args) == 2
+
+
+def test_xor_xnor_constant_folding():
+    a = E.var("a")
+    assert E.xor(a, E.FALSE) == a
+    assert E.xor(a, E.TRUE) == E.not_(a)
+    assert E.xor(a, a) is E.FALSE
+    assert E.xnor(a, a) is E.TRUE
+    assert E.xnor(a, E.FALSE) == E.not_(a)
+
+
+def test_special_constructors():
+    a, en = E.var("a"), E.var("en")
+    tri = E.tristate(a, en)
+    assert tri.kind == "tristate"
+    assert E.delay(a, 10).param == 10
+    assert E.schmitt(a).kind == "schmitt"
+    with pytest.raises(E.ExprError):
+        E.special("bogus", (a,))
+
+
+# ---------------------------------------------------------------------------
+# Semantics
+# ---------------------------------------------------------------------------
+
+
+def test_evaluate_basic_gates():
+    a, b = E.var("a"), E.var("b")
+    env = {"a": 1, "b": 0}
+    assert E.and_(a, b).evaluate(env) == 0
+    assert E.or_(a, b).evaluate(env) == 1
+    assert E.xor(a, b).evaluate(env) == 1
+    assert E.xnor(a, b).evaluate(env) == 0
+    assert E.not_(a).evaluate(env) == 0
+    assert E.buf(b).evaluate(env) == 0
+
+
+def test_wire_or_evaluates_as_or():
+    a, b = E.var("a"), E.var("b")
+    assert E.wire_or(a, b).evaluate({"a": 0, "b": 1}) == 1
+    assert E.wire_or(a, b).evaluate({"a": 0, "b": 0}) == 0
+
+
+def test_truth_table_and_equivalence():
+    a, b = E.var("a"), E.var("b")
+    demorgan_left = E.not_(E.and_(a, b))
+    demorgan_right = E.or_(E.not_(a), E.not_(b))
+    assert E.truth_table(demorgan_left) == E.truth_table(demorgan_right)
+    assert E.equivalent(demorgan_left, demorgan_right)
+    assert not E.equivalent(a, E.not_(a))
+
+
+def test_equivalence_rejects_large_supports():
+    exprs = E.and_(*(E.var(f"v{i}") for i in range(20)))
+    with pytest.raises(E.ExprError):
+        E.equivalent(exprs, exprs, max_vars=8)
+
+
+# ---------------------------------------------------------------------------
+# Analysis helpers
+# ---------------------------------------------------------------------------
+
+
+def test_count_literals_nodes_depth():
+    a, b, c = E.var("a"), E.var("b"), E.var("c")
+    expression = E.or_(E.and_(a, b), E.not_(c))
+    assert E.count_literals(expression) == 3
+    assert E.count_nodes(expression) == 3  # or, and, not
+    assert E.depth(expression) == 2
+    assert E.depth(a) == 0
+    assert E.support_size(expression) == 3
+
+
+def test_substitute_and_rename():
+    a, b = E.var("a"), E.var("b")
+    expression = E.or_(a, E.not_(b))
+    replaced = E.substitute(expression, {"a": E.and_(E.var("x"), E.var("y"))})
+    assert E.equivalent(
+        replaced, E.or_(E.and_(E.var("x"), E.var("y")), E.not_(b))
+    )
+    renamed = E.rename_variables(expression, {"a": "z"})
+    assert "z" in renamed.variables()
+    assert "a" not in renamed.variables()
+
+
+def test_cofactor():
+    a, b = E.var("a"), E.var("b")
+    expression = E.or_(E.and_(a, b), E.not_(a))
+    assert E.equivalent(E.cofactor(expression, "a", 1), b)
+    assert E.cofactor(expression, "a", 0) is E.TRUE
+
+
+def test_walk_visits_all_nodes():
+    a, b = E.var("a"), E.var("b")
+    expression = E.xor(E.and_(a, b), E.not_(a))
+    kinds = {type(node).__name__ for node in E.walk(expression)}
+    assert {"Xor", "And", "Not", "Var"} <= kinds
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def test_to_iif_string_round_trips_through_parser():
+    from repro.iif import parse_expression
+
+    a, b, c = E.var("A"), E.var("B"), E.var("C")
+    expression = E.or_(E.and_(a, E.not_(b)), E.xor(b, c))
+    text = E.to_iif_string(expression)
+    assert "(+)" in text and "*" in text and "+" in text
+    # The rendered text parses back as valid IIF expression syntax.
+    parse_expression(text)
+
+
+def test_render_specials():
+    a, en = E.var("A"), E.var("EN")
+    assert "~t" in E.to_iif_string(E.tristate(a, en))
+    assert "~w" in E.to_iif_string(E.wire_or(a, en))
+    assert "~d 5" in E.to_iif_string(E.delay(a, 5))
+    assert "~s" in E.to_iif_string(E.schmitt(a))
+    assert "~b" in E.to_iif_string(E.buf(a))
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def expressions(draw, depth=3):
+    """Random boolean expressions over four variables."""
+    if depth == 0:
+        return draw(st.one_of(st.builds(E.Var, _names), st.sampled_from([E.TRUE, E.FALSE])))
+    choice = draw(st.integers(min_value=0, max_value=5))
+    child = expressions(depth=depth - 1)
+    if choice == 0:
+        return E.not_(draw(child))
+    if choice == 1:
+        return E.and_(draw(child), draw(child))
+    if choice == 2:
+        return E.or_(draw(child), draw(child))
+    if choice == 3:
+        return E.xor(draw(child), draw(child))
+    if choice == 4:
+        return E.xnor(draw(child), draw(child))
+    return draw(st.builds(E.Var, _names))
+
+
+_envs = st.fixed_dictionaries({name: st.integers(0, 1) for name in ["a", "b", "c", "d"]})
+
+
+@given(expressions(), _envs)
+@settings(max_examples=150, deadline=None)
+def test_property_double_negation_preserves_value(expression, env):
+    assert E.not_(E.not_(expression)).evaluate(env) == expression.evaluate(env)
+
+
+@given(expressions(), expressions(), _envs)
+@settings(max_examples=150, deadline=None)
+def test_property_de_morgan(left, right, env):
+    lhs = E.not_(E.and_(left, right))
+    rhs = E.or_(E.not_(left), E.not_(right))
+    assert lhs.evaluate(env) == rhs.evaluate(env)
+
+
+@given(expressions(), _envs)
+@settings(max_examples=150, deadline=None)
+def test_property_substitution_consistency(expression, env):
+    """Substituting constants for variables matches direct evaluation."""
+    mapping = {name: E.const(value) for name, value in env.items()}
+    substituted = E.substitute(expression, mapping)
+    assert substituted.evaluate({}) == expression.evaluate(env)
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_property_truth_table_length(expression):
+    table = E.truth_table(expression)
+    assert len(table) == 2 ** len(expression.variables())
+    assert set(table) <= {0, 1}

@@ -1,0 +1,282 @@
+"""Tests for the IIF macro expander and the flat component form."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.components.arithmetic import ADDER_SUBTRACTOR_IIF, RIPPLE_CARRY_ADDER_IIF
+from repro.components.counters import COUNTER_IIF, RIPPLE_COUNTER_IIF
+from repro.iif import (
+    CombAssign,
+    Expander,
+    FlatIifError,
+    IifExpansionError,
+    SeqAssign,
+    bus_signals,
+    expand_signal,
+    flat_to_milo,
+    parse_module,
+)
+from repro.logic import expr as E
+
+
+@pytest.fixture(scope="module")
+def expander():
+    library = {
+        "ADDER": parse_module(RIPPLE_CARRY_ADDER_IIF),
+        "RIPPLE_COUNTER": parse_module(RIPPLE_COUNTER_IIF),
+    }
+    return Expander(library)
+
+
+# ---------------------------------------------------------------------------
+# Structural expansion
+# ---------------------------------------------------------------------------
+
+
+def test_adder_expansion_signal_counts(expander):
+    module = parse_module(RIPPLE_CARRY_ADDER_IIF)
+    flat = expander.expand(module, {"size": 4})
+    assert flat.inputs == [f"I0[{i}]" for i in range(4)] + [f"I1[{i}]" for i in range(4)] + ["Cin"]
+    assert flat.outputs == [f"O[{i}]" for i in range(4)] + ["Cout"]
+    # 4 sum bits + 4 carries + C[0] + Cout = 10 combinational equations
+    assert len(flat.combinational()) == 10
+    assert not flat.sequential()
+
+
+def test_for_loop_unrolls_per_parameter(expander):
+    module = parse_module(RIPPLE_CARRY_ADDER_IIF)
+    for size in (1, 2, 8):
+        flat = expander.expand(module, {"size": size})
+        assert len(flat.outputs) == size + 1
+        assert len(flat.combinational()) == 2 * size + 2
+
+
+def test_missing_parameter_raises(expander):
+    module = parse_module(RIPPLE_CARRY_ADDER_IIF)
+    with pytest.raises(IifExpansionError):
+        expander.expand(module, {})
+
+
+def test_subfunction_call_by_name_binding(expander):
+    module = parse_module(ADDER_SUBTRACTOR_IIF)
+    flat = expander.expand(module, {"size": 4})
+    targets = flat.driven_signals()
+    # The adder sub-function writes the caller's O / Cout / C signals.
+    assert "O[0]" in targets and "Cout" in targets and "C[4]" in targets
+    assert "B1[3]" in targets
+
+
+def test_unknown_subfunction_is_reported():
+    module = parse_module(ADDER_SUBTRACTOR_IIF)
+    with pytest.raises(IifExpansionError):
+        Expander().expand(module, {"size": 4})
+
+
+def test_counter_synchronous_expansion(expander):
+    module = parse_module(COUNTER_IIF)
+    flat = expander.expand(
+        module, {"size": 4, "type": 2, "load": 1, "enable": 1, "up_or_down": 3}
+    )
+    seq_targets = flat.state_signals()
+    assert "CLKO" in seq_targets  # the enable clock-gating latch
+    assert {f"Q[{i}]" for i in range(4)} <= set(seq_targets)
+    q0 = flat.assignment_for("Q[0]")
+    assert isinstance(q0, SeqAssign)
+    assert q0.edge == "r"
+    assert len(q0.asyncs) == 2  # parallel load: set and reset terms
+    assert {term.value for term in q0.asyncs} == {0, 1}
+
+
+def test_counter_options_change_structure(expander):
+    module = parse_module(COUNTER_IIF)
+    plain = expander.expand(module, {"size": 4, "type": 2, "load": 0, "enable": 0, "up_or_down": 1})
+    loaded = expander.expand(module, {"size": 4, "type": 2, "load": 1, "enable": 0, "up_or_down": 1})
+    assert not plain.assignment_for("Q[0]").asyncs
+    assert loaded.assignment_for("Q[0]").asyncs
+    assert "CLKO" not in plain.state_signals()  # no enable latch without enable
+
+
+def test_counter_ripple_uses_subfunction(expander):
+    module = parse_module(COUNTER_IIF)
+    flat = expander.expand(module, {"size": 3, "type": 1, "load": 0, "enable": 0, "up_or_down": 1})
+    q1 = flat.assignment_for("Q[1]")
+    assert isinstance(q1, SeqAssign)
+    assert q1.edge == "f"
+    # Bit 1 is clocked by bit 0 of the ripple chain: its (hygienically
+    # renamed) clock net is a combinational alias of Q[0].
+    clock_net = next(iter(q1.clock.variables()))
+    assert flat.assignment_for(clock_net).expr == E.Var("Q[0]")
+
+
+def test_aggregate_assignment_accumulates():
+    source = """
+NAME: WIDE_AND;
+PARAMETER: size;
+INORDER: I[size];
+OUTORDER: O;
+VARIABLE: i;
+{
+    #for(i=0; i<size; i++)
+        O *= I[i];
+}
+"""
+    flat = Expander().expand(parse_module(source), {"size": 4})
+    assign = flat.assignment_for("O")
+    assert isinstance(assign, CombAssign)
+    for index in range(4):
+        assert f"I[{index}]" in assign.expr.variables()
+    # Semantics: AND of all four inputs.
+    for bits in itertools.product((0, 1), repeat=4):
+        env = {f"I[{i}]": bits[i] for i in range(4)}
+        assert assign.expr.evaluate(env) == int(all(bits))
+
+
+def test_mixed_aggregate_operators_rejected():
+    source = """
+NAME: BAD;
+INORDER: A, B;
+OUTORDER: O;
+{
+    O += A;
+    O *= B;
+}
+"""
+    with pytest.raises(IifExpansionError):
+        Expander().expand(parse_module(source), {})
+
+
+def test_double_assignment_rejected():
+    source = """
+NAME: BAD2;
+INORDER: A, B;
+OUTORDER: O;
+{
+    O = A;
+    O = B;
+}
+"""
+    with pytest.raises(IifExpansionError):
+        Expander().expand(parse_module(source), {})
+
+
+def test_cline_and_if_evaluate_at_expansion_time():
+    source = """
+NAME: CHOICES;
+PARAMETER: n, m;
+INORDER: A;
+OUTORDER: O;
+VARIABLE: cnm, i;
+{
+    #c_line cnm = 1;
+    #for(i=1; i<=m; i++)
+        #c_line cnm = cnm * (n - i + 1) / i;
+    #if (cnm == 6)
+        O = A;
+    #else
+        O = !A;
+}
+"""
+    module = parse_module(source)
+    flat = Expander().expand(module, {"n": 4, "m": 2})  # C(4,2) = 6
+    assert flat.assignment_for("O").expr == E.Var("A")
+    flat2 = Expander().expand(module, {"n": 4, "m": 1})  # C(4,1) = 4
+    assert isinstance(flat2.assignment_for("O").expr, E.Not)
+
+
+def test_interface_operators_become_special_nodes():
+    source = """
+NAME: IFACE;
+INORDER: A, EN, B;
+OUTORDER: T, W, D, S;
+{
+    T = A ~t EN;
+    W = A ~w B;
+    D = A ~d 15;
+    S = ~s A;
+}
+"""
+    flat = Expander().expand(parse_module(source), {})
+    assert isinstance(flat.assignment_for("T").expr, E.Special)
+    assert flat.assignment_for("D").expr.param == 15
+    assert flat.assignment_for("W").expr.kind == "wireor"
+    assert flat.assignment_for("S").expr.kind == "schmitt"
+
+
+def test_async_without_clock_is_rejected():
+    source = """
+NAME: BADASYNC;
+INORDER: A, R;
+OUTORDER: Q;
+{
+    Q = A ~a(0/R);
+}
+"""
+    with pytest.raises(IifExpansionError):
+        Expander().expand(parse_module(source), {})
+
+
+def test_undeclared_signal_reference_rejected():
+    source = """
+NAME: UNDECLARED;
+INORDER: A;
+OUTORDER: O;
+{
+    O = A * GHOST;
+}
+"""
+    with pytest.raises(IifExpansionError):
+        Expander().expand(parse_module(source), {})
+
+
+# ---------------------------------------------------------------------------
+# Flat component behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_collapsed_outputs_match_adder_semantics(expander):
+    module = parse_module(RIPPLE_CARRY_ADDER_IIF)
+    flat = expander.expand(module, {"size": 3})
+    collapsed = flat.collapsed_output_expressions()
+    for a, b, cin in itertools.product(range(8), range(8), (0, 1)):
+        env = {"Cin": cin}
+        for i in range(3):
+            env[f"I0[{i}]"] = (a >> i) & 1
+            env[f"I1[{i}]"] = (b >> i) & 1
+        total = a + b + cin
+        value = sum(collapsed[f"O[{i}]"].evaluate(env) << i for i in range(3))
+        assert value == total % 8
+        assert collapsed["Cout"].evaluate(env) == (total >> 3)
+
+
+def test_validate_catches_undriven_output():
+    from repro.iif.flat import FlatComponent
+
+    component = FlatComponent(name="broken", inputs=["A"], outputs=["X"])
+    with pytest.raises(FlatIifError):
+        component.validate()
+
+
+def test_expand_signal_and_bus_helpers(expander):
+    assert expand_signal("D", 3) == ["D[0]", "D[1]", "D[2]"]
+    assert expand_signal("CLK", 0) == ["CLK"]
+    module = parse_module(RIPPLE_CARRY_ADDER_IIF)
+    flat = expander.expand(module, {"size": 4})
+    assert bus_signals(flat, "O") == [f"O[{i}]" for i in range(4)]
+
+
+def test_flat_to_milo_contains_all_equations(expander):
+    module = parse_module(RIPPLE_CARRY_ADDER_IIF)
+    flat = expander.expand(module, {"size": 2})
+    text = flat_to_milo(flat)
+    assert text.startswith("NAME=ADDER;")
+    assert "INORDER=" in text and "OUTORDER=" in text
+    assert text.count("=") >= len(flat.assigns)
+
+
+def test_clock_inputs_detected(expander):
+    module = parse_module(COUNTER_IIF)
+    flat = expander.expand(module, {"size": 3, "type": 2, "load": 0, "enable": 1, "up_or_down": 3})
+    assert "CLK" in flat.clock_inputs()

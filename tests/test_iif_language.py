@@ -1,0 +1,184 @@
+"""Tests for the IIF lexer, parser and printer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components.arithmetic import ADDER_SUBTRACTOR_IIF, RIPPLE_CARRY_ADDER_IIF
+from repro.components.counters import COUNTER_IIF
+from repro.iif import (
+    Binary,
+    IifSyntaxError,
+    Name,
+    Num,
+    Unary,
+    module_to_iif,
+    parse_expression,
+    parse_module,
+    parse_modules,
+    tokenize,
+)
+from repro.iif.lexer import KIND_DIRECTIVE, KIND_EOF, KIND_IDENT, KIND_NUMBER, KIND_OP, KIND_SUBCALL
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+
+def test_tokenize_basic_operators():
+    tokens = tokenize("Q = (Q (+) Cin) @(~r CLK);")
+    kinds = [t.kind for t in tokens]
+    values = [t.value for t in tokens]
+    assert kinds[-1] == KIND_EOF
+    assert "(+)" in values
+    assert "@" in values
+    assert "~r" in values
+
+
+def test_tokenize_directives_and_subcalls():
+    tokens = tokenize("#if (x) #ADDER(4); #else #c_line i = 0;")
+    directives = [t.value for t in tokens if t.kind == KIND_DIRECTIVE]
+    subcalls = [t.value for t in tokens if t.kind == KIND_SUBCALL]
+    assert directives == ["#if", "#else", "#c_line"]
+    assert subcalls == ["ADDER"]
+
+
+def test_tokenize_cline_alias():
+    tokens = tokenize("#cline x = 1;")
+    assert tokens[0].kind == KIND_DIRECTIVE
+    assert tokens[0].value == "#c_line"
+
+
+def test_tokenize_comments_and_line_numbers():
+    tokens = tokenize("A = 1; /* a comment\nspanning lines */\nB = 0;")
+    b_token = [t for t in tokens if t.kind == KIND_IDENT and t.value == "B"][0]
+    assert b_token.line == 3
+
+
+def test_tokenize_rejects_unknown_characters():
+    with pytest.raises(IifSyntaxError):
+        tokenize("A = $1;")
+
+
+def test_tokenize_unterminated_comment():
+    with pytest.raises(IifSyntaxError):
+        tokenize("/* never closed")
+
+
+def test_tokenize_aggregate_operators():
+    values = [t.value for t in tokenize("O += A; O *= B; O (+)= C; O (.)= D;")]
+    assert "+=" in values and "*=" in values and "(+)=" in values and "(.)=" in values
+
+
+# ---------------------------------------------------------------------------
+# Expression parsing
+# ---------------------------------------------------------------------------
+
+
+def test_parse_expression_precedence_and_over_or():
+    expression = parse_expression("A + B*C")
+    assert isinstance(expression, Binary) and expression.op == "+"
+    assert isinstance(expression.right, Binary) and expression.right.op == "*"
+
+
+def test_parse_expression_xor_binds_tighter_than_and():
+    expression = parse_expression("A * B (+) C")
+    assert expression.op == "*"
+    assert isinstance(expression.right, Binary) and expression.right.op == "(+)"
+
+
+def test_parse_expression_indexed_names():
+    expression = parse_expression("Q[i+1] * D[2*j]")
+    assert isinstance(expression.left, Name)
+    assert expression.left.ident == "Q"
+    assert isinstance(expression.left.indices[0], Binary)
+
+
+def test_parse_expression_clocked_assignment_shape():
+    expression = parse_expression("(Q (+) C) @(~r CLK) ~a(0/(!LOAD), 1/(LOAD))")
+    assert expression.op == "~a"
+    clocked = expression.left
+    assert clocked.op == "@"
+    assert isinstance(clocked.right, Unary) and clocked.right.op == "~r"
+
+
+def test_parse_expression_trailing_garbage_rejected():
+    with pytest.raises(IifSyntaxError):
+        parse_expression("A + B extra")
+
+
+# ---------------------------------------------------------------------------
+# Module parsing
+# ---------------------------------------------------------------------------
+
+
+def test_parse_counter_module_declarations():
+    module = parse_module(COUNTER_IIF)
+    assert module.name == "COUNTER"
+    assert module.functions == ["INC"]
+    assert [p.ident for p in module.parameters] == [
+        "size", "type", "load", "enable", "up_or_down",
+    ]
+    assert [i.ident for i in module.inorder] == ["D", "CLK", "LOAD", "ENA", "DWUP"]
+    assert [o.ident for o in module.outorder] == ["Q", "MINMAX", "RCLK"]
+    assert "RIPPLE_COUNTER" in module.subfunctions
+    assert module.body.statements, "body should not be empty"
+
+
+def test_parse_adder_module_dimensions():
+    module = parse_module(RIPPLE_CARRY_ADDER_IIF)
+    carry = [item for item in module.piif_variables if item.ident == "C"][0]
+    assert len(carry.dims) == 1
+    assert isinstance(carry.dims[0], Binary)  # size+1
+
+
+def test_parse_module_requires_name():
+    with pytest.raises(IifSyntaxError):
+        parse_module("PARAMETER: size;\n{ }")
+
+
+def test_parse_module_rejects_trailing_tokens():
+    with pytest.raises(IifSyntaxError):
+        parse_module("NAME: A;\nINORDER: X;\nOUTORDER: Y;\n{ Y = X; } extra")
+
+
+def test_parse_modules_multiple():
+    source = RIPPLE_CARRY_ADDER_IIF + "\n" + ADDER_SUBTRACTOR_IIF
+    modules = parse_modules(source)
+    assert [m.name for m in modules] == ["ADDER", "ADDSUB"]
+
+
+def test_binding_order_follows_declaration_order():
+    module = parse_module(RIPPLE_CARRY_ADDER_IIF)
+    order = [item.ident for item in module.binding_order()]
+    assert order == ["size", "I0", "I1", "Cin", "O", "Cout", "C"]
+
+
+# ---------------------------------------------------------------------------
+# Printer round trip
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("source", [RIPPLE_CARRY_ADDER_IIF, ADDER_SUBTRACTOR_IIF, COUNTER_IIF])
+def test_module_printer_round_trip(source):
+    module = parse_module(source)
+    printed = module_to_iif(module)
+    reparsed = parse_module(printed)
+    assert reparsed.name == module.name
+    assert [p.ident for p in reparsed.parameters] == [p.ident for p in module.parameters]
+    assert [i.ident for i in reparsed.inorder] == [i.ident for i in module.inorder]
+    assert [o.ident for o in reparsed.outorder] == [o.ident for o in module.outorder]
+    assert len(reparsed.body.statements) == len(module.body.statements)
+
+
+def test_printed_module_expands_identically():
+    from repro.iif import Expander
+
+    module = parse_module(RIPPLE_CARRY_ADDER_IIF)
+    reparsed = parse_module(module_to_iif(module))
+    flat_a = Expander().expand(module, {"size": 3})
+    flat_b = Expander().expand(reparsed, {"size": 3})
+    assert flat_a.inputs == flat_b.inputs
+    assert flat_a.outputs == flat_b.outputs
+    assert len(flat_a.assigns) == len(flat_b.assigns)

@@ -1,0 +1,206 @@
+"""Tests for strip placement, layout generation and the slicing floorplanner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import PortPosition, parse_port_positions
+from repro.estimation import shape_function
+from repro.layout import (
+    Block,
+    LayoutError,
+    Shape,
+    floorplan,
+    generate_layout,
+    net_spans,
+    place_in_strips,
+    routing_tracks_per_strip,
+    row,
+    stack,
+)
+from repro.netlist import GateNetlist
+
+
+# ---------------------------------------------------------------------------
+# Strip placement
+# ---------------------------------------------------------------------------
+
+
+def test_placement_covers_every_instance(updown_counter_netlist):
+    placement = place_in_strips(updown_counter_netlist, 3)
+    assert placement.strips == 3
+    placed = {cell.instance for cell in placement.cells}
+    assert placed == set(updown_counter_netlist.instances)
+    for strip in range(3):
+        cells = placement.cells_in_strip(strip)
+        assert cells, "every strip should receive at least one cell"
+        # Cells inside a strip must not overlap.
+        cells = sorted(cells, key=lambda c: c.x)
+        for left, right in zip(cells, cells[1:]):
+            assert left.x_end <= right.x + 1e-9
+
+
+def test_placement_width_balanced(updown_counter_netlist):
+    placement = place_in_strips(updown_counter_netlist, 4)
+    total = sum(inst.width_um() for inst in updown_counter_netlist.all_instances())
+    assert max(placement.strip_widths) < 0.6 * total
+    assert placement.width == max(placement.strip_widths)
+
+
+def test_single_strip_placement(adder_netlist):
+    placement = place_in_strips(adder_netlist, 1)
+    assert placement.strips == 1
+    assert placement.width == pytest.approx(adder_netlist.total_width_um())
+
+
+def test_net_spans_and_routing_tracks(updown_counter_netlist):
+    placement = place_in_strips(updown_counter_netlist, 3)
+    spans = net_spans(updown_counter_netlist, placement)
+    assert spans
+    for low, high in spans.values():
+        assert high >= low
+    tracks = routing_tracks_per_strip(updown_counter_netlist, placement)
+    assert len(tracks) == 3
+    assert all(t >= 1 for t in tracks)
+
+
+# ---------------------------------------------------------------------------
+# Layout generation
+# ---------------------------------------------------------------------------
+
+
+def test_generate_layout_dimensions(updown_counter_netlist):
+    layout = generate_layout(updown_counter_netlist, strips=3)
+    assert layout.strips == 3
+    assert layout.width > 0 and layout.height > 0
+    assert layout.area == pytest.approx(layout.width * layout.height)
+    assert len(layout.strip_heights) == 3
+    assert layout.height == pytest.approx(sum(layout.strip_heights))
+    assert len(layout.cells) == updown_counter_netlist.cell_count()
+
+
+def test_layout_default_strip_count_minimizes_area(updown_counter_netlist):
+    layout = generate_layout(updown_counter_netlist)
+    from repro.estimation import AreaEstimator
+
+    best = AreaEstimator(updown_counter_netlist).best()
+    assert layout.strips == best.strips
+
+
+def test_layout_aspect_ratio_follows_strips(updown_counter_netlist):
+    flat_layout = generate_layout(updown_counter_netlist, strips=1)
+    tall_layout = generate_layout(updown_counter_netlist, strips=6)
+    assert flat_layout.aspect_ratio > tall_layout.aspect_ratio
+
+
+def test_layout_ports_default_sides(updown_counter_netlist):
+    layout = generate_layout(updown_counter_netlist, strips=2)
+    ports = layout.port_map()
+    assert set(ports) == set(updown_counter_netlist.inputs) | set(updown_counter_netlist.outputs)
+    assert all(ports[name].side == "left" for name in updown_counter_netlist.inputs)
+    assert all(ports[name].side == "right" for name in updown_counter_netlist.outputs)
+
+
+def test_layout_honours_port_positions(updown_counter_netlist):
+    positions = parse_port_positions(
+        "CLK left s1.0\nQ[0] bottom 10\nQ[1] bottom 20\nQ[2] bottom 30\nQ[3] bottom 40\nD[0] top 10"
+    )
+    layout = generate_layout(updown_counter_netlist, strips=3, port_positions=positions)
+    ports = layout.port_map()
+    assert ports["CLK"].side == "left" and ports["CLK"].x == 0.0
+    assert ports["Q[0]"].side == "bottom" and ports["Q[0]"].y == 0.0
+    assert ports["D[0]"].side == "top" and ports["D[0]"].y == pytest.approx(layout.height)
+    # Relative order on the bottom side follows the order keys.
+    assert ports["Q[0]"].x < ports["Q[1]"].x < ports["Q[2]"].x < ports["Q[3]"].x
+
+
+def test_layout_rectangles_and_ascii(updown_counter_netlist):
+    layout = generate_layout(updown_counter_netlist, strips=2)
+    rects = layout.rectangles()
+    layers = {rect.layer for rect in rects}
+    assert {"CWN", "CM1", "CPG", "CM2"} <= layers
+    cell_rects = [r for r in rects if r.layer == "CPG"]
+    assert len(cell_rects) == updown_counter_netlist.cell_count()
+    art = layout.ascii_art(40)
+    assert art.count("\n") >= 3
+    assert "#" in art
+
+
+def test_layout_errors(cells, updown_counter_netlist):
+    with pytest.raises(LayoutError):
+        generate_layout(updown_counter_netlist, strips=0)
+    empty = GateNetlist("empty", [], [], cells)
+    with pytest.raises(LayoutError):
+        generate_layout(empty, strips=1)
+
+
+def test_layout_area_tracks_shape_estimate(updown_counter_netlist):
+    """The layout generator and the area estimator should broadly agree."""
+    shape = shape_function(updown_counter_netlist, pareto_only=False)
+    for strips in (1, 2, 4):
+        layout = generate_layout(updown_counter_netlist, strips=strips)
+        estimate = [r for r in shape.alternatives if r.strips == strips][0]
+        assert layout.area == pytest.approx(estimate.area, rel=0.6)
+
+
+# ---------------------------------------------------------------------------
+# Slicing floorplanner
+# ---------------------------------------------------------------------------
+
+
+def _fixed(name, width, height):
+    return Block.fixed(name, width, height)
+
+
+def test_row_and_stack_compose_dimensions():
+    result = floorplan(row(_fixed("a", 10, 20), _fixed("b", 30, 10)))
+    assert result.width == pytest.approx(40)
+    assert result.height == pytest.approx(20)
+    stacked = floorplan(stack(_fixed("a", 10, 20), _fixed("b", 30, 10)))
+    assert stacked.width == pytest.approx(30)
+    assert stacked.height == pytest.approx(30)
+
+
+def test_floorplan_placements_do_not_overlap():
+    result = floorplan(
+        row(_fixed("a", 10, 20), stack(_fixed("b", 15, 5), _fixed("c", 15, 8)))
+    )
+    rects = [(p.x, p.y, p.x + p.width, p.y + p.height) for p in result.placements]
+    for i, first in enumerate(rects):
+        for second in rects[i + 1:]:
+            no_overlap = (
+                first[2] <= second[0] + 1e-9
+                or second[2] <= first[0] + 1e-9
+                or first[3] <= second[1] + 1e-9
+                or second[3] <= first[1] + 1e-9
+            )
+            assert no_overlap, (first, second)
+    assert 0 < result.utilization() <= 1.0
+
+
+def test_floorplan_chooses_block_shapes_to_fit():
+    flexible = Block("flex", (Shape(10, 40), Shape(20, 20), Shape(40, 10)))
+    partner = _fixed("fixed", 30, 12)
+    result = floorplan(row(flexible, partner))
+    chosen = result.placement_of("flex")
+    # In a row the flexible block should pick a short-and-wide option rather
+    # than the tall 10x40 one.
+    assert chosen.height <= 20 + 1e-9
+
+
+def test_floorplan_target_aspect_selects_among_near_minimal():
+    flexible_a = Block("a", (Shape(10, 40), Shape(20, 20), Shape(40, 10)))
+    flexible_b = Block("b", (Shape(10, 40), Shape(20, 20), Shape(40, 10)))
+    wide = floorplan(row(flexible_a, flexible_b), target_aspect=4.0)
+    square = floorplan(row(flexible_a, flexible_b), target_aspect=1.0)
+    assert wide.aspect_ratio >= square.aspect_ratio
+
+
+def test_floorplan_from_shape_functions(updown_counter_netlist):
+    shape = shape_function(updown_counter_netlist)
+    block = Block.from_shape_function("counter", shape)
+    result = floorplan(row(block, _fixed("ctrl", 200, 300)))
+    assert result.placement_of("counter").width in [pytest.approx(s.width) for s in block.shapes]
+    assert result.area > 0
+    rendered = result.render()
+    assert "counter" in rendered and "floorplan" in rendered

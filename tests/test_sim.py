@@ -1,0 +1,181 @@
+"""Tests for the flat-level and gate-level simulators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.iif import parse_module, Expander
+from repro.logic.milo import synthesize
+from repro.sim import (
+    EquivalenceResult,
+    FlatSimulator,
+    GateSimulationError,
+    GateSimulator,
+    SimulationError,
+    bus_assignment,
+    check_combinational_equivalence,
+    check_sequential_equivalence,
+    evaluate_combinational_cell,
+    read_bus,
+)
+
+
+# ---------------------------------------------------------------------------
+# Vector helpers
+# ---------------------------------------------------------------------------
+
+
+def test_bus_helpers_round_trip():
+    assignment = bus_assignment("D", 5, 19)
+    assert assignment == {"D[0]": 1, "D[1]": 1, "D[2]": 0, "D[3]": 0, "D[4]": 1}
+    assert read_bus(assignment, "D", 5) == 19
+
+
+def test_equivalence_result_is_truthy():
+    assert EquivalenceResult(equivalent=True, vectors_checked=4)
+    assert not EquivalenceResult(equivalent=False, vectors_checked=4)
+
+
+# ---------------------------------------------------------------------------
+# Flat simulator
+# ---------------------------------------------------------------------------
+
+
+TOGGLE_IIF = """
+NAME: TOGGLE;
+INORDER: CLK, RST;
+OUTORDER: Q;
+{
+    Q = (!Q) @(~r CLK) ~a(0/(RST));
+}
+"""
+
+
+def test_flat_simulator_toggle_and_async_reset():
+    flat = Expander().expand(parse_module(TOGGLE_IIF), {})
+    sim = FlatSimulator(flat)
+    assert sim.value("Q") == 0
+    sim.clock_cycle("CLK", {"RST": 0})
+    assert sim.value("Q") == 1
+    sim.clock_cycle("CLK", {"RST": 0})
+    assert sim.value("Q") == 0
+    sim.clock_cycle("CLK", {"RST": 0})
+    sim.apply({"RST": 1})
+    assert sim.value("Q") == 0  # asynchronous reset wins immediately
+    # While reset is asserted, clocking does not set the flip-flop.
+    sim.clock_cycle("CLK", {"RST": 1})
+    assert sim.value("Q") == 0
+
+
+def test_flat_simulator_rejects_unknown_inputs():
+    flat = Expander().expand(parse_module(TOGGLE_IIF), {})
+    sim = FlatSimulator(flat)
+    with pytest.raises(SimulationError):
+        sim.apply({"NOPE": 1})
+
+
+def test_flat_simulator_run_and_state(catalog):
+    flat = catalog.get("register").expand({"size": 2})
+    sim = FlatSimulator(flat)
+    trace = sim.run("CLK", 3, {"LOAD": 1, **bus_assignment("I", 2, 3)})
+    assert len(trace) == 3
+    assert read_bus(trace[-1], "Q", 2) == 3
+    assert set(sim.state()) == {"Q[0]", "Q[1]"}
+    assert sim.output_values()["Q[0]"] == 1
+
+
+def test_flat_simulator_detects_combinational_loop():
+    source = """
+NAME: LOOPY;
+INORDER: A;
+OUTORDER: O;
+PIIFVARIABLE: X;
+{
+    X = !O;
+    O = X * A + !X * !A;
+}
+"""
+    flat = Expander().expand(parse_module(source), {})
+    with pytest.raises(SimulationError):
+        FlatSimulator(flat).apply({"A": 1})
+
+
+def test_latch_transparency(catalog):
+    source = """
+NAME: LATCHY;
+INORDER: D, G;
+OUTORDER: Q;
+{
+    Q = (D) @(~h G);
+}
+"""
+    flat = Expander().expand(parse_module(source), {})
+    sim = FlatSimulator(flat)
+    sim.apply({"D": 1, "G": 1})
+    assert sim.value("Q") == 1  # transparent
+    sim.apply({"G": 0})
+    sim.apply({"D": 0})
+    assert sim.value("Q") == 1  # held
+    sim.apply({"G": 1})
+    assert sim.value("Q") == 0  # transparent again
+
+
+# ---------------------------------------------------------------------------
+# Gate-level simulator
+# ---------------------------------------------------------------------------
+
+
+def test_gate_cell_models(cells):
+    from repro.netlist import GateNetlist
+
+    netlist = GateNetlist("cells", ["A", "B", "C"], ["Y"], cells)
+    inst = netlist.add_instance(cells.by_kind("AOI21"), {"I0": "A", "I1": "B", "I2": "C", "O": "Y"})
+    values = {"A": 1, "B": 1, "C": 0, "Y": 0}
+    assert evaluate_combinational_cell(inst, values) == 0
+    values = {"A": 0, "B": 1, "C": 0, "Y": 0}
+    assert evaluate_combinational_cell(inst, values) == 1
+
+
+def test_gate_simulator_matches_adder(adder_flat, adder_netlist):
+    sim = GateSimulator(adder_netlist)
+    for a, b, cin in [(3, 9, 0), (15, 1, 1), (7, 8, 0)]:
+        outputs = sim.apply(
+            {"Cin": cin, **bus_assignment("I0", 4, a), **bus_assignment("I1", 4, b)}
+        )
+        assert read_bus(outputs, "O", 4) == (a + b + cin) % 16
+        assert outputs["Cout"] == (a + b + cin) // 16
+
+
+def test_gate_simulator_counter_counts(updown_counter_flat, updown_counter_netlist):
+    sim = GateSimulator(updown_counter_netlist)
+    stim = {"LOAD": 1, "ENA": 1, "DWUP": 0, **bus_assignment("D", 4, 0)}
+    values = []
+    for _ in range(4):
+        out = sim.clock_cycle("CLK", stim)
+        values.append(read_bus(out, "Q", 4))
+    assert values == [1, 2, 3, 4]
+    assert sim.bus_value("Q", 4) == 4
+
+
+def test_gate_simulator_unknown_input_rejected(adder_netlist):
+    sim = GateSimulator(adder_netlist)
+    with pytest.raises(GateSimulationError):
+        sim.apply({"NOT_A_PORT": 1})
+
+
+def test_equivalence_checks_pass_for_library_components(catalog, cells):
+    mux = catalog.get("mux2").expand({"size": 2})
+    assert check_combinational_equivalence(mux, synthesize(mux, cells))
+    register = catalog.get("register").expand({"size": 2})
+    assert check_sequential_equivalence(register, synthesize(register, cells), clock="CLK", cycles=12)
+
+
+def test_equivalence_check_detects_broken_netlist(adder_flat, cells):
+    netlist = synthesize(adder_flat, cells)
+    # Sabotage: swap the pins of one XOR gate's inputs with a constant tie.
+    victim = next(inst for inst in netlist.all_instances() if inst.cell.kind == "XOR2")
+    victim.pins["I0"] = victim.pins["I1"]
+    result = check_combinational_equivalence(adder_flat, netlist, max_exhaustive=9)
+    assert not result.equivalent
+    assert result.counterexample is not None
+    assert result.mismatched_outputs
