@@ -66,6 +66,20 @@ def main() -> None:
         f"({layout.area:,.0f} um^2)"
     )
     print(layout.ascii_art())
+    print()
+
+    # --- repeated requests hit the service-layer result cache ---------------
+    twin = icdb.request_component(
+        component_name="counter",
+        functions=["INC"],
+        attributes={"size": 5},
+        constraints=constraints,
+    )
+    print(
+        f"Same request again: {twin.name} (cached={twin.cached}), "
+        f"cache stats {icdb.cache.stats()}"
+    )
+    print("See examples/typed_service.py for the typed multi-session API.")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,83 @@
+"""The typed service-layer API: sessions, envelopes, caching, JSON wire.
+
+The paper's ICDB is a component *server*: many synthesis tools call it
+concurrently.  This example shows the service-layer view of that server:
+
+* one :class:`~repro.api.service.ComponentService` holding the shared
+  catalog, database, instance registry and result cache;
+* two client sessions, each with its own design and transaction state;
+* typed requests, response envelopes with timing metadata, and the
+  ``to_dict()`` -> JSON -> ``from_dict()`` round trip a socket transport
+  would use;
+* the result cache serving a repeated component request without
+  re-running logic synthesis.
+
+Run with::
+
+    python examples/typed_service.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import (
+    ComponentRequest,
+    ComponentService,
+    DesignOp,
+    FunctionQuery,
+    InstanceQuery,
+    request_from_dict,
+)
+
+
+def main() -> None:
+    service = ComponentService()
+
+    # --- two clients, two isolated design contexts -------------------------
+    hls = service.create_session(client="hls-tool")
+    floorplanner = service.create_session(client="floorplanner")
+    hls.execute(DesignOp(op="start_design", design="risc_core")).unwrap()
+    floorplanner.execute(DesignOp(op="start_design", design="dsp_block")).unwrap()
+
+    # --- a typed request, sent through its JSON wire form ------------------
+    request = ComponentRequest(
+        component_name="counter", functions=("INC",), attributes={"size": 5}
+    )
+    wire = json.dumps(request.to_dict())
+    print(f"wire form ({len(wire)} bytes): {wire[:70]}...")
+    response = hls.execute(request_from_dict(json.loads(wire)))
+    summary = response.unwrap()
+    print(
+        f"[{response.session_id}] generated {summary['instance']} "
+        f"({summary['cells']} cells) in {response.elapsed_ms:.1f} ms"
+    )
+
+    # --- the same request again: served by the result cache ----------------
+    again = hls.execute(request)
+    print(
+        f"[{again.session_id}] generated {again.value['instance']} "
+        f"in {again.elapsed_ms:.1f} ms (cached={again.cached})"
+    )
+    print(f"cache stats: {service.cache.stats()}")
+
+    # --- the other session shares the catalog but not the design -----------
+    alu = floorplanner.execute(
+        ComponentRequest(implementation="alu", attributes={"size": 4})
+    ).unwrap()
+    print(
+        f"designs: {summary['instance']} -> {summary['design']!r}, "
+        f"{alu['instance']} -> {alu['design']!r}"
+    )
+
+    # --- structured errors instead of raw exceptions ------------------------
+    failed = floorplanner.execute(InstanceQuery(name="no_such_instance"))
+    print(f"error envelope: code={failed.error.code} message={failed.error.message!r}")
+
+    # --- classic queries are typed requests too -----------------------------
+    adders = hls.execute(FunctionQuery(functions=("ADD", "SUB"))).unwrap()
+    print(f"implementations executing ADD+SUB: {', '.join(adders)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,10 +4,15 @@ Synthesis" (Chen & Gajski, DAC 1990).
 The package implements ICDB -- a component server for behavioral synthesis
 -- together with every substrate the paper relies on:
 
+* :mod:`repro.api` -- the typed service layer: request / response message
+  dataclasses (JSON round-trippable), structured error codes, the
+  :class:`~repro.api.service.ComponentService` engine with per-client
+  sessions, and the result cache that memoizes catalog-based generations;
 * :mod:`repro.iif` -- the IIF component description language (parser and
   macro expander);
 * :mod:`repro.cql` -- the Component Query Language interface, including the
-  paper's ``ICDB()`` call convention;
+  paper's ``ICDB()`` call convention (executing through :mod:`repro.api`
+  requests);
 * :mod:`repro.components` -- the GENUS-style generic component library;
 * :mod:`repro.logic`, :mod:`repro.techlib`, :mod:`repro.netlist` -- the
   MILO-like logic optimizer / technology mapper and the cell library;
@@ -17,11 +22,13 @@ The package implements ICDB -- a component server for behavioral synthesis
 * :mod:`repro.sim` -- functional and gate-level simulators for verification;
 * :mod:`repro.db` -- the relational store (INGRES substitute) and the
   design-data file store;
-* :mod:`repro.core` -- the ICDB server itself;
+* :mod:`repro.core` -- the backward-compatible :class:`~repro.core.icdb.ICDB`
+  facade (a thin shim over a default service session) plus generation,
+  instance and knowledge management;
 * :mod:`repro.synthesis` -- a small behavioral-synthesis client showing how
   the server is used (Figure 1) and the Figure 13 simple computer.
 
-Quickstart::
+Quickstart (classic facade)::
 
     from repro import ICDB, Constraints
 
@@ -34,8 +41,50 @@ Quickstart::
     )
     print(counter.render_delay())
     print(counter.render_shape())
+
+Typed service API (multi-client, wire-serializable)::
+
+    from repro.api import ComponentRequest, ComponentService, request_from_dict
+
+    service = ComponentService()
+    session = service.create_session(client="hls-tool")
+
+    request = ComponentRequest(
+        component_name="counter", functions=("INC",), attributes={"size": 5}
+    )
+    response = session.execute(request)
+    assert response.ok
+    print(response.value["instance"], response.value["clock_width"])
+
+    # Every request and response survives a JSON round trip, so a socket or
+    # HTTP transport can be layered on without touching the engine:
+    import json
+    wire = json.dumps(request.to_dict())
+    same = request_from_dict(json.loads(wire))
+    assert same == request
+
+Sessions are per client: each owns its current design and transaction
+state, while the catalog, database, instance registry and result cache are
+shared (and lock-protected) across sessions.  Repeated identical
+catalog-based ``request_component`` calls are served from the cache -- the
+synthesized netlist and estimates are reused under a fresh instance name
+(see ``benchmarks/bench_api_service.py``).
 """
 
+from .api import (
+    ComponentQuery,
+    ComponentRequest,
+    ComponentService,
+    DesignOp,
+    FunctionQuery,
+    IcdbErrorInfo,
+    InstanceQuery,
+    LayoutRequest,
+    Response,
+    ResultCache,
+    Session,
+    request_from_dict,
+)
 from .constraints import Constraints, PortPosition, parse_delay_constraints, parse_port_positions
 from .components import standard_catalog
 from .core import ICDB, ComponentInstance
@@ -43,22 +92,34 @@ from .cql import InteractiveSession, OutParam, make_icdb_call
 from .iif import Expander, FlatComponent, parse_module
 from .techlib import standard_cells
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ComponentInstance",
+    "ComponentQuery",
+    "ComponentRequest",
+    "ComponentService",
     "Constraints",
+    "DesignOp",
     "Expander",
     "FlatComponent",
+    "FunctionQuery",
     "ICDB",
+    "IcdbErrorInfo",
+    "InstanceQuery",
     "InteractiveSession",
+    "LayoutRequest",
     "OutParam",
     "PortPosition",
+    "Response",
+    "ResultCache",
+    "Session",
     "__version__",
     "make_icdb_call",
     "parse_delay_constraints",
     "parse_module",
     "parse_port_positions",
+    "request_from_dict",
     "standard_catalog",
     "standard_cells",
 ]

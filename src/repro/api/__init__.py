@@ -1,0 +1,81 @@
+"""Typed service-layer API for the ICDB component server.
+
+The contract a socket / HTTP transport would speak:
+
+* :mod:`repro.api.messages` -- frozen request dataclasses (one per server
+  operation) and the :class:`Response` envelope, all JSON round-trippable
+  via ``to_dict()`` / ``from_dict()``;
+* :mod:`repro.api.errors` -- structured error codes and payloads;
+* :mod:`repro.api.service` -- the :class:`ComponentService` engine and
+  per-client :class:`Session` objects;
+* :mod:`repro.api.cache` -- the canonical-signature result cache that
+  memoizes catalog-based component generations.
+
+Quick tour::
+
+    from repro.api import ComponentService, ComponentRequest
+
+    service = ComponentService()
+    session = service.create_session(client="my-tool")
+    response = session.execute(
+        ComponentRequest(component_name="counter", functions=("INC",),
+                         attributes={"size": 5})
+    )
+    assert response.ok
+    print(response.value["instance"], response.value["clock_width"])
+"""
+
+from .cache import ResultCache, clone_instance
+from .errors import (
+    E_BAD_REQUEST,
+    E_CONFLICT,
+    E_GENERATION_FAILED,
+    E_INTERNAL,
+    E_NOT_FOUND,
+    ERROR_CODES,
+    IcdbErrorInfo,
+    error_from_exception,
+)
+from .messages import (
+    DESIGN_OPS,
+    FUNCTION_QUERY_WANTS,
+    REQUEST_TYPES,
+    ComponentQuery,
+    ComponentRequest,
+    DesignOp,
+    FunctionQuery,
+    InstanceQuery,
+    LayoutRequest,
+    Request,
+    Response,
+    request_from_dict,
+)
+from .service import ComponentService, Session, instance_summary
+
+__all__ = [
+    "ComponentQuery",
+    "ComponentRequest",
+    "ComponentService",
+    "DESIGN_OPS",
+    "DesignOp",
+    "E_BAD_REQUEST",
+    "E_CONFLICT",
+    "E_GENERATION_FAILED",
+    "E_INTERNAL",
+    "E_NOT_FOUND",
+    "ERROR_CODES",
+    "FUNCTION_QUERY_WANTS",
+    "FunctionQuery",
+    "IcdbErrorInfo",
+    "InstanceQuery",
+    "LayoutRequest",
+    "REQUEST_TYPES",
+    "Request",
+    "Response",
+    "ResultCache",
+    "Session",
+    "clone_instance",
+    "error_from_exception",
+    "instance_summary",
+    "request_from_dict",
+]

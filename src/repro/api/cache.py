@@ -1,0 +1,127 @@
+"""Canonical-signature result cache for catalog-based component requests.
+
+Section 2.2 of the paper keeps generated instances around "so they can be
+queried, refined and reused instead of regenerated".  The service layer
+takes that one step further: a catalog-based ``request_component`` whose
+implementation, parameters, constraints and target match an earlier
+generation reuses the synthesized netlist and estimates under a fresh
+instance name instead of re-running logic synthesis, sizing and
+estimation -- the hot path of every datapath builder that instantiates the
+same register or multiplexer dozens of times.
+
+The cache key is a canonical JSON signature; entries are detached snapshot
+instances (never registered with any design), so later mutations of served
+instances -- a ``request_layout``, a transaction delete -- cannot corrupt
+the template.  All operations are lock-protected: sessions of one service
+share a single cache concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Dict, Mapping, Optional
+
+from ..constraints import Constraints
+from ..core.instances import ComponentInstance
+
+
+def clone_instance(
+    template: ComponentInstance, name: str, design: str = ""
+) -> ComponentInstance:
+    """A fresh instance sharing the template's synthesized artifacts.
+
+    The flat IIF, gate netlist, delay report, shape function and area
+    record are immutable once generated and are shared; everything a later
+    operation may mutate (parameter / function / violation lists, the files
+    map, layout and target) is copied.
+    """
+    return ComponentInstance(
+        name=name,
+        implementation=template.implementation,
+        component_type=template.component_type,
+        parameters=dict(template.parameters),
+        functions=list(template.functions),
+        constraints=template.constraints,
+        flat=template.flat,
+        netlist=template.netlist,
+        delay_report=template.delay_report,
+        shape=template.shape,
+        area_record=template.area_record,
+        connection_info=template.connection_info,
+        target=template.target,
+        layout=template.layout,
+        constraint_violations=list(template.constraint_violations),
+        sizing_iterations=template.sizing_iterations,
+        design=design,
+        cached=True,
+        # Shared on purpose: the renders are pure functions of the shared
+        # netlist / report objects, so every clone reuses one rendering.
+        render_cache=template.render_cache,
+    )
+
+
+class ResultCache:
+    """LRU cache from canonical request signatures to snapshot instances."""
+
+    def __init__(self, max_entries: int = 256):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, ComponentInstance]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def signature(
+        implementation: str,
+        parameters: Mapping[str, int],
+        constraints: Constraints,
+        target: str,
+    ) -> str:
+        """Canonical signature of a catalog-based generation request."""
+        payload = {
+            "implementation": implementation,
+            "parameters": {key: int(value) for key, value in parameters.items()},
+            "constraints": constraints.to_dict(),
+            "target": target,
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    def lookup(self, key: str) -> Optional[ComponentInstance]:
+        """The snapshot for ``key``, or None; updates hit/miss statistics."""
+        with self._lock:
+            template = self._entries.get(key)
+            if template is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return template
+
+    def store(self, key: str, instance: ComponentInstance) -> None:
+        """Snapshot ``instance`` as the template for ``key``."""
+        snapshot = clone_instance(instance, instance.name)
+        with self._lock:
+            self._entries[key] = snapshot
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -1,0 +1,93 @@
+"""Structured error codes and the wire-format error payload.
+
+Every failed service request is reported as an :class:`IcdbErrorInfo`
+inside the :class:`~repro.api.messages.Response` envelope: a machine
+readable ``code`` (one of the ``E_*`` constants below), the human readable
+message, and the exception type name for debugging.  A socket / HTTP
+transport can map codes to status lines without parsing messages; the
+in-process transport additionally keeps the original exception on the
+envelope so the legacy call paths re-raise exactly what they always did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..core.icdb import IcdbError
+
+#: The request is malformed or references an unknown option.
+E_BAD_REQUEST = "BAD_REQUEST"
+#: A named implementation, instance or design does not exist.
+E_NOT_FOUND = "NOT_FOUND"
+#: The operation conflicts with existing state (e.g. duplicate design).
+E_CONFLICT = "CONFLICT"
+#: The component generator failed to produce an instance.
+E_GENERATION_FAILED = "GENERATION_FAILED"
+#: Anything unexpected; the service never lets an exception escape raw.
+E_INTERNAL = "INTERNAL"
+
+ERROR_CODES = (
+    E_BAD_REQUEST,
+    E_NOT_FOUND,
+    E_CONFLICT,
+    E_GENERATION_FAILED,
+    E_INTERNAL,
+)
+
+
+@dataclass(frozen=True)
+class IcdbErrorInfo:
+    """Wire-format description of a failed request."""
+
+    code: str
+    message: str
+    exception_type: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "exception_type": self.exception_type,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, str]) -> "IcdbErrorInfo":
+        return IcdbErrorInfo(
+            code=data.get("code", E_INTERNAL),
+            message=data.get("message", ""),
+            exception_type=data.get("exception_type", ""),
+        )
+
+    def raise_as_exception(self) -> None:
+        """Re-raise as an :class:`IcdbError` (used by remote transports)."""
+        raise IcdbError(self.message, code=self.code)
+
+
+def error_from_exception(exc: BaseException) -> IcdbErrorInfo:
+    """Map an engine exception onto a structured error payload."""
+    from ..components.catalog import CatalogError
+    from ..constraints import ConstraintError
+    from ..core.generation import GenerationError
+    from ..core.instances import InstanceError
+    from ..core.knowledge import KnowledgeError
+    from ..db import DatabaseError, StoreError
+
+    if isinstance(exc, IcdbError):
+        code = getattr(exc, "code", E_BAD_REQUEST)
+    elif isinstance(exc, (InstanceError, CatalogError)):
+        code = E_NOT_FOUND
+    elif isinstance(exc, GenerationError):
+        code = E_GENERATION_FAILED
+    elif isinstance(
+        exc,
+        (ConstraintError, DatabaseError, KnowledgeError, StoreError, ValueError, KeyError, TypeError),
+    ):
+        code = E_BAD_REQUEST
+    else:
+        code = E_INTERNAL
+    # str(KeyError) wraps the message in repr quotes; use the raw argument.
+    message = str(exc.args[0]) if isinstance(exc, KeyError) and exc.args else str(exc)
+    return IcdbErrorInfo(
+        code=code, message=message, exception_type=type(exc).__name__
+    )

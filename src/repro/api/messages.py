@@ -1,0 +1,378 @@
+"""Typed request / response envelopes for every ICDB server operation.
+
+The paper's ICDB is a *component server*: many synthesis tools call it
+concurrently through the ``ICDB()`` / CQL interface.  This module defines
+the wire contract of that server as frozen dataclasses, one per operation:
+
+========================  =================================================
+request type              server operation
+========================  =================================================
+:class:`ComponentQuery`   ``component_query`` (implementations / functions)
+:class:`FunctionQuery`    ``function_query`` (by executed functions)
+:class:`InstanceQuery`    ``instance_query`` / ``connect_component``
+:class:`ComponentRequest` ``request_component`` (generate an instance)
+:class:`LayoutRequest`    layout generation for an existing instance
+:class:`DesignOp`         design / transaction / component-list management
+========================  =================================================
+
+Every request and the :class:`Response` envelope round-trip through
+``to_dict()`` -> JSON -> ``from_dict()``, so a socket or HTTP transport can
+be layered on later without touching the service.  Responses carry
+``ok`` / ``value`` / ``error`` (a structured
+:class:`~repro.api.errors.IcdbErrorInfo`), timing metadata and a
+cache-provenance flag; for the in-process transport they additionally keep
+the original exception so legacy call paths re-raise exactly what the old
+facade raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple, Type
+
+from ..constraints import Constraints, PortPosition
+from ..core.icdb import IcdbError
+from ..core.instances import TARGET_LOGIC
+from ..netlist.structural import StructuralNetlist
+from .errors import E_BAD_REQUEST, IcdbErrorInfo
+
+
+def _tuple(value) -> Tuple[str, ...]:
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        return (value,)
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base class: every server operation is one frozen request object."""
+
+    kind: ClassVar[str] = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Request":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ComponentQuery(Request):
+    """The CQL ``component_query``.
+
+    With ``component`` (and optionally ``functions``): which implementations
+    match.  With ``implementation`` (an implementation or generated-instance
+    name): which functions it executes.
+    """
+
+    kind: ClassVar[str] = "component_query"
+
+    component: Optional[str] = None
+    implementation: Optional[str] = None
+    functions: Tuple[str, ...] = ()
+    attributes: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "component": self.component,
+            "implementation": self.implementation,
+            "functions": list(self.functions),
+            "attributes": dict(self.attributes) if self.attributes else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ComponentQuery":
+        return cls(
+            component=data.get("component"),
+            implementation=data.get("implementation"),
+            functions=_tuple(data.get("functions")),
+            attributes=dict(data["attributes"]) if data.get("attributes") else None,
+        )
+
+
+#: Valid ``want`` values of a :class:`FunctionQuery`.
+FUNCTION_QUERY_WANTS = ("implementation", "component")
+
+
+@dataclass(frozen=True)
+class FunctionQuery(Request):
+    """The CQL ``function_query``: what can execute *all* given functions."""
+
+    kind: ClassVar[str] = "function_query"
+
+    functions: Tuple[str, ...] = ()
+    want: str = "implementation"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "functions": list(self.functions), "want": self.want}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FunctionQuery":
+        return cls(
+            functions=_tuple(data.get("functions")),
+            want=data.get("want", "implementation"),
+        )
+
+
+@dataclass(frozen=True)
+class InstanceQuery(Request):
+    """The CQL ``instance_query`` (and ``connect_component``).
+
+    ``fields`` optionally restricts the answer to the named report fields
+    (e.g. ``("connect",)``); empty means everything known.
+    """
+
+    kind: ClassVar[str] = "instance_query"
+
+    name: str = ""
+    fields: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "name": self.name, "fields": list(self.fields)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "InstanceQuery":
+        return cls(name=data.get("name", ""), fields=_tuple(data.get("fields")))
+
+
+@dataclass(frozen=True)
+class ComponentRequest(Request):
+    """The CQL ``request_component``: generate a component instance.
+
+    Exactly one of the three specification types of Section 3.2.2 applies:
+    a component / implementation name plus attributes, an IIF description,
+    or a structural netlist of existing instances.  ``use_cache`` opts out
+    of the canonical-signature result cache for the catalog-based path.
+    """
+
+    kind: ClassVar[str] = "request_component"
+
+    component_name: Optional[str] = None
+    implementation: Optional[str] = None
+    iif: Optional[str] = None
+    structure: Optional[StructuralNetlist] = None
+    functions: Tuple[str, ...] = ()
+    attributes: Optional[Dict[str, Any]] = None
+    constraints: Optional[Constraints] = None
+    strategy: Optional[str] = None
+    target: str = TARGET_LOGIC
+    instance_name: Optional[str] = None
+    parameters: Optional[Dict[str, int]] = None
+    use_cache: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "component_name": self.component_name,
+            "implementation": self.implementation,
+            "iif": self.iif,
+            "structure": self.structure.to_dict() if self.structure else None,
+            "functions": list(self.functions),
+            "attributes": dict(self.attributes) if self.attributes else None,
+            "constraints": self.constraints.to_dict() if self.constraints else None,
+            "strategy": self.strategy,
+            "target": self.target,
+            "instance_name": self.instance_name,
+            "parameters": dict(self.parameters) if self.parameters else None,
+            "use_cache": self.use_cache,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ComponentRequest":
+        return cls(
+            component_name=data.get("component_name"),
+            implementation=data.get("implementation"),
+            iif=data.get("iif"),
+            structure=(
+                StructuralNetlist.from_dict(data["structure"])
+                if data.get("structure")
+                else None
+            ),
+            functions=_tuple(data.get("functions")),
+            attributes=dict(data["attributes"]) if data.get("attributes") else None,
+            constraints=(
+                Constraints.from_dict(data["constraints"])
+                if data.get("constraints")
+                else None
+            ),
+            strategy=data.get("strategy"),
+            target=data.get("target", TARGET_LOGIC),
+            instance_name=data.get("instance_name"),
+            parameters=(
+                {key: int(value) for key, value in data["parameters"].items()}
+                if data.get("parameters")
+                else None
+            ),
+            use_cache=bool(data.get("use_cache", True)),
+        )
+
+
+@dataclass(frozen=True)
+class LayoutRequest(Request):
+    """Generate (and store) the layout of an existing instance.
+
+    ``alternative`` is the 1-based index into the instance's shape function,
+    as in the paper's ``alternative:3`` layout request.
+    """
+
+    kind: ClassVar[str] = "request_layout"
+
+    name: str = ""
+    alternative: Optional[int] = None
+    strips: Optional[int] = None
+    port_positions: Tuple[PortPosition, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "alternative": self.alternative,
+            "strips": self.strips,
+            "port_positions": [p.to_dict() for p in self.port_positions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LayoutRequest":
+        return cls(
+            name=data.get("name", ""),
+            alternative=data.get("alternative"),
+            strips=data.get("strips"),
+            port_positions=tuple(
+                PortPosition.from_dict(item)
+                for item in (data.get("port_positions") or ())
+            ),
+        )
+
+
+#: Valid operations of a :class:`DesignOp`.
+DESIGN_OPS = (
+    "start_design",
+    "start_transaction",
+    "put_in_list",
+    "component_list",
+    "end_transaction",
+    "end_design",
+)
+
+
+@dataclass(frozen=True)
+class DesignOp(Request):
+    """Design / transaction / component-list management.
+
+    ``op`` is one of :data:`DESIGN_OPS`; ``design`` defaults to the
+    session's current design; ``instance`` is required by ``put_in_list``.
+    """
+
+    kind: ClassVar[str] = "design_op"
+
+    op: str = ""
+    design: str = ""
+    instance: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in DESIGN_OPS:
+            raise IcdbError(
+                f"unknown design operation {self.op!r}; expected one of {DESIGN_OPS}",
+                code=E_BAD_REQUEST,
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "op": self.op,
+            "design": self.design,
+            "instance": self.instance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DesignOp":
+        return cls(
+            op=data.get("op", ""),
+            design=data.get("design", ""),
+            instance=data.get("instance", ""),
+        )
+
+
+#: Registry of request types by wire kind.
+REQUEST_TYPES: Dict[str, Type[Request]] = {
+    cls.kind: cls
+    for cls in (
+        ComponentQuery,
+        FunctionQuery,
+        InstanceQuery,
+        ComponentRequest,
+        LayoutRequest,
+        DesignOp,
+    )
+}
+
+
+def request_from_dict(data: Mapping[str, Any]) -> Request:
+    """Rebuild any request from its ``to_dict()`` form (transport entry)."""
+    kind = data.get("kind")
+    request_type = REQUEST_TYPES.get(kind or "")
+    if request_type is None:
+        raise IcdbError(f"unknown request kind {kind!r}", code=E_BAD_REQUEST)
+    return request_type.from_dict(data)
+
+
+@dataclass(frozen=True)
+class Response:
+    """The envelope every service call returns.
+
+    ``value`` is JSON-serializable (renders and summaries, never live engine
+    objects); ``error`` is set when ``ok`` is false.  ``elapsed_ms`` is the
+    server-side execution time, ``cached`` marks results served from the
+    result cache.  ``exception`` is in-process only (never serialized): the
+    original exception, kept so legacy entry points re-raise it unchanged.
+    """
+
+    ok: bool
+    value: Any = None
+    error: Optional[IcdbErrorInfo] = None
+    elapsed_ms: float = 0.0
+    cached: bool = False
+    session_id: str = ""
+    request_kind: str = ""
+    exception: Optional[BaseException] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "value": self.value,
+            "error": self.error.to_dict() if self.error else None,
+            "elapsed_ms": self.elapsed_ms,
+            "cached": self.cached,
+            "session_id": self.session_id,
+            "request_kind": self.request_kind,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "Response":
+        return Response(
+            ok=bool(data.get("ok")),
+            value=data.get("value"),
+            error=(
+                IcdbErrorInfo.from_dict(data["error"]) if data.get("error") else None
+            ),
+            elapsed_ms=float(data.get("elapsed_ms") or 0.0),
+            cached=bool(data.get("cached", False)),
+            session_id=data.get("session_id", ""),
+            request_kind=data.get("request_kind", ""),
+        )
+
+    def unwrap(self) -> Any:
+        """Return ``value`` or raise: the in-process convenience accessor."""
+        if self.ok:
+            return self.value
+        if self.exception is not None:
+            raise self.exception
+        if self.error is not None:
+            self.error.raise_as_exception()
+        raise IcdbError("request failed with no error information")

@@ -1,0 +1,739 @@
+"""The ICDB component service: shared engine state plus per-client sessions.
+
+The paper's ICDB is a component server that many synthesis tools call
+concurrently.  :class:`ComponentService` is that server: it owns the state
+every client shares (component catalog, cell library, relational database,
+design-data file store, instance registry, tool manager, knowledge server
+and the result cache) and executes the typed requests of
+:mod:`repro.api.messages`, wrapping every result or failure in a
+:class:`~repro.api.messages.Response` envelope with timing metadata.
+
+Each client holds a :class:`Session`: a lightweight object owning the
+*per-client* state -- the current design and its transaction context --
+that the old monolithic facade kept in a single server-global
+``current_design``.  Sessions can run concurrently: instance naming and
+registration are serialized by the shared
+:class:`~repro.core.instances.InstanceManager`, database writes by the
+service lock, and design isolation follows from each instance recording
+the design of the session that created it.
+
+The legacy :class:`~repro.core.icdb.ICDB` facade is a thin shim over one
+default session of a private service.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..components import genus
+from ..components.catalog import (
+    ComponentCatalog,
+    ComponentImplementation,
+    standard_catalog,
+)
+from ..constraints import Constraints, PortPosition
+from ..core.generation import EmbeddedGenerator, ToolManager, default_tool_manager
+from ..core.icdb import IcdbError
+from ..core.instances import (
+    ComponentInstance,
+    InstanceManager,
+    TARGET_LAYOUT,
+    TARGET_LOGIC,
+)
+from ..core.knowledge import KnowledgeServer
+from ..db import (
+    DESIGNS,
+    DESIGN_FILES,
+    DESIGN_INSTANCES,
+    INSTANCES,
+    Database,
+    DesignDataStore,
+    new_database,
+)
+from ..layout.generator import ComponentLayout, generate_layout
+from ..netlist.cif import layout_to_cif
+from ..netlist.structural import StructuralNetlist
+from ..techlib import CellLibrary, standard_cells
+from .cache import ResultCache, clone_instance
+from .errors import E_CONFLICT, E_NOT_FOUND, error_from_exception
+from .messages import (
+    FUNCTION_QUERY_WANTS,
+    ComponentQuery,
+    ComponentRequest,
+    DesignOp,
+    FunctionQuery,
+    InstanceQuery,
+    LayoutRequest,
+    Request,
+    Response,
+)
+
+
+def instance_summary(instance: ComponentInstance) -> Dict[str, object]:
+    """The JSON-safe wire summary of a generated instance.
+
+    This is what a :class:`~repro.api.messages.ComponentRequest` answers
+    with: the fresh instance name plus the renders and figures a client
+    needs without another round trip.
+    """
+    return {
+        "instance": instance.name,
+        "implementation": instance.implementation,
+        "component_type": instance.component_type,
+        "parameters": dict(instance.parameters),
+        "functions": list(instance.functions),
+        "target": instance.target,
+        "clock_width": float(instance.clock_width),
+        "area_um2": float(instance.area),
+        "cells": int(instance.netlist.cell_count()),
+        "delay": instance.render_delay(),
+        "area": instance.render_area_records(),
+        "shape_function": instance.render_shape(),
+        "met_constraints": instance.met_constraints(),
+        "violations": list(instance.constraint_violations),
+        "files": dict(instance.files),
+        "cached": bool(instance.cached),
+        "design": instance.design,
+    }
+
+
+class Session:
+    """One client's view of the component service.
+
+    A session owns the per-client design context (``current_design`` and
+    its transaction state) while sharing the service's catalog, database,
+    store, instance registry and result cache.  All the classic ICDB
+    operations are methods here; the typed entry point is
+    :meth:`execute`.
+    """
+
+    def __init__(self, service: "ComponentService", session_id: str, client: str = ""):
+        self.service = service
+        self.session_id = session_id
+        self.client = client
+        self.current_design: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Session({self.session_id!r}, design={self.current_design!r})"
+
+    # ------------------------------------------------------ shared state views
+
+    @property
+    def catalog(self) -> ComponentCatalog:
+        return self.service.catalog
+
+    @property
+    def instances(self) -> InstanceManager:
+        return self.service.instances
+
+    @property
+    def database(self) -> Database:
+        return self.service.database
+
+    # ----------------------------------------------------------- typed entry
+
+    def execute(self, request: Request) -> Response:
+        """Execute a typed request in this session's context."""
+        return self.service.execute(request, self)
+
+    # ----------------------------------------------------------------- query
+
+    def function_query(
+        self, functions: Sequence[str], want: str = "implementation"
+    ) -> List[str]:
+        """Components or implementations that execute *all* given functions."""
+        if want not in FUNCTION_QUERY_WANTS:
+            raise IcdbError(
+                f"unknown function_query want {want!r}; "
+                f"expected one of {FUNCTION_QUERY_WANTS}"
+            )
+        matches = self.catalog.by_functions(functions)
+        if want == "component":
+            seen: List[str] = []
+            for implementation in matches:
+                if implementation.component_type not in seen:
+                    seen.append(implementation.component_type)
+            return seen
+        return [implementation.name for implementation in matches]
+
+    def component_query(
+        self,
+        component: Optional[str] = None,
+        implementation: Optional[str] = None,
+        functions: Optional[Sequence[str]] = None,
+        attributes: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, List[str]]:
+        """The CQL ``component_query`` (see :class:`~repro.core.icdb.ICDB`)."""
+        result: Dict[str, List[str]] = {}
+        if implementation is not None:
+            if implementation in self.instances:
+                result["function"] = list(self.instances.get(implementation).functions)
+            else:
+                result["function"] = list(self.catalog.get(implementation).functions)
+            return result
+        candidates = self.catalog.implementations()
+        if component is not None:
+            candidates = [
+                impl
+                for impl in candidates
+                if impl.component_type.lower() == component.lower()
+                or impl.name.lower() == component.lower()
+            ]
+        if functions:
+            candidates = [impl for impl in candidates if impl.performs(functions)]
+        result["implementation"] = [impl.name for impl in candidates]
+        result["component"] = sorted({impl.component_type for impl in candidates})
+        return result
+
+    def functions_of(self, name: str) -> List[str]:
+        """Functions a generated instance or an implementation can execute."""
+        if name in self.instances:
+            return list(self.instances.get(name).functions)
+        return list(self.catalog.get(name).functions)
+
+    def implementations_of_type(self, component_type: str) -> List[str]:
+        return [impl.name for impl in self.catalog.by_component_type(component_type)]
+
+    # --------------------------------------------------------------- request
+
+    def request_component(
+        self,
+        component_name: Optional[str] = None,
+        implementation: Optional[str] = None,
+        iif: Optional[str] = None,
+        structure: Optional[StructuralNetlist] = None,
+        functions: Optional[Sequence[str]] = None,
+        attributes: Optional[Mapping[str, object]] = None,
+        constraints: Optional[Constraints] = None,
+        strategy: Optional[str] = None,
+        target: str = TARGET_LOGIC,
+        instance_name: Optional[str] = None,
+        parameters: Optional[Mapping[str, int]] = None,
+        use_cache: bool = True,
+    ) -> ComponentInstance:
+        """The CQL ``request_component``: generate a component instance.
+
+        Catalog-based requests are memoized: an identical implementation /
+        parameters / constraints / target signature reuses the synthesized
+        netlist and estimates under a fresh instance name (``use_cache=False``
+        forces a full generator run).
+        """
+        service = self.service
+        constraints = constraints or Constraints()
+        if strategy is not None:
+            constraints = constraints.with_updates(strategy=strategy)
+        if target not in (TARGET_LOGIC, TARGET_LAYOUT):
+            raise IcdbError(f"unknown generation target {target!r}")
+
+        if iif is not None:
+            name = instance_name or self.instances.new_name("custom")
+            instance = service.generator.generate_from_iif(
+                iif, parameters, constraints, name, target, functions or ()
+            )
+        elif structure is not None:
+            name = instance_name or self.instances.new_name(structure.name)
+            instance = service.generator.generate_from_structure(
+                structure,
+                lambda ref: self.instances.get(ref.component).netlist,
+                constraints,
+                name,
+                target,
+            )
+        else:
+            chosen = service.choose_implementation(
+                component_name, implementation, functions
+            )
+            overrides = dict(parameters or {})
+            overrides.update(chosen.attributes_to_parameters(attributes))
+            key = (
+                service.cache.signature(chosen.name, overrides, constraints, target)
+                if use_cache
+                else None
+            )
+            template = service.cache.lookup(key) if key is not None else None
+            name = instance_name or self.instances.new_name(chosen.name)
+            if template is not None:
+                instance = clone_instance(template, name)
+            else:
+                instance = service.generator.generate_from_implementation(
+                    chosen, overrides, constraints, name, target
+                )
+                if key is not None:
+                    service.cache.store(key, instance)
+
+        instance.design = self.current_design
+        service.register_instance(instance)
+        return instance
+
+    # --------------------------------------------------------- instance query
+
+    def instance(self, name: str) -> ComponentInstance:
+        return self.instances.get(name)
+
+    def instance_query(
+        self, name: str, fields: Optional[Sequence[str]] = None
+    ) -> Dict[str, object]:
+        """The CQL ``instance_query``: everything known about an instance.
+
+        ``fields`` restricts the answer to the named reports; only those are
+        rendered (``connect_component`` asks for ``("connect",)`` and never
+        pays for the VHDL netlist).
+        """
+        instance = self.instances.get(name)
+        producers = {
+            "function": lambda: list(instance.functions),
+            "delay": instance.render_delay,
+            "area": instance.render_area_records,
+            "shape_function": instance.render_shape,
+            "clock_width": lambda: instance.clock_width,
+            "VHDL_net_list": instance.vhdl_netlist,
+            "VHDL_head": instance.vhdl_head,
+            "connect": lambda: instance.connection_info,
+            "files": lambda: dict(instance.files),
+            "met_constraints": instance.met_constraints,
+            "violations": lambda: list(instance.constraint_violations),
+        }
+        if fields:
+            unknown = [field for field in fields if field not in producers]
+            if unknown:
+                raise IcdbError(
+                    f"unknown instance_query fields {unknown}", code=E_NOT_FOUND
+                )
+            return {field: producers[field]() for field in fields}
+        return {key: produce() for key, produce in producers.items()}
+
+    def connect_component(self, name: str) -> str:
+        """The CQL ``connect_component``: connection information string."""
+        return self.instances.get(name).connection_info
+
+    def request_layout(
+        self,
+        name: str,
+        alternative: Optional[int] = None,
+        strips: Optional[int] = None,
+        port_positions: Sequence[PortPosition] = (),
+    ) -> ComponentLayout:
+        """Generate (and store) the layout of an existing instance."""
+        instance = self.instances.get(name)
+        if strips is None and alternative is not None:
+            strips = instance.shape.alternative(alternative).strips
+        layout = generate_layout(
+            instance.netlist,
+            strips=strips,
+            port_positions=port_positions,
+        )
+        instance.layout = layout
+        instance.target = TARGET_LAYOUT
+        service = self.service
+        cif_path = service.store.write(name, "cif", layout_to_cif(layout))
+        instance.files["cif"] = str(cif_path)
+        with service.lock:
+            files_table = service.database.table(DESIGN_FILES)
+            # One DESIGN_FILES row per (instance, kind): a regenerated layout
+            # replaces the recorded path instead of inserting a duplicate.
+            if files_table.select({"instance": name, "kind": "cif"}):
+                files_table.update(
+                    {"instance": name, "kind": "cif"}, path=str(cif_path)
+                )
+            else:
+                files_table.insert(instance=name, kind="cif", path=str(cif_path))
+            service.database.table(INSTANCES).update(
+                {"name": name},
+                area=float(layout.area),
+                width=float(layout.width),
+                height=float(layout.height),
+                strips=int(layout.strips),
+                target=TARGET_LAYOUT,
+            )
+        return layout
+
+    # ----------------------------------------------------design transactions
+
+    def start_a_design(self, design: str) -> None:
+        if not design:
+            raise IcdbError("a design name is required")
+        with self.service.lock:
+            table = self.service.database.table(DESIGNS)
+            if table.get(name=design) is not None:
+                raise IcdbError(f"design {design!r} already exists", code=E_CONFLICT)
+            table.insert(name=design, status="open", transaction_open=False)
+        self.current_design = design
+
+    def start_a_transaction(self, design: Optional[str] = None) -> None:
+        design = design or self.current_design
+        with self.service.lock:
+            row = self.service.database.table(DESIGNS).get(name=design)
+            if row is None:
+                raise IcdbError(
+                    f"design {design!r} has not been started", code=E_NOT_FOUND
+                )
+            self.service.database.table(DESIGNS).update(
+                {"name": design}, transaction_open=True
+            )
+        self.current_design = design
+
+    def put_in_component_list(self, instance: str, design: Optional[str] = None) -> None:
+        design = design or self.current_design
+        if not design:
+            raise IcdbError("no design is active")
+        self.instances.get(instance)  # raises if unknown
+        with self.service.lock:
+            table = self.service.database.table(DESIGN_INSTANCES)
+            rows = table.select({"design": design, "instance": instance})
+            if rows:
+                table.update({"design": design, "instance": instance}, kept=True)
+            else:
+                table.insert(design=design, instance=instance, kept=True)
+
+    def component_list(self, design: Optional[str] = None) -> List[str]:
+        design = design or self.current_design
+        rows = self.service.database.table(DESIGN_INSTANCES).select(
+            {"design": design, "kept": True}
+        )
+        return [row["instance"] for row in rows]
+
+    def end_a_transaction(self, design: Optional[str] = None) -> List[str]:
+        """End a transaction: delete the design's instances not in the list."""
+        design = design or self.current_design
+        service = self.service
+        with service.lock:
+            row = service.database.table(DESIGNS).get(name=design)
+            if row is None:
+                raise IcdbError(
+                    f"design {design!r} has not been started", code=E_NOT_FOUND
+                )
+            doomed = service.database.table(DESIGN_INSTANCES).select(
+                {"design": design, "kept": False}
+            )
+            removed = []
+            for entry in doomed:
+                service.delete_instance(entry["instance"])
+                removed.append(entry["instance"])
+            service.database.table(DESIGN_INSTANCES).delete(
+                {"design": design, "kept": False}
+            )
+            service.database.table(DESIGNS).update(
+                {"name": design}, transaction_open=False
+            )
+        return removed
+
+    def end_a_design(self, design: Optional[str] = None) -> List[str]:
+        """End a design: delete every remaining instance of its component list."""
+        design = design or self.current_design
+        service = self.service
+        with service.lock:
+            row = service.database.table(DESIGNS).get(name=design)
+            if row is None:
+                raise IcdbError(
+                    f"design {design!r} has not been started", code=E_NOT_FOUND
+                )
+            removed = []
+            for entry in service.database.table(DESIGN_INSTANCES).select(
+                {"design": design}
+            ):
+                service.delete_instance(entry["instance"])
+                removed.append(entry["instance"])
+            service.database.table(DESIGN_INSTANCES).delete({"design": design})
+            service.database.table(DESIGNS).update(
+                {"name": design}, status="closed", transaction_open=False
+            )
+        if self.current_design == design:
+            self.current_design = ""
+        return removed
+
+    # ---------------------------------------------------------------- helpers
+
+    def area_time_tradeoff(
+        self,
+        component_name: str,
+        configurations: Sequence[Tuple[str, Mapping[str, int]]],
+        constraints: Optional[Constraints] = None,
+        delay_output: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Generate several configurations of a component and tabulate the
+        (delay, area) tradeoff -- the Figure 5 experiment."""
+        rows: List[Dict[str, object]] = []
+        for label, parameters in configurations:
+            instance = self.request_component(
+                implementation=component_name,
+                parameters=parameters,
+                constraints=constraints,
+                instance_name=self.instances.new_name(f"{component_name}_{label}"),
+            )
+            delay_value = (
+                instance.delay_to(delay_output)
+                if delay_output is not None
+                else instance.worst_delay()
+            )
+            rows.append(
+                {
+                    "label": label,
+                    "instance": instance.name,
+                    "delay": delay_value,
+                    "clock_width": instance.clock_width,
+                    "area": instance.area,
+                    "cells": instance.netlist.cell_count(),
+                }
+            )
+        return rows
+
+
+class ComponentService:
+    """The shared ICDB engine behind every session and the legacy facade."""
+
+    def __init__(
+        self,
+        catalog: Optional[ComponentCatalog] = None,
+        cell_library: Optional[CellLibrary] = None,
+        database: Optional[Database] = None,
+        store: Optional[DesignDataStore] = None,
+        store_root: Optional[Union[str, Path]] = None,
+        cache: Optional[ResultCache] = None,
+    ):
+        self.catalog = catalog or standard_catalog(fresh=True)
+        self.cell_library = cell_library or standard_cells()
+        self.database = database or new_database()
+        self.store = store or DesignDataStore(store_root)
+        self.instances = InstanceManager()
+        self.tool_manager: ToolManager = default_tool_manager()
+        self.generator = EmbeddedGenerator(self.cell_library)
+        self.knowledge = KnowledgeServer(
+            self.catalog, self.database, self.store, self.tool_manager
+        )
+        self.knowledge.load_catalog()
+        self.cache = cache or ResultCache()
+        #: Serializes writes to the relational database and design tables.
+        self.lock = threading.RLock()
+        self._session_counter = 0
+        self._default_session: Optional[Session] = None
+
+    # ---------------------------------------------------------------- sessions
+
+    def create_session(self, client: str = "") -> Session:
+        """A new session with its own design context."""
+        with self.lock:
+            self._session_counter += 1
+            session_id = f"session-{self._session_counter}"
+        return Session(self, session_id, client=client)
+
+    @property
+    def default_session(self) -> Session:
+        """The session used when :meth:`execute` is called without one."""
+        with self.lock:
+            if self._default_session is None:
+                self._default_session = self.create_session(client="default")
+            return self._default_session
+
+    # ------------------------------------------------------------ typed entry
+
+    def execute(self, request: Request, session: Optional[Session] = None) -> Response:
+        """Execute one typed request; never raises, always an envelope."""
+        session = session or self.default_session
+        start = time.perf_counter()
+        try:
+            value, cached = self._dispatch(request, session)
+        except Exception as exc:  # noqa: BLE001 - mapped to structured errors
+            return Response(
+                ok=False,
+                error=error_from_exception(exc),
+                elapsed_ms=(time.perf_counter() - start) * 1000.0,
+                session_id=session.session_id,
+                request_kind=request.kind,
+                exception=exc,
+            )
+        return Response(
+            ok=True,
+            value=value,
+            cached=cached,
+            elapsed_ms=(time.perf_counter() - start) * 1000.0,
+            session_id=session.session_id,
+            request_kind=request.kind,
+        )
+
+    def _dispatch(self, request: Request, session: Session):
+        if isinstance(request, ComponentQuery):
+            return (
+                session.component_query(
+                    component=request.component,
+                    implementation=request.implementation,
+                    functions=list(request.functions) or None,
+                    attributes=request.attributes,
+                ),
+                False,
+            )
+        if isinstance(request, FunctionQuery):
+            return (
+                session.function_query(list(request.functions), want=request.want),
+                False,
+            )
+        if isinstance(request, InstanceQuery):
+            return session.instance_query(request.name, request.fields or None), False
+        if isinstance(request, ComponentRequest):
+            instance = session.request_component(
+                component_name=request.component_name,
+                implementation=request.implementation,
+                iif=request.iif,
+                structure=request.structure,
+                functions=list(request.functions) or None,
+                attributes=request.attributes,
+                constraints=request.constraints,
+                strategy=request.strategy,
+                target=request.target,
+                instance_name=request.instance_name,
+                parameters=request.parameters,
+                use_cache=request.use_cache,
+            )
+            return instance_summary(instance), instance.cached
+        if isinstance(request, LayoutRequest):
+            layout = session.request_layout(
+                request.name,
+                alternative=request.alternative,
+                strips=request.strips,
+                port_positions=request.port_positions,
+            )
+            return (
+                {
+                    "instance": request.name,
+                    "cif_layout": layout_to_cif(layout),
+                    "area": float(layout.area),
+                    "width": float(layout.width),
+                    "height": float(layout.height),
+                    "strips": int(layout.strips),
+                },
+                False,
+            )
+        if isinstance(request, DesignOp):
+            return self._design_op(request, session), False
+        raise IcdbError(f"unsupported request type {type(request).__name__!r}")
+
+    def _design_op(self, request: DesignOp, session: Session) -> Dict[str, object]:
+        design = request.design or session.current_design
+        if request.op == "start_design":
+            session.start_a_design(request.design)
+            return {"design": request.design}
+        if request.op == "start_transaction":
+            session.start_a_transaction(request.design or None)
+            return {"design": session.current_design}
+        if request.op == "put_in_list":
+            session.put_in_component_list(request.instance, request.design or None)
+            return {"design": design, "instance": request.instance}
+        if request.op == "component_list":
+            return {"design": design, "instances": session.component_list(design)}
+        if request.op == "end_transaction":
+            return {"design": design, "removed": session.end_a_transaction(request.design or None)}
+        return {"design": design, "removed": session.end_a_design(request.design or None)}
+
+    # -------------------------------------------------------- engine internals
+
+    def choose_implementation(
+        self,
+        component_name: Optional[str],
+        implementation: Optional[str],
+        functions: Optional[Sequence[str]],
+    ) -> ComponentImplementation:
+        """Resolve a request to one catalog implementation (Section 3.2.2)."""
+        if implementation is not None:
+            return self.catalog.get(implementation)
+        candidates = self.catalog.implementations()
+        if component_name is not None:
+            by_type = [
+                impl
+                for impl in candidates
+                if impl.component_type.lower() == component_name.lower()
+            ]
+            if not by_type and component_name.lower() in {
+                impl.name.lower() for impl in candidates
+            }:
+                return self.catalog.get(component_name)
+            candidates = by_type
+        if functions:
+            candidates = [impl for impl in candidates if impl.performs(functions)]
+        if not candidates:
+            raise IcdbError(
+                f"no implementation matches component={component_name!r} "
+                f"functions={list(functions or [])!r}",
+                code=E_NOT_FOUND,
+            )
+        # Prefer an implementation named exactly like the requested component,
+        # then the one with the fewest extra functions (cheapest component
+        # that still does the job), ties broken by name for determinism.
+        wanted = {genus.normalize_function(f) for f in (functions or [])}
+        requested = (component_name or "").lower()
+        return min(
+            candidates,
+            key=lambda impl: (
+                0 if impl.name.lower() == requested else 1,
+                len(set(impl.functions) - wanted),
+                impl.name,
+            ),
+        )
+
+    def register_instance(self, instance: ComponentInstance) -> None:
+        """Register a generated instance and persist its design data."""
+        self.instances.add(instance)
+        self._persist_instance(instance)
+
+    def _persist_instance(self, instance: ComponentInstance) -> None:
+        files = {
+            "flat_iif": self.store.write(instance.name, "flat_iif", instance.flat_milo()),
+            "vhdl": self.store.write(instance.name, "vhdl", instance.vhdl_netlist()),
+            "vhdl_head": self.store.write(instance.name, "vhdl_head", instance.vhdl_head()),
+            "delay": self.store.write(instance.name, "delay", instance.render_delay() + "\n"),
+            "shape": self.store.write(instance.name, "shape", instance.render_shape() + "\n"),
+            "area": self.store.write(instance.name, "area", instance.render_area_records() + "\n"),
+        }
+        if instance.connection_info:
+            files["connect"] = self.store.write(
+                instance.name, "connect", instance.connection_info + "\n"
+            )
+        if instance.layout is not None:
+            files["cif"] = self.store.write(
+                instance.name, "cif", layout_to_cif(instance.layout)
+            )
+        instance.files = {kind: str(path) for kind, path in files.items()}
+
+        with self.lock:
+            table = self.database.table(INSTANCES)
+            table.insert(
+                name=instance.name,
+                implementation=instance.implementation,
+                component_type=instance.component_type,
+                parameters=dict(instance.parameters),
+                functions=list(instance.functions),
+                target=instance.target,
+                clock_width=float(instance.clock_width),
+                area=float(instance.area),
+                width=float(instance.area_record.width),
+                height=float(instance.area_record.height),
+                strips=int(instance.area_record.strips),
+                cells=int(instance.netlist.cell_count()),
+                transistors=float(instance.netlist.transistor_units()),
+                design=instance.design,
+            )
+            files_table = self.database.table(DESIGN_FILES)
+            for kind, path in instance.files.items():
+                files_table.insert(instance=instance.name, kind=kind, path=path)
+            if instance.design:
+                self.database.table(DESIGN_INSTANCES).insert(
+                    design=instance.design, instance=instance.name, kept=False
+                )
+
+    def delete_instance(self, name: str) -> None:
+        """Remove an instance from the registry, database and file store."""
+        self.instances.remove(name)
+        with self.lock:
+            self.database.table(INSTANCES).delete({"name": name})
+            self.database.table(DESIGN_FILES).delete({"instance": name})
+        self.store.remove_instance(name)
+
+    # ----------------------------------------------------------------- report
+
+    def summary(self) -> str:
+        return (
+            f"ICDB: {len(self.catalog)} implementations, "
+            f"{len(self.instances)} generated instances, "
+            f"{len(self.cell_library)} library cells"
+        )

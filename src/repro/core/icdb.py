@@ -1,66 +1,115 @@
-"""The ICDB component server.
+"""The ICDB component server facade.
 
 :class:`ICDB` is the facade the paper's synthesis tools talk to (through
 CQL or directly): it answers component / function queries, generates
 component instances on request, answers instance queries (delay, area,
 shape function, connection information, VHDL netlists), generates layouts,
 and manages the per-design component lists and transactions.
+
+Since the service-layer redesign the actual engine lives in
+:mod:`repro.api`: a :class:`~repro.api.service.ComponentService` owns the
+shared state (catalog, cell library, database, file store, instance
+registry, result cache) and per-client
+:class:`~repro.api.service.Session` objects own the design context and
+transaction state.  ``ICDB`` is a thin backward-compatible shim: it
+constructs one service plus one default session and delegates every call,
+so existing single-client code keeps working unchanged while multi-client
+tools talk to the service directly.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..components import genus
-from ..components.catalog import CatalogError, ComponentCatalog, ComponentImplementation, standard_catalog
 from ..constraints import Constraints, PortPosition
-from ..db import (
-    DESIGNS,
-    DESIGN_FILES,
-    DESIGN_INSTANCES,
-    INSTANCES,
-    Database,
-    DesignDataStore,
-    new_database,
-)
-from ..iif import flat_to_milo
-from ..layout.generator import ComponentLayout, generate_layout
-from ..netlist.cif import layout_to_cif
-from ..netlist.structural import ComponentRef, StructuralNetlist
-from ..techlib import CellLibrary, standard_cells
-from .generation import EmbeddedGenerator, GenerationError, ToolManager, default_tool_manager
-from .instances import ComponentInstance, InstanceError, InstanceManager, TARGET_LAYOUT, TARGET_LOGIC
-from .knowledge import KnowledgeServer
+from ..layout.generator import ComponentLayout
+from ..netlist.structural import StructuralNetlist
+from .instances import ComponentInstance, TARGET_LOGIC
 
 
 class IcdbError(RuntimeError):
-    """Raised for invalid ICDB requests."""
+    """Raised for invalid ICDB requests.
+
+    ``code`` is a structured error code (one of the constants in
+    :mod:`repro.api.errors`) so a transport can map failures without
+    parsing messages.
+    """
+
+    def __init__(self, message: str, code: str = "BAD_REQUEST"):
+        super().__init__(message)
+        self.code = code
 
 
 class ICDB:
-    """The intelligent component database system."""
+    """The intelligent component database system (single-client facade)."""
 
     def __init__(
         self,
-        catalog: Optional[ComponentCatalog] = None,
-        cell_library: Optional[CellLibrary] = None,
-        database: Optional[Database] = None,
-        store: Optional[DesignDataStore] = None,
+        catalog=None,
+        cell_library=None,
+        database=None,
+        store=None,
         store_root: Optional[Union[str, Path]] = None,
     ):
-        self.catalog = catalog or standard_catalog(fresh=True)
-        self.cell_library = cell_library or standard_cells()
-        self.database = database or new_database()
-        self.store = store or DesignDataStore(store_root)
-        self.instances = InstanceManager()
-        self.tool_manager: ToolManager = default_tool_manager()
-        self.generator = EmbeddedGenerator(self.cell_library)
-        self.knowledge = KnowledgeServer(
-            self.catalog, self.database, self.store, self.tool_manager
+        # Imported lazily: repro.api.service imports repro.core at module
+        # level, so a module-level import here would be circular.
+        from ..api.service import ComponentService
+
+        self.service = ComponentService(
+            catalog=catalog,
+            cell_library=cell_library,
+            database=database,
+            store=store,
+            store_root=store_root,
         )
-        self.knowledge.load_catalog()
-        self.current_design: str = ""
+        self.session = self.service.create_session(client="icdb-facade")
+
+    # ===================================================== shared-state access
+
+    @property
+    def catalog(self):
+        return self.service.catalog
+
+    @property
+    def cell_library(self):
+        return self.service.cell_library
+
+    @property
+    def database(self):
+        return self.service.database
+
+    @property
+    def store(self):
+        return self.service.store
+
+    @property
+    def instances(self):
+        return self.service.instances
+
+    @property
+    def tool_manager(self):
+        return self.service.tool_manager
+
+    @property
+    def generator(self):
+        return self.service.generator
+
+    @property
+    def knowledge(self):
+        return self.service.knowledge
+
+    @property
+    def cache(self):
+        return self.service.cache
+
+    @property
+    def current_design(self) -> str:
+        return self.session.current_design
+
+    @current_design.setter
+    def current_design(self, design: str) -> None:
+        self.session.current_design = design
 
     # =================================================================== query
 
@@ -70,16 +119,10 @@ class ICDB:
         """Components or implementations that execute *all* given functions.
 
         ``want`` is ``"implementation"`` (implementation names) or
-        ``"component"`` (component-type names).
+        ``"component"`` (component-type names); anything else raises
+        :class:`IcdbError`.
         """
-        matches = self.catalog.by_functions(functions)
-        if want == "component":
-            seen: List[str] = []
-            for implementation in matches:
-                if implementation.component_type not in seen:
-                    seen.append(implementation.component_type)
-            return seen
-        return [implementation.name for implementation in matches]
+        return self.session.function_query(functions, want=want)
 
     def component_query(
         self,
@@ -95,35 +138,19 @@ class ICDB:
         * with ``implementation`` or a generated-instance name: returns the
           functions it can execute.
         """
-        result: Dict[str, List[str]] = {}
-        if implementation is not None:
-            if implementation in self.instances:
-                result["function"] = list(self.instances.get(implementation).functions)
-            else:
-                result["function"] = list(self.catalog.get(implementation).functions)
-            return result
-        candidates = self.catalog.implementations()
-        if component is not None:
-            candidates = [
-                impl
-                for impl in candidates
-                if impl.component_type.lower() == component.lower()
-                or impl.name.lower() == component.lower()
-            ]
-        if functions:
-            candidates = [impl for impl in candidates if impl.performs(functions)]
-        result["implementation"] = [impl.name for impl in candidates]
-        result["component"] = sorted({impl.component_type for impl in candidates})
-        return result
+        return self.session.component_query(
+            component=component,
+            implementation=implementation,
+            functions=functions,
+            attributes=attributes,
+        )
 
     def functions_of(self, name: str) -> List[str]:
         """Functions a generated instance or an implementation can execute."""
-        if name in self.instances:
-            return list(self.instances.get(name).functions)
-        return list(self.catalog.get(name).functions)
+        return self.session.functions_of(name)
 
     def implementations_of_type(self, component_type: str) -> List[str]:
-        return [impl.name for impl in self.catalog.by_component_type(component_type)]
+        return self.session.implementations_of_type(component_type)
 
     # ================================================================= request
 
@@ -147,150 +174,32 @@ class ICDB:
         provided: a component / implementation name plus attributes, an IIF
         description, or a structural netlist of existing instances.
         """
-        constraints = constraints or Constraints()
-        if strategy is not None:
-            constraints = constraints.with_updates(strategy=strategy)
-        if target not in (TARGET_LOGIC, TARGET_LAYOUT):
-            raise IcdbError(f"unknown generation target {target!r}")
-
-        if iif is not None:
-            name = instance_name or self.instances.new_name("custom")
-            instance = self.generator.generate_from_iif(
-                iif, parameters, constraints, name, target, functions or ()
-            )
-        elif structure is not None:
-            name = instance_name or self.instances.new_name(structure.name)
-            instance = self.generator.generate_from_structure(
-                structure,
-                lambda ref: self.instances.get(ref.component).netlist,
-                constraints,
-                name,
-                target,
-            )
-        else:
-            chosen = self._choose_implementation(component_name, implementation, functions)
-            overrides = dict(parameters or {})
-            overrides.update(chosen.attributes_to_parameters(attributes))
-            name = instance_name or self.instances.new_name(chosen.name)
-            instance = self.generator.generate_from_implementation(
-                chosen, overrides, constraints, name, target
-            )
-
-        instance.design = self.current_design
-        self.instances.add(instance)
-        self._persist_instance(instance)
-        return instance
-
-    def _choose_implementation(
-        self,
-        component_name: Optional[str],
-        implementation: Optional[str],
-        functions: Optional[Sequence[str]],
-    ) -> ComponentImplementation:
-        if implementation is not None:
-            return self.catalog.get(implementation)
-        candidates = self.catalog.implementations()
-        if component_name is not None:
-            by_type = [
-                impl
-                for impl in candidates
-                if impl.component_type.lower() == component_name.lower()
-            ]
-            if not by_type and component_name.lower() in {
-                impl.name.lower() for impl in candidates
-            }:
-                return self.catalog.get(component_name)
-            candidates = by_type
-        if functions:
-            candidates = [impl for impl in candidates if impl.performs(functions)]
-        if not candidates:
-            raise IcdbError(
-                f"no implementation matches component={component_name!r} "
-                f"functions={list(functions or [])!r}"
-            )
-        # Prefer an implementation named exactly like the requested component,
-        # then the one with the fewest extra functions (cheapest component
-        # that still does the job), ties broken by name for determinism.
-        wanted = {genus.normalize_function(f) for f in (functions or [])}
-        requested = (component_name or "").lower()
-        return min(
-            candidates,
-            key=lambda impl: (
-                0 if impl.name.lower() == requested else 1,
-                len(set(impl.functions) - wanted),
-                impl.name,
-            ),
+        return self.session.request_component(
+            component_name=component_name,
+            implementation=implementation,
+            iif=iif,
+            structure=structure,
+            functions=functions,
+            attributes=attributes,
+            constraints=constraints,
+            strategy=strategy,
+            target=target,
+            instance_name=instance_name,
+            parameters=parameters,
         )
-
-    def _persist_instance(self, instance: ComponentInstance) -> None:
-        files = {
-            "flat_iif": self.store.write(instance.name, "flat_iif", flat_to_milo(instance.flat)),
-            "vhdl": self.store.write(instance.name, "vhdl", instance.vhdl_netlist()),
-            "vhdl_head": self.store.write(instance.name, "vhdl_head", instance.vhdl_head()),
-            "delay": self.store.write(instance.name, "delay", instance.render_delay() + "\n"),
-            "shape": self.store.write(instance.name, "shape", instance.render_shape() + "\n"),
-            "area": self.store.write(instance.name, "area", instance.render_area_records() + "\n"),
-        }
-        if instance.connection_info:
-            files["connect"] = self.store.write(
-                instance.name, "connect", instance.connection_info + "\n"
-            )
-        if instance.layout is not None:
-            files["cif"] = self.store.write(
-                instance.name, "cif", layout_to_cif(instance.layout)
-            )
-        instance.files = {kind: str(path) for kind, path in files.items()}
-
-        table = self.database.table(INSTANCES)
-        table.insert(
-            name=instance.name,
-            implementation=instance.implementation,
-            component_type=instance.component_type,
-            parameters=dict(instance.parameters),
-            functions=list(instance.functions),
-            target=instance.target,
-            clock_width=float(instance.clock_width),
-            area=float(instance.area),
-            width=float(instance.area_record.width),
-            height=float(instance.area_record.height),
-            strips=int(instance.area_record.strips),
-            cells=int(instance.netlist.cell_count()),
-            transistors=float(instance.netlist.transistor_units()),
-            design=instance.design,
-        )
-        files_table = self.database.table(DESIGN_FILES)
-        for kind, path in instance.files.items():
-            files_table.insert(instance=instance.name, kind=kind, path=path)
-        if self.current_design:
-            self.database.table(DESIGN_INSTANCES).insert(
-                design=self.current_design, instance=instance.name, kept=False
-            )
 
     # ========================================================== instance query
 
     def instance(self, name: str) -> ComponentInstance:
-        return self.instances.get(name)
+        return self.session.instance(name)
 
     def instance_query(self, name: str) -> Dict[str, object]:
         """The CQL ``instance_query``: everything known about an instance."""
-        instance = self.instances.get(name)
-        return {
-            "function": list(instance.functions),
-            "delay": instance.render_delay(),
-            "area": instance.render_area_records(),
-            "shape_function": instance.render_shape(),
-            "clock_width": instance.clock_width,
-            "VHDL_net_list": instance.vhdl_netlist(),
-            "VHDL_head": instance.vhdl_head(),
-            "connect": instance.connection_info,
-            "files": dict(instance.files),
-            "met_constraints": instance.met_constraints(),
-            "violations": list(instance.constraint_violations),
-        }
+        return self.session.instance_query(name)
 
     def connect_component(self, name: str) -> str:
         """The CQL ``connect_component``: connection information string."""
-        return self.instances.get(name).connection_info
+        return self.session.connect_component(name)
 
     def request_layout(
         self,
@@ -304,94 +213,34 @@ class ICDB:
         ``alternative`` is the 1-based index into the instance's shape
         function, as in the paper's ``alternative:3`` layout request.
         """
-        instance = self.instances.get(name)
-        if strips is None and alternative is not None:
-            strips = instance.shape.alternative(alternative).strips
-        layout = generate_layout(
-            instance.netlist,
+        return self.session.request_layout(
+            name,
+            alternative=alternative,
             strips=strips,
             port_positions=port_positions,
         )
-        instance.layout = layout
-        instance.target = TARGET_LAYOUT
-        cif_path = self.store.write(name, "cif", layout_to_cif(layout))
-        instance.files["cif"] = str(cif_path)
-        self.database.table(DESIGN_FILES).insert(instance=name, kind="cif", path=str(cif_path))
-        self.database.table(INSTANCES).update(
-            {"name": name}, area=float(layout.area), width=float(layout.width),
-            height=float(layout.height), strips=int(layout.strips), target=TARGET_LAYOUT,
-        )
-        return layout
 
     # ===================================================== design transactions
 
     def start_a_design(self, design: str) -> None:
-        table = self.database.table(DESIGNS)
-        if table.get(name=design) is not None:
-            raise IcdbError(f"design {design!r} already exists")
-        table.insert(name=design, status="open", transaction_open=False)
-        self.current_design = design
+        self.session.start_a_design(design)
 
     def start_a_transaction(self, design: Optional[str] = None) -> None:
-        design = design or self.current_design
-        row = self.database.table(DESIGNS).get(name=design)
-        if row is None:
-            raise IcdbError(f"design {design!r} has not been started")
-        self.database.table(DESIGNS).update({"name": design}, transaction_open=True)
-        self.current_design = design
+        self.session.start_a_transaction(design)
 
     def put_in_component_list(self, instance: str, design: Optional[str] = None) -> None:
-        design = design or self.current_design
-        if not design:
-            raise IcdbError("no design is active")
-        self.instances.get(instance)  # raises if unknown
-        table = self.database.table(DESIGN_INSTANCES)
-        rows = table.select({"design": design, "instance": instance})
-        if rows:
-            table.update({"design": design, "instance": instance}, kept=True)
-        else:
-            table.insert(design=design, instance=instance, kept=True)
+        self.session.put_in_component_list(instance, design)
 
     def component_list(self, design: Optional[str] = None) -> List[str]:
-        design = design or self.current_design
-        rows = self.database.table(DESIGN_INSTANCES).select({"design": design, "kept": True})
-        return [row["instance"] for row in rows]
+        return self.session.component_list(design)
 
     def end_a_transaction(self, design: Optional[str] = None) -> List[str]:
         """End a transaction: delete the design's instances not in the list."""
-        design = design or self.current_design
-        row = self.database.table(DESIGNS).get(name=design)
-        if row is None:
-            raise IcdbError(f"design {design!r} has not been started")
-        removed = []
-        for entry in self.database.table(DESIGN_INSTANCES).select({"design": design, "kept": False}):
-            self._delete_instance(entry["instance"])
-            removed.append(entry["instance"])
-        self.database.table(DESIGN_INSTANCES).delete({"design": design, "kept": False})
-        self.database.table(DESIGNS).update({"name": design}, transaction_open=False)
-        return removed
+        return self.session.end_a_transaction(design)
 
     def end_a_design(self, design: Optional[str] = None) -> List[str]:
         """End a design: delete every remaining instance of its component list."""
-        design = design or self.current_design
-        row = self.database.table(DESIGNS).get(name=design)
-        if row is None:
-            raise IcdbError(f"design {design!r} has not been started")
-        removed = []
-        for entry in self.database.table(DESIGN_INSTANCES).select({"design": design}):
-            self._delete_instance(entry["instance"])
-            removed.append(entry["instance"])
-        self.database.table(DESIGN_INSTANCES).delete({"design": design})
-        self.database.table(DESIGNS).update({"name": design}, status="closed", transaction_open=False)
-        if self.current_design == design:
-            self.current_design = ""
-        return removed
-
-    def _delete_instance(self, name: str) -> None:
-        self.instances.remove(name)
-        self.database.table(INSTANCES).delete({"name": name})
-        self.database.table(DESIGN_FILES).delete({"instance": name})
-        self.store.remove_instance(name)
+        return self.session.end_a_design(design)
 
     # ================================================================= helpers
 
@@ -404,34 +253,12 @@ class ICDB:
     ) -> List[Dict[str, object]]:
         """Generate several configurations of a component and tabulate the
         (delay, area) tradeoff -- the Figure 5 experiment."""
-        rows: List[Dict[str, object]] = []
-        for label, parameters in configurations:
-            instance = self.request_component(
-                implementation=component_name,
-                parameters=parameters,
-                constraints=constraints,
-                instance_name=self.instances.new_name(f"{component_name}_{label}"),
-            )
-            delay_value = (
-                instance.delay_to(delay_output)
-                if delay_output is not None
-                else instance.worst_delay()
-            )
-            rows.append(
-                {
-                    "label": label,
-                    "instance": instance.name,
-                    "delay": delay_value,
-                    "clock_width": instance.clock_width,
-                    "area": instance.area,
-                    "cells": instance.netlist.cell_count(),
-                }
-            )
-        return rows
+        return self.session.area_time_tradeoff(
+            component_name,
+            configurations,
+            constraints=constraints,
+            delay_output=delay_output,
+        )
 
     def summary(self) -> str:
-        return (
-            f"ICDB: {len(self.catalog)} implementations, "
-            f"{len(self.instances)} generated instances, "
-            f"{len(self.cell_library)} library cells"
-        )
+        return self.service.summary()

@@ -9,6 +9,7 @@ queried, refined and reused instead of regenerated (Section 2.2).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -18,9 +19,14 @@ from ..estimation.area import AreaRecord
 from ..estimation.delay import DelayReport
 from ..estimation.shape import ShapeFunction
 from ..iif.flat import FlatComponent
+from ..iif.printer import flat_to_milo
 from ..layout.generator import ComponentLayout
 from ..netlist.gates import GateNetlist
-from ..netlist.vhdl import gate_netlist_to_vhdl, vhdl_component_declaration
+from ..netlist.vhdl import (
+    gate_netlist_architecture_body,
+    gate_netlist_to_vhdl,
+    vhdl_component_declaration,
+)
 
 
 class InstanceError(KeyError):
@@ -54,6 +60,15 @@ class ComponentInstance:
     sizing_iterations: int = 0
     design: str = ""
     files: Dict[str, str] = field(default_factory=dict)
+    #: True when the instance was produced by the result cache rather than a
+    #: full generator run (the netlist and estimates are shared with the
+    #: originally synthesized template).
+    cached: bool = False
+    #: Memoized renders of the name-independent reports (delay, shape, area,
+    #: VHDL netlist, flat IIF).  They are pure functions of the shared
+    #: netlist / report objects, so cache clones share this dict with their
+    #: template: each report is rendered once per synthesized netlist.
+    render_cache: Dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ facts
 
@@ -87,20 +102,42 @@ class ComponentInstance:
 
     # -------------------------------------------------------------- renderings
 
+    def _render(self, kind: str, producer) -> str:
+        text = self.render_cache.get(kind)
+        if text is None:
+            text = producer()
+            self.render_cache[kind] = text
+        return text
+
     def render_delay(self) -> str:
         """Delay information in the paper's instance-query format."""
-        return self.delay_report.render()
+        return self._render("delay", self.delay_report.render)
 
     def render_shape(self) -> str:
         """Shape function in the ``Alternative=...`` format."""
-        return self.shape.render()
+        return self._render("shape", self.shape.render)
 
     def render_area_records(self) -> str:
         """Area records in the ``strip = ...`` format."""
-        return "\n".join(record.render() for record in self.shape.alternatives)
+        return self._render(
+            "area",
+            lambda: "\n".join(record.render() for record in self.shape.alternatives),
+        )
 
     def vhdl_netlist(self) -> str:
-        return gate_netlist_to_vhdl(self.netlist)
+        # The architecture body is name-independent and shared with cache
+        # clones; the entity header always carries this instance's name.
+        body = self._render(
+            "vhdl_body", lambda: gate_netlist_architecture_body(self.netlist)
+        )
+        return gate_netlist_to_vhdl(self.netlist, name=self.name, body=body)
+
+    def flat_milo(self) -> str:
+        """The flat IIF in MILO form, headed by this instance's name."""
+        body = self._render(
+            "flat_iif_body", lambda: flat_to_milo(self.flat).split("\n", 1)[1]
+        )
+        return f"NAME={self.name};\n{body}"
 
     def vhdl_head(self) -> str:
         return vhdl_component_declaration(self.name, self.inputs, self.outputs)
@@ -114,47 +151,69 @@ class ComponentInstance:
 
 
 class InstanceManager:
-    """Keeps the generated instances of one ICDB session."""
+    """Keeps the generated instances of one ICDB server.
+
+    The manager is shared by every :class:`~repro.api.service.Session` of a
+    :class:`~repro.api.service.ComponentService`, so naming and registration
+    are serialized under a lock: concurrent sessions always receive distinct
+    fresh names and registration of a duplicate name fails atomically.
+    """
 
     def __init__(self) -> None:
         self._instances: Dict[str, ComponentInstance] = {}
         self._counter = 0
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._instances)
+        with self._lock:
+            return len(self._instances)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instances
+        with self._lock:
+            return name in self._instances
 
     def new_name(self, base: str) -> str:
-        """A fresh instance name derived from ``base``."""
-        self._counter += 1
-        candidate = f"{base}_{self._counter}"
-        while candidate in self._instances:
+        """A fresh instance name derived from ``base``.
+
+        The counter is bumped on every call, so two threads asking for names
+        from the same base never receive the same candidate.
+        """
+        with self._lock:
             self._counter += 1
             candidate = f"{base}_{self._counter}"
-        return candidate
+            while candidate in self._instances:
+                self._counter += 1
+                candidate = f"{base}_{self._counter}"
+            return candidate
 
     def add(self, instance: ComponentInstance) -> ComponentInstance:
-        if instance.name in self._instances:
-            raise InstanceError(f"instance {instance.name!r} already exists")
-        self._instances[instance.name] = instance
-        return instance
+        with self._lock:
+            if instance.name in self._instances:
+                raise InstanceError(f"instance {instance.name!r} already exists")
+            self._instances[instance.name] = instance
+            return instance
 
     def get(self, name: str) -> ComponentInstance:
-        try:
-            return self._instances[name]
-        except KeyError as exc:
-            raise InstanceError(f"no generated component instance named {name!r}") from exc
+        with self._lock:
+            try:
+                return self._instances[name]
+            except KeyError as exc:
+                raise InstanceError(
+                    f"no generated component instance named {name!r}"
+                ) from exc
 
     def remove(self, name: str) -> Optional[ComponentInstance]:
-        return self._instances.pop(name, None)
+        with self._lock:
+            return self._instances.pop(name, None)
 
     def names(self) -> List[str]:
-        return list(self._instances)
+        with self._lock:
+            return list(self._instances)
 
     def instances(self) -> List[ComponentInstance]:
-        return list(self._instances.values())
+        with self._lock:
+            return list(self._instances.values())
 
     def by_design(self, design: str) -> List[ComponentInstance]:
-        return [inst for inst in self._instances.values() if inst.design == design]
+        with self._lock:
+            return [inst for inst in self._instances.values() if inst.design == design]

@@ -1,16 +1,38 @@
-"""CQL command execution against an :class:`~repro.core.icdb.ICDB` server.
+"""CQL command execution against the ICDB component service.
 
 Each CQL command has a corresponding executor (Section 2.3: "Each CQL
 command has a corresponding program to execute it").  The executor receives
 the parsed command plus the caller's input values (bound to ``%`` slots in
 order) and returns a dictionary keyed by the keywords of the ``?`` output
 slots.
+
+Since the service-layer redesign every command executes through a typed
+request object from :mod:`repro.api.messages`: the handler builds the
+request, the executor round-trips it through ``to_dict()`` -> JSON ->
+``from_dict()`` (so the CQL surface exercises the exact wire contract a
+remote transport would use) and hands it to the
+:class:`~repro.api.service.ComponentService`, which answers with a
+:class:`~repro.api.messages.Response` envelope.  Failures re-raise the
+original engine exception, keeping the legacy error behavior intact.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..api.messages import (
+    ComponentQuery,
+    ComponentRequest,
+    DesignOp,
+    FunctionQuery,
+    InstanceQuery,
+    LayoutRequest,
+    Request,
+    Response,
+    request_from_dict,
+)
+from ..api.service import Session
 from ..constraints import (
     Constraints,
     parse_delay_constraints,
@@ -18,7 +40,6 @@ from ..constraints import (
 )
 from ..core.icdb import ICDB
 from ..core.instances import TARGET_LAYOUT, TARGET_LOGIC
-from ..netlist.cif import layout_to_cif
 from ..netlist.structural import StructuralNetlist
 from .parser import CqlCommand, CqlSyntaxError, CqlTerm, VariableSlot, parse_command
 
@@ -52,10 +73,18 @@ def _as_float(value, keyword: str) -> float:
 
 
 class CqlExecutor:
-    """Binds parsed CQL commands to the ICDB server."""
+    """Binds parsed CQL commands to the ICDB component service.
 
-    def __init__(self, server: ICDB):
+    ``server`` is either the legacy :class:`~repro.core.icdb.ICDB` facade
+    (commands run in its default session) or a
+    :class:`~repro.api.service.Session` (commands run in that client's own
+    design context).
+    """
+
+    def __init__(self, server: Union[ICDB, Session]):
         self.server = server
+        self.session: Session = getattr(server, "session", server)
+        self.service = self.session.service
 
     # ------------------------------------------------------------------ entry
 
@@ -86,6 +115,26 @@ class CqlExecutor:
                 values[term.keyword] = term.value
         return values
 
+    def _run(self, request: Request) -> Response:
+        """Execute a typed request through its wire form.
+
+        The request is serialized to JSON and parsed back before dispatch,
+        so every CQL command proves the ``to_dict`` / ``from_dict``
+        round-trip a socket transport would rely on.  A failed response
+        re-raises the original engine exception.
+        """
+        wire = request_from_dict(json.loads(json.dumps(request.to_dict())))
+        response = self.service.execute(wire, self.session)
+        if not response.ok:
+            if response.exception is not None:
+                raise response.exception
+            raise CqlExecutionError(
+                f"{response.error.code}: {response.error.message}"
+                if response.error
+                else "request failed"
+            )
+        return response
+
     # --------------------------------------------------------------- queries
 
     def _cmd_component_query(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
@@ -95,12 +144,16 @@ class CqlExecutor:
         wants_functions = any(term.keyword == "function" for term in command.output_slots())
         if wants_functions and (implementation or component):
             name = implementation or component
-            return {"function": self.server.functions_of(str(name))}
-        result = self.server.component_query(
-            component=str(component) if component else None,
-            implementation=str(implementation) if implementation else None,
-            functions=functions or None,
+            response = self._run(ComponentQuery(implementation=str(name)))
+            return {"function": response.value.get("function", [])}
+        response = self._run(
+            ComponentQuery(
+                component=str(component) if component else None,
+                implementation=str(implementation) if implementation else None,
+                functions=tuple(functions),
+            )
         )
+        result = response.value
         outputs: Dict[str, Any] = {}
         for term in command.output_slots():
             if term.keyword in ("implementation",):
@@ -117,12 +170,14 @@ class CqlExecutor:
             raise CqlExecutionError("function_query needs a 'function' term")
         outputs: Dict[str, Any] = {}
         for term in command.output_slots():
-            if term.keyword == "component":
-                outputs["component"] = self.server.function_query(functions, want="component")
-            elif term.keyword == "implementation":
-                outputs["implementation"] = self.server.function_query(functions, want="implementation")
+            if term.keyword in ("component", "implementation"):
+                outputs[term.keyword] = self._run(
+                    FunctionQuery(functions=tuple(functions), want=term.keyword)
+                ).value
         if not outputs:
-            outputs["implementation"] = self.server.function_query(functions)
+            outputs["implementation"] = self._run(
+                FunctionQuery(functions=tuple(functions))
+            ).value
         return outputs
 
     # --------------------------------------------------------------- request
@@ -202,50 +257,59 @@ class CqlExecutor:
         iif_source = values.get("iif")
         naming = values.get("naming")
 
-        instance = self.server.request_component(
+        request = ComponentRequest(
             component_name=str(values["component_name"]) if values.get("component_name") else None,
             implementation=str(values["implementation"]) if values.get("implementation") else None,
             iif=str(iif_source) if iif_source else None,
             structure=structure if isinstance(structure, StructuralNetlist) else None,
-            functions=functions or None,
+            functions=tuple(functions),
             attributes=attributes or None,
             constraints=constraints,
-            target="layout" if target.lower() == "layout" else TARGET_LOGIC,
+            target=TARGET_LAYOUT if target.lower() == TARGET_LAYOUT else TARGET_LOGIC,
             instance_name=str(naming) if naming else None,
         )
+        summary = self._run(request).value
         outputs: Dict[str, Any] = {}
         for term in command.output_slots():
             if term.keyword == "instance":
                 outputs["instance"] = (
-                    [instance.name] if isinstance(term.value, VariableSlot) and term.value.is_array else instance.name
+                    [summary["instance"]]
+                    if isinstance(term.value, VariableSlot) and term.value.is_array
+                    else summary["instance"]
                 )
             elif term.keyword == "delay":
-                outputs["delay"] = instance.render_delay()
+                outputs["delay"] = summary["delay"]
             elif term.keyword == "area":
-                outputs["area"] = instance.render_area_records()
+                outputs["area"] = summary["area"]
             elif term.keyword == "shape_function":
-                outputs["shape_function"] = instance.render_shape()
-        outputs.setdefault("instance", instance.name)
+                outputs["shape_function"] = summary["shape_function"]
+        outputs.setdefault("instance", summary["instance"])
         return outputs
 
     def _layout_request(self, command: CqlCommand, values: Dict[str, Any], instance_name: str) -> Dict[str, Any]:
         alternative = values.get("alternative")
         positions = values.get("port_position") or values.get("pin_position")
-        port_positions = ()
+        port_positions: Tuple = ()
         if isinstance(positions, str) and positions.strip():
             port_positions = parse_port_positions(positions)
-        layout = self.server.request_layout(
-            instance_name,
-            alternative=_as_int(alternative, "alternative") if alternative not in (None, "") else None,
-            port_positions=port_positions,
-        )
+        result = self._run(
+            LayoutRequest(
+                name=instance_name,
+                alternative=(
+                    _as_int(alternative, "alternative")
+                    if alternative not in (None, "")
+                    else None
+                ),
+                port_positions=port_positions,
+            )
+        ).value
         outputs: Dict[str, Any] = {}
         for term in command.output_slots():
             if term.keyword == "cif_layout":
-                outputs["cif_layout"] = layout_to_cif(layout)
+                outputs["cif_layout"] = result["cif_layout"]
             elif term.keyword == "area":
-                outputs["area"] = layout.area
-        outputs.setdefault("cif_layout", layout_to_cif(layout))
+                outputs["area"] = result["area"]
+        outputs.setdefault("cif_layout", result["cif_layout"])
         return outputs
 
     # ----------------------------------------------------------- instance info
@@ -254,7 +318,7 @@ class CqlExecutor:
         name = values.get("instance") or values.get("implementation")
         if not name:
             raise CqlExecutionError("instance_query needs an 'instance' term")
-        info = self.server.instance_query(str(name))
+        info = self._run(InstanceQuery(name=str(name))).value
         outputs: Dict[str, Any] = {}
         for term in command.output_slots():
             if term.keyword == "function":
@@ -277,35 +341,54 @@ class CqlExecutor:
         name = values.get("instance")
         if not name:
             raise CqlExecutionError("connect_component needs an 'instance' term")
-        return {"connect": self.server.connect_component(str(name))}
+        info = self._run(InstanceQuery(name=str(name), fields=("connect",))).value
+        return {"connect": info["connect"]}
 
     # -------------------------------------------------------- list management
 
     def _cmd_start_a_design(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
-        self.server.start_a_design(str(values.get("design")))
+        self._run(DesignOp(op="start_design", design=str(values.get("design"))))
         return {"design": values.get("design")}
 
     def _cmd_start_a_transaction(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
-        self.server.start_a_transaction(str(values.get("design")) if values.get("design") else None)
-        return {"design": values.get("design") or self.server.current_design}
+        response = self._run(
+            DesignOp(
+                op="start_transaction",
+                design=str(values.get("design")) if values.get("design") else "",
+            )
+        )
+        return {"design": response.value["design"]}
 
     def _cmd_put_in_component_list(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
         instance = values.get("instance")
         if not instance:
             raise CqlExecutionError("put_in_component_list needs an 'instance' term")
-        design = str(values.get("design")) if values.get("design") else None
-        self.server.put_in_component_list(str(instance), design)
+        self._run(
+            DesignOp(
+                op="put_in_list",
+                design=str(values.get("design")) if values.get("design") else "",
+                instance=str(instance),
+            )
+        )
         return {"instance": instance}
 
     def _cmd_end_a_transaction(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
-        design = str(values.get("design")) if values.get("design") else None
-        removed = self.server.end_a_transaction(design)
-        return {"removed": removed}
+        response = self._run(
+            DesignOp(
+                op="end_transaction",
+                design=str(values.get("design")) if values.get("design") else "",
+            )
+        )
+        return {"removed": response.value["removed"]}
 
     def _cmd_end_a_design(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
-        design = str(values.get("design")) if values.get("design") else None
-        removed = self.server.end_a_design(design)
-        return {"removed": removed}
+        response = self._run(
+            DesignOp(
+                op="end_design",
+                design=str(values.get("design")) if values.get("design") else "",
+            )
+        )
+        return {"removed": response.value["removed"]}
 
     # Some examples in the paper spell the list-management commands with
     # spaces ("start_a_design" vs "start_design"); accept short aliases.

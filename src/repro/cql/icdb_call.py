@@ -12,13 +12,21 @@ caller-supplied :class:`OutParam` (the ``&variable`` analogue) or are simply
 returned.  The call always returns the output values in slot order (a single
 value when there is exactly one output), so idiomatic Python callers can
 ignore :class:`OutParam` entirely.
+
+Every call executes through the typed request objects of
+:mod:`repro.api.messages` (via :class:`~repro.cql.executor.CqlExecutor`),
+and the callable can be bound either to the legacy
+:class:`~repro.core.icdb.ICDB` facade or to one client's
+:class:`~repro.api.service.Session`, so several tools can issue ``ICDB()``
+calls against the same server concurrently.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
+from ..api.service import Session
 from ..core.icdb import ICDB
 from .executor import CqlExecutionError, CqlExecutor
 from .parser import CqlCommand, VariableSlot, parse_command
@@ -54,7 +62,7 @@ def _coerce(value: Any, slot: VariableSlot) -> Any:
 class IcdbCall:
     """Callable implementing the paper's ``ICDB()`` function interface."""
 
-    def __init__(self, server: ICDB):
+    def __init__(self, server: Union[ICDB, Session]):
         self.server = server
         self.executor = CqlExecutor(server)
 
@@ -104,6 +112,6 @@ class IcdbCall:
         return tuple(results)
 
 
-def make_icdb_call(server: Optional[ICDB] = None) -> IcdbCall:
-    """Create an ``ICDB()``-style callable bound to a server."""
+def make_icdb_call(server: Optional[Union[ICDB, Session]] = None) -> IcdbCall:
+    """Create an ``ICDB()``-style callable bound to a server or session."""
     return IcdbCall(server or ICDB())

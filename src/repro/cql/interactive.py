@@ -9,8 +9,9 @@ scripts and the examples; :func:`main` provides a tiny REPL.
 from __future__ import annotations
 
 import sys
-from typing import Any, Dict, Iterable, List, Optional, TextIO
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
 
+from ..api.service import Session
 from ..core.icdb import ICDB
 from .executor import CqlExecutionError, CqlExecutor
 from .parser import CqlSyntaxError, parse_command
@@ -33,7 +34,7 @@ def format_result(outputs: Dict[str, Any]) -> str:
 class InteractiveSession:
     """Executes command strings and renders results as text."""
 
-    def __init__(self, server: Optional[ICDB] = None):
+    def __init__(self, server: Optional[Union[ICDB, Session]] = None):
         self.server = server or ICDB()
         self.executor = CqlExecutor(self.server)
         self.history: List[str] = []

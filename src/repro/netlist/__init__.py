@@ -12,6 +12,7 @@ from .graph import (
 )
 from .structural import ComponentRef, StructuralNetlist, flatten_to_gates
 from .vhdl import (
+    gate_netlist_architecture_body,
     gate_netlist_to_vhdl,
     structural_vhdl,
     vhdl_component_declaration,
@@ -30,6 +31,7 @@ __all__ = [
     "fanout_counts",
     "flatten_to_gates",
     "floorplan_to_cif",
+    "gate_netlist_architecture_body",
     "gate_netlist_to_vhdl",
     "layout_to_cif",
     "logic_depth",

@@ -78,6 +78,36 @@ class StructuralNetlist:
             component_heads=component_heads,
         )
 
+    # ------------------------------------------------------------ wire format
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the :mod:`repro.api` wire format)."""
+        return {
+            "name": self.name,
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "refs": [
+                {
+                    "label": ref.label,
+                    "component": ref.component,
+                    "port_map": dict(ref.port_map),
+                }
+                for ref in self.refs
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "StructuralNetlist":
+        """Rebuild a :class:`StructuralNetlist` from :meth:`to_dict` output."""
+        netlist = StructuralNetlist(
+            name=data["name"],
+            inputs=list(data.get("inputs") or ()),
+            outputs=list(data.get("outputs") or ()),
+        )
+        for ref in data.get("refs") or ():
+            netlist.add(ref["label"], ref["component"], dict(ref.get("port_map") or {}))
+        return netlist
+
 
 def flatten_to_gates(
     structure: StructuralNetlist,

@@ -4,6 +4,7 @@ from .allocation import Allocation, AllocationError, FunctionalUnit, allocate, s
 from .datapath import (
     Datapath,
     DatapathError,
+    IcdbClient,
     SimpleComputer,
     build_datapath,
     build_simple_computer,
@@ -28,6 +29,7 @@ __all__ = [
     "DatapathError",
     "DfgError",
     "FunctionalUnit",
+    "IcdbClient",
     "Operation",
     "Schedule",
     "ScheduledOperation",

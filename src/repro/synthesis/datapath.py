@@ -19,9 +19,10 @@ Two builders live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..components.counters import counter_parameters, TYPE_SYNCHRONOUS, UP_ONLY
+from ..api.service import Session
 from ..constraints import Constraints
 from ..core.icdb import ICDB
 from ..core.instances import ComponentInstance
@@ -31,6 +32,10 @@ from ..netlist.structural import StructuralNetlist
 from .allocation import Allocation, storage_requirements
 from .dfg import DataFlowGraph
 from .scheduling import Schedule
+
+#: Builders accept the legacy facade or one client's service session; both
+#: expose ``request_component`` and the shared instance registry.
+IcdbClient = Union[ICDB, Session]
 
 
 class DatapathError(RuntimeError):
@@ -113,7 +118,7 @@ VARIABLE: i, j;
 
 
 def generate_control_logic(
-    icdb: ICDB,
+    icdb: IcdbClient,
     name: str,
     steps: int,
     command_bits: int,
@@ -135,7 +140,7 @@ def generate_control_logic(
 
 
 def build_datapath(
-    icdb: ICDB,
+    icdb: IcdbClient,
     schedule: Schedule,
     allocation: Allocation,
     width: int = 8,
@@ -253,7 +258,7 @@ class SimpleComputer:
 
 
 def build_simple_computer(
-    icdb: ICDB,
+    icdb: IcdbClient,
     width: int = 8,
     constraints: Optional[Constraints] = None,
 ) -> SimpleComputer:

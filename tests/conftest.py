@@ -55,6 +55,16 @@ def icdb(tmp_path):
     return ICDB(catalog=standard_catalog(fresh=True), store_root=tmp_path / "store")
 
 
+@pytest.fixture()
+def service(tmp_path):
+    """A fresh typed component service per test."""
+    from repro.api import ComponentService
+
+    return ComponentService(
+        catalog=standard_catalog(fresh=True), store_root=tmp_path / "svc_store"
+    )
+
+
 @pytest.fixture(scope="session")
 def shared_icdb(tmp_path_factory):
     """A session-wide ICDB server for read-mostly integration tests."""

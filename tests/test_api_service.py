@@ -1,0 +1,346 @@
+"""Tests for the component service: envelopes, result cache, regressions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    ComponentQuery,
+    ComponentRequest,
+    DesignOp,
+    FunctionQuery,
+    InstanceQuery,
+    LayoutRequest,
+    Request,
+    request_from_dict,
+)
+from repro.api.errors import E_CONFLICT, E_NOT_FOUND
+from repro.constraints import Constraints
+from repro.core import ICDB, IcdbError
+from repro.cql import CqlExecutor
+from repro.db import DESIGN_FILES, INSTANCES
+
+
+# ---------------------------------------------------------------------------
+# Typed execution and envelopes
+# ---------------------------------------------------------------------------
+
+
+def test_execute_component_and_function_queries(service):
+    session = service.create_session()
+    response = session.execute(ComponentQuery(component="counter", functions=("INC",)))
+    assert response.ok and not response.cached
+    assert "counter" in response.value["implementation"]
+    assert response.request_kind == "component_query"
+    assert response.session_id == session.session_id
+    assert response.elapsed_ms >= 0.0
+
+    response = session.execute(FunctionQuery(functions=("ADD", "SUB"), want="component"))
+    assert set(response.value) == {"Adder_Subtractor", "ALU"}
+
+
+def test_execute_request_component_returns_wire_summary(service):
+    session = service.create_session()
+    response = session.execute(
+        ComponentRequest(
+            component_name="counter",
+            functions=("INC",),
+            attributes={"size": 4},
+            constraints=Constraints(clock_width=40.0, setup_time=40.0),
+        )
+    )
+    assert response.ok
+    summary = response.value
+    assert summary["implementation"] == "counter"
+    assert summary["delay"].startswith("CW")
+    assert summary["shape_function"].startswith("Alternative=1")
+    assert summary["cells"] > 0
+    # The whole envelope is JSON-serializable (wire contract).
+    json.dumps(response.to_dict())
+
+    info = session.execute(InstanceQuery(name=summary["instance"])).unwrap()
+    assert info["function"] == summary["functions"]
+    assert "entity" in info["VHDL_net_list"]
+
+
+def test_execute_instance_query_field_selection(service):
+    session = service.create_session()
+    name = session.execute(
+        ComponentRequest(implementation="register", attributes={"size": 2})
+    ).value["instance"]
+    connect = session.execute(InstanceQuery(name=name, fields=("connect",))).unwrap()
+    assert set(connect) == {"connect"}
+    bad = session.execute(InstanceQuery(name=name, fields=("bogus",)))
+    assert not bad.ok and bad.error.code == E_NOT_FOUND
+
+
+def test_execute_layout_request(service):
+    session = service.create_session()
+    name = session.execute(
+        ComponentRequest(implementation="register", attributes={"size": 4})
+    ).value["instance"]
+    response = session.execute(LayoutRequest(name=name, alternative=1))
+    assert response.ok
+    assert response.value["cif_layout"].startswith("(CIF file for")
+    assert response.value["strips"] >= 1
+    assert session.instance(name).layout is not None
+
+
+def test_execute_never_raises_and_keeps_original_exception(service):
+    session = service.create_session()
+    response = session.execute(InstanceQuery(name="missing"))
+    assert not response.ok
+    assert response.error.code == E_NOT_FOUND
+    assert response.error.exception_type == "InstanceError"
+    assert response.exception is not None
+
+    duplicate = DesignOp(op="start_design", design="proj")
+    assert session.execute(duplicate).ok
+    conflict = session.execute(duplicate)
+    assert not conflict.ok and conflict.error.code == E_CONFLICT
+
+
+def test_design_ops_through_typed_requests(service):
+    session = service.create_session()
+    session.execute(DesignOp(op="start_design", design="proj")).unwrap()
+    session.execute(DesignOp(op="start_transaction", design="proj")).unwrap()
+    keep = session.execute(
+        ComponentRequest(implementation="register", attributes={"size": 2})
+    ).value["instance"]
+    drop = session.execute(
+        ComponentRequest(implementation="mux2", attributes={"size": 2})
+    ).value["instance"]
+    session.execute(DesignOp(op="put_in_list", design="proj", instance=keep)).unwrap()
+    removed = session.execute(DesignOp(op="end_transaction", design="proj")).unwrap()
+    assert drop in removed["removed"] and keep not in removed["removed"]
+    listed = session.execute(DesignOp(op="component_list", design="proj")).unwrap()
+    assert listed["instances"] == [keep]
+    removed = session.execute(DesignOp(op="end_design", design="proj")).unwrap()
+    assert keep in removed["removed"]
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+
+
+def test_identical_catalog_requests_hit_the_cache(service):
+    session = service.create_session()
+    request = ComponentRequest(
+        implementation="register",
+        attributes={"size": 4},
+        constraints=Constraints(clock_width=50.0),
+    )
+    first = session.execute(request)
+    second = session.execute(request)
+    assert first.ok and not first.cached
+    assert second.ok and second.cached
+    # Fresh instance name, identical estimates.
+    assert second.value["instance"] != first.value["instance"]
+    assert second.value["delay"] == first.value["delay"]
+    assert second.value["area"] == first.value["area"]
+    assert second.value["cached"] is True
+    assert service.cache.stats()["hits"] == 1
+    # Both instances are fully registered and persisted.
+    for name in (first.value["instance"], second.value["instance"]):
+        assert name in service.instances
+        assert service.database.table(INSTANCES).get(name=name) is not None
+        assert service.store.path_of(name, "vhdl") is not None
+
+
+def test_cache_respects_parameters_constraints_and_target(service):
+    session = service.create_session()
+    base = ComponentRequest(implementation="register", attributes={"size": 4})
+    session.execute(base)
+    different = [
+        ComponentRequest(implementation="register", attributes={"size": 5}),
+        ComponentRequest(
+            implementation="register",
+            attributes={"size": 4},
+            constraints=Constraints(clock_width=25.0),
+        ),
+        ComponentRequest(implementation="register", attributes={"size": 4}, target="layout"),
+        ComponentRequest(implementation="mux2", attributes={"size": 4}),
+    ]
+    for request in different:
+        response = session.execute(request)
+        assert response.ok and not response.cached
+
+
+def test_cache_opt_out_and_custom_paths_never_cached(service):
+    session = service.create_session()
+    request = ComponentRequest(
+        implementation="register", attributes={"size": 2}, use_cache=False
+    )
+    assert not session.execute(request).cached
+    assert not session.execute(request).cached
+    assert service.cache.stats()["entries"] == 0
+
+    iif = """
+NAME: PARITY;
+FUNCTIONS: XOR;
+PARAMETER: size;
+INORDER: I[size];
+OUTORDER: P;
+VARIABLE: i;
+{
+    #for(i=0; i<size; i++)
+        P (+)= I[i];
+}
+"""
+    custom = ComponentRequest(iif=iif, parameters={"size": 3})
+    assert not session.execute(custom).cached
+    assert not session.execute(custom).cached
+    assert service.cache.stats()["entries"] == 0
+
+
+def test_cached_clone_survives_template_deletion(service):
+    session = service.create_session()
+    request = ComponentRequest(implementation="register", attributes={"size": 3})
+    first = session.execute(request).value["instance"]
+    service.delete_instance(first)
+    assert first not in service.instances
+    clone = session.execute(request)
+    assert clone.ok and clone.cached
+    name = clone.value["instance"]
+    assert name in service.instances
+    assert service.store.path_of(name, "delay") is not None
+
+
+def test_cached_layout_is_isolated_from_template(service):
+    """A request_layout on a cached clone must not leak into later clones."""
+    session = service.create_session()
+    request = ComponentRequest(implementation="register", attributes={"size": 4})
+    first = session.execute(request).value["instance"]
+    session.execute(LayoutRequest(name=first, alternative=1)).unwrap()
+    later = session.execute(request)
+    assert later.cached
+    assert session.instance(later.value["instance"]).layout is None
+    assert session.instance(later.value["instance"]).target == "logic"
+
+
+def test_facade_request_component_uses_cache(icdb):
+    first = icdb.request_component(implementation="register", attributes={"size": 4})
+    second = icdb.request_component(implementation="register", attributes={"size": 4})
+    assert not first.cached and second.cached
+    assert second.name != first.name
+    assert second.netlist is first.netlist
+    assert second.render_delay() == first.render_delay()
+
+
+def test_cached_clone_artifacts_carry_their_own_name(icdb, tmp_path):
+    """A clone shares the template's netlist but its VHDL entity, VHDL head
+    and flat IIF header must all use the clone's instance name."""
+    first = icdb.request_component(implementation="register", attributes={"size": 2})
+    second = icdb.request_component(implementation="register", attributes={"size": 2})
+    assert second.cached
+    vhdl = second.vhdl_netlist()
+    assert f"entity {second.name} is" in vhdl
+    assert first.name not in vhdl
+    assert f"component {second.name}" in second.vhdl_head()
+    assert second.flat_milo().startswith(f"NAME={second.name};")
+    # The persisted files match what the instance reports.
+    from pathlib import Path
+
+    assert f"entity {second.name} is" in Path(second.files["vhdl"]).read_text()
+    assert Path(second.files["flat_iif"]).read_text().startswith(f"NAME={second.name};")
+    # Architecture bodies are identical and rendered once (shared cache).
+    assert second.render_cache is first.render_cache
+
+
+# ---------------------------------------------------------------------------
+# Satellite regressions
+# ---------------------------------------------------------------------------
+
+
+def test_request_layout_updates_design_files_row_instead_of_duplicating(icdb):
+    """Regression: every request_layout used to insert a fresh cif row."""
+    instance = icdb.request_component(implementation="register", attributes={"size": 2})
+    for _ in range(3):
+        icdb.request_layout(instance.name, alternative=1)
+    rows = icdb.database.table(DESIGN_FILES).select(
+        {"instance": instance.name, "kind": "cif"}
+    )
+    assert len(rows) == 1
+    assert rows[0]["path"] == instance.files["cif"]
+
+
+def test_start_design_requires_a_name(icdb):
+    with pytest.raises(IcdbError):
+        icdb.start_a_design("")
+    response = icdb.service.execute(DesignOp(op="start_design"))
+    assert not response.ok
+    assert icdb.database.table("designs").get(name="") is None
+
+
+def test_function_query_rejects_unknown_want(icdb):
+    with pytest.raises(IcdbError):
+        icdb.function_query(["ADD"], want="implementatoin")
+    response = icdb.service.execute(FunctionQuery(functions=("ADD",), want="bogus"))
+    assert not response.ok
+    assert "bogus" in response.error.message
+
+
+# ---------------------------------------------------------------------------
+# CQL executes through wire-serializable typed requests
+# ---------------------------------------------------------------------------
+
+
+def test_every_cql_command_goes_through_a_round_tripped_request(icdb):
+    executed = []
+    original = icdb.service.execute
+
+    def spying_execute(request, session=None):
+        executed.append(request)
+        return original(request, session)
+
+    icdb.service.execute = spying_execute
+    try:
+        executor = CqlExecutor(icdb)
+        executor.execute_text("command: start_a_design; design: proj")
+        executor.execute_text("command: start_a_transaction; design: proj")
+        created = executor.execute_text(
+            "command: request_component; component_name: counter; function: (INC);"
+            "attribute: (size:3); clock_width: 40; instance: ?s"
+        )
+        executor.execute_text(
+            "command: component_query; component: counter; implementation: ?s[]"
+        )
+        executor.execute_text(
+            "command: function_query; function: (INC); implementation: ?s[]"
+        )
+        executor.execute_text(
+            "command: instance_query; instance: %s; delay: ?s", [created["instance"]]
+        )
+        executor.execute_text(
+            "command: connect_component; instance: %s; connect: ?s",
+            [created["instance"]],
+        )
+        executor.execute_text(
+            "command: request_component; instance: %s; alternative: 1; CIF_layout: ?s",
+            [created["instance"]],
+        )
+        executor.execute_text(
+            "command: put_in_component_list; design: proj; instance: %s",
+            [created["instance"]],
+        )
+        executor.execute_text("command: end_a_transaction; design: proj")
+        executor.execute_text("command: end_a_design; design: proj")
+    finally:
+        del icdb.service.execute
+
+    kinds = {request.kind for request in executed}
+    assert kinds == {
+        "component_query",
+        "function_query",
+        "instance_query",
+        "request_component",
+        "request_layout",
+        "design_op",
+    }
+    # Every dispatched request is itself wire-reconstructable.
+    for request in executed:
+        assert isinstance(request, Request)
+        assert request_from_dict(json.loads(json.dumps(request.to_dict()))) == request

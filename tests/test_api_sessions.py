@@ -1,0 +1,128 @@
+"""Tests for per-client sessions: isolation, interleaving and concurrency."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.api import ComponentRequest, DesignOp
+from repro.db import DESIGN_INSTANCES
+
+
+def test_sessions_have_distinct_ids_and_designs(service):
+    alpha = service.create_session(client="tool-a")
+    beta = service.create_session(client="tool-b")
+    assert alpha.session_id != beta.session_id
+    alpha.start_a_design("alpha_design")
+    beta.start_a_design("beta_design")
+    assert alpha.current_design == "alpha_design"
+    assert beta.current_design == "beta_design"
+
+
+def test_interleaved_sessions_keep_isolated_component_lists(service):
+    """Two sessions, separate designs, generating in interleaved order."""
+    alpha = service.create_session(client="tool-a")
+    beta = service.create_session(client="tool-b")
+    alpha.start_a_design("alpha_design")
+    alpha.start_a_transaction()
+    beta.start_a_design("beta_design")
+    beta.start_a_transaction()
+
+    # Interleave: a1, b1, a2, b2 -- every instance must land in the design
+    # of the session that requested it.
+    a1 = alpha.request_component(implementation="register", attributes={"size": 2})
+    b1 = beta.request_component(implementation="register", attributes={"size": 2})
+    a2 = alpha.request_component(implementation="mux2", attributes={"size": 2})
+    b2 = beta.request_component(implementation="counter", attributes={"size": 2})
+
+    assert a1.design == a2.design == "alpha_design"
+    assert b1.design == b2.design == "beta_design"
+    assert len({a1.name, b1.name, a2.name, b2.name}) == 4
+
+    alpha.put_in_component_list(a1.name)
+    beta.put_in_component_list(b1.name)
+    beta.put_in_component_list(b2.name)
+    assert alpha.component_list() == [a1.name]
+    assert sorted(beta.component_list()) == sorted([b1.name, b2.name])
+
+
+def test_end_a_transaction_garbage_collects_per_session(service):
+    alpha = service.create_session(client="tool-a")
+    beta = service.create_session(client="tool-b")
+    alpha.start_a_design("alpha_design")
+    alpha.start_a_transaction()
+    beta.start_a_design("beta_design")
+    beta.start_a_transaction()
+
+    a_keep = alpha.request_component(implementation="register", attributes={"size": 2})
+    a_drop = alpha.request_component(implementation="mux2", attributes={"size": 2})
+    b_keep = beta.request_component(implementation="register", attributes={"size": 3})
+    b_drop = beta.request_component(implementation="mux2", attributes={"size": 3})
+    alpha.put_in_component_list(a_keep.name)
+    beta.put_in_component_list(b_keep.name)
+
+    # Alpha's garbage collection must not touch beta's uncommitted work.
+    removed = alpha.end_a_transaction()
+    assert removed == [a_drop.name]
+    assert a_drop.name not in service.instances
+    assert b_drop.name in service.instances
+    assert beta.component_list() == [b_keep.name]
+
+    removed = beta.end_a_transaction()
+    assert removed == [b_drop.name]
+    assert b_keep.name in service.instances
+
+    # Ending beta's design removes only beta's instances.
+    beta.end_a_design()
+    assert b_keep.name not in service.instances
+    assert a_keep.name in service.instances
+    assert beta.current_design == ""
+    assert alpha.current_design == "alpha_design"
+    rows = service.database.table(DESIGN_INSTANCES).select({"design": "beta_design"})
+    assert rows == []
+
+
+def test_threaded_sessions_generate_concurrently(service):
+    """Sessions on separate threads: unique names, correct design tagging."""
+    results = {}
+    errors = []
+
+    def worker(tag, size):
+        try:
+            session = service.create_session(client=tag)
+            session.start_a_design(f"{tag}_design")
+            session.start_a_transaction()
+            generated = []
+            for index in range(3):
+                response = session.execute(
+                    ComponentRequest(
+                        implementation="register",
+                        attributes={"size": size},
+                        constraints=None,
+                    )
+                )
+                generated.append(response.unwrap()["instance"])
+            session.execute(
+                DesignOp(op="put_in_list", instance=generated[0])
+            ).unwrap()
+            removed = session.execute(DesignOp(op="end_transaction")).unwrap()["removed"]
+            results[tag] = {"generated": generated, "removed": removed}
+        except Exception as exc:  # pragma: no cover - surfaced by assertion
+            errors.append((tag, exc))
+
+    threads = [
+        threading.Thread(target=worker, args=(f"tool-{i}", 2 + i)) for i in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert errors == []
+    all_names = [name for result in results.values() for name in result["generated"]]
+    assert len(all_names) == len(set(all_names)) == 12
+    for tag, result in results.items():
+        # Exactly the two non-kept instances of this session were collected.
+        assert sorted(result["removed"]) == sorted(result["generated"][1:])
+        kept = result["generated"][0]
+        assert kept in service.instances
+        assert service.instances.get(kept).design == f"{tag}_design"
