@@ -8,6 +8,9 @@ shape function and the connection information.
 Run with::
 
     python examples/quickstart.py
+
+The same flows run against a network ICDB server: see
+``examples/remote_quickstart.py`` and ``docs/net.md``.
 """
 
 from __future__ import annotations

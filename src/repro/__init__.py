@@ -8,6 +8,12 @@ The package implements ICDB -- a component server for behavioral synthesis
   dataclasses (JSON round-trippable), structured error codes, the
   :class:`~repro.api.service.ComponentService` engine with per-client
   sessions, and the result cache that memoizes catalog-based generations;
+* :mod:`repro.net` -- the component server on the network: a
+  length-prefixed JSON wire protocol, the threaded
+  :class:`~repro.net.server.ICDBServer` (one connection = one session,
+  pipelined batches, ``python -m repro.net.server``) and the
+  :class:`~repro.net.client.RemoteClient` mirroring the full session
+  surface over TCP or an in-process loopback (see ``docs/net.md``);
 * :mod:`repro.iif` -- the IIF component description language (parser and
   macro expander);
 * :mod:`repro.cql` -- the Component Query Language interface, including the
@@ -72,17 +78,21 @@ synthesized netlist and estimates are reused under a fresh instance name
 """
 
 from .api import (
+    BatchRequest,
     ComponentQuery,
     ComponentRequest,
     ComponentService,
     DesignOp,
     FunctionQuery,
+    Hello,
     IcdbErrorInfo,
     InstanceQuery,
     LayoutRequest,
+    PROTOCOL_VERSION,
     Response,
     ResultCache,
     Session,
+    Welcome,
     request_from_dict,
 )
 from .constraints import Constraints, PortPosition, parse_delay_constraints, parse_port_positions
@@ -90,11 +100,13 @@ from .components import standard_catalog
 from .core import ICDB, ComponentInstance
 from .cql import InteractiveSession, OutParam, make_icdb_call
 from .iif import Expander, FlatComponent, parse_module
+from .net import ICDBServer, RemoteClient, connect, serve
 from .techlib import standard_cells
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
+    "BatchRequest",
     "ComponentInstance",
     "ComponentQuery",
     "ComponentRequest",
@@ -104,22 +116,29 @@ __all__ = [
     "Expander",
     "FlatComponent",
     "FunctionQuery",
+    "Hello",
     "ICDB",
+    "ICDBServer",
     "IcdbErrorInfo",
     "InstanceQuery",
     "InteractiveSession",
     "LayoutRequest",
     "OutParam",
+    "PROTOCOL_VERSION",
     "PortPosition",
+    "RemoteClient",
     "Response",
     "ResultCache",
     "Session",
+    "Welcome",
     "__version__",
+    "connect",
     "make_icdb_call",
     "parse_delay_constraints",
     "parse_module",
     "parse_port_positions",
     "request_from_dict",
+    "serve",
     "standard_catalog",
     "standard_cells",
 ]

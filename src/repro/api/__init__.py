@@ -29,30 +29,40 @@ from .cache import ResultCache, clone_instance
 from .errors import (
     E_BAD_REQUEST,
     E_CONFLICT,
+    E_FRAME_TOO_LARGE,
     E_GENERATION_FAILED,
     E_INTERNAL,
     E_NOT_FOUND,
+    E_PROTOCOL,
+    E_UNAVAILABLE,
     ERROR_CODES,
     IcdbErrorInfo,
     error_from_exception,
 )
 from .messages import (
+    COMPONENT_DETAILS,
     DESIGN_OPS,
     FUNCTION_QUERY_WANTS,
+    PROTOCOL_VERSION,
     REQUEST_TYPES,
+    BatchRequest,
     ComponentQuery,
     ComponentRequest,
     DesignOp,
     FunctionQuery,
+    Hello,
     InstanceQuery,
     LayoutRequest,
     Request,
     Response,
+    Welcome,
     request_from_dict,
 )
 from .service import ComponentService, Session, instance_summary
 
 __all__ = [
+    "BatchRequest",
+    "COMPONENT_DETAILS",
     "ComponentQuery",
     "ComponentRequest",
     "ComponentService",
@@ -60,20 +70,26 @@ __all__ = [
     "DesignOp",
     "E_BAD_REQUEST",
     "E_CONFLICT",
+    "E_FRAME_TOO_LARGE",
     "E_GENERATION_FAILED",
     "E_INTERNAL",
     "E_NOT_FOUND",
+    "E_PROTOCOL",
+    "E_UNAVAILABLE",
     "ERROR_CODES",
     "FUNCTION_QUERY_WANTS",
     "FunctionQuery",
+    "Hello",
     "IcdbErrorInfo",
     "InstanceQuery",
     "LayoutRequest",
+    "PROTOCOL_VERSION",
     "REQUEST_TYPES",
     "Request",
     "Response",
     "ResultCache",
     "Session",
+    "Welcome",
     "clone_instance",
     "error_from_exception",
     "instance_summary",

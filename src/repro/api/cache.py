@@ -9,22 +9,33 @@ instance name instead of re-running logic synthesis, sizing and
 estimation -- the hot path of every datapath builder that instantiates the
 same register or multiplexer dozens of times.
 
-The cache key is a canonical JSON signature; entries are detached snapshot
-instances (never registered with any design), so later mutations of served
-instances -- a ``request_layout``, a transaction delete -- cannot corrupt
-the template.  All operations are lock-protected: sessions of one service
-share a single cache concurrently.
+The cache key is a canonical signature tuple (implementation, sorted
+parameters, canonical constraints JSON, target); entries are detached
+snapshot instances (never registered with any design), so later mutations
+of served instances -- a ``request_layout``, a transaction delete --
+cannot corrupt the template.  All operations are lock-protected: sessions
+of one service share a single cache concurrently.
 """
 
 from __future__ import annotations
 
+import copy
 import json
 import threading
 from collections import OrderedDict
-from typing import Dict, Mapping, Optional
+from typing import Dict, Hashable, Mapping, Optional, Tuple
 
 from ..constraints import Constraints
 from ..core.instances import ComponentInstance
+
+#: The shared default-constraints object (treated as immutable, like every
+#: :class:`Constraints` in the pipeline) and its pre-serialized canonical
+#: form: the overwhelmingly common bulk request carries no constraints, and
+#: re-serializing them dominated the signature cost on the cached hot path.
+DEFAULT_CONSTRAINTS = Constraints()
+_DEFAULT_CONSTRAINTS_JSON = json.dumps(
+    DEFAULT_CONSTRAINTS.to_dict(), sort_keys=True
+)
 
 
 def clone_instance(
@@ -32,34 +43,21 @@ def clone_instance(
 ) -> ComponentInstance:
     """A fresh instance sharing the template's synthesized artifacts.
 
-    The flat IIF, gate netlist, delay report, shape function and area
-    record are immutable once generated and are shared; everything a later
-    operation may mutate (parameter / function / violation lists, the files
-    map, layout and target) is copied.
+    The flat IIF, gate netlist, delay report, shape function, area record
+    and render cache are immutable (or append-only) once generated and are
+    shared via a shallow copy; everything a later operation may mutate
+    (parameter / function / violation lists, the files map) is replaced
+    with a private copy.
     """
-    return ComponentInstance(
-        name=name,
-        implementation=template.implementation,
-        component_type=template.component_type,
-        parameters=dict(template.parameters),
-        functions=list(template.functions),
-        constraints=template.constraints,
-        flat=template.flat,
-        netlist=template.netlist,
-        delay_report=template.delay_report,
-        shape=template.shape,
-        area_record=template.area_record,
-        connection_info=template.connection_info,
-        target=template.target,
-        layout=template.layout,
-        constraint_violations=list(template.constraint_violations),
-        sizing_iterations=template.sizing_iterations,
-        design=design,
-        cached=True,
-        # Shared on purpose: the renders are pure functions of the shared
-        # netlist / report objects, so every clone reuses one rendering.
-        render_cache=template.render_cache,
-    )
+    clone = copy.copy(template)
+    clone.name = name
+    clone.parameters = dict(template.parameters)
+    clone.functions = list(template.functions)
+    clone.constraint_violations = list(template.constraint_violations)
+    clone.files = {}
+    clone.design = design
+    clone.cached = True
+    return clone
 
 
 class ResultCache:
@@ -67,10 +65,11 @@ class ResultCache:
 
     def __init__(self, max_entries: int = 256):
         self.max_entries = max_entries
-        self._entries: "OrderedDict[str, ComponentInstance]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, ComponentInstance]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.lookups = 0
 
     @staticmethod
     def signature(
@@ -78,20 +77,29 @@ class ResultCache:
         parameters: Mapping[str, int],
         constraints: Constraints,
         target: str,
-    ) -> str:
+    ) -> Tuple[str, Tuple[Tuple[str, int], ...], str, str]:
         """Canonical signature of a catalog-based generation request."""
-        payload = {
-            "implementation": implementation,
-            "parameters": {key: int(value) for key, value in parameters.items()},
-            "constraints": constraints.to_dict(),
-            "target": target,
-        }
-        return json.dumps(payload, sort_keys=True)
+        if constraints is DEFAULT_CONSTRAINTS or constraints == DEFAULT_CONSTRAINTS:
+            constraints_json = _DEFAULT_CONSTRAINTS_JSON
+        else:
+            constraints_json = json.dumps(constraints.to_dict(), sort_keys=True)
+        return (
+            implementation,
+            tuple(sorted((key, int(value)) for key, value in parameters.items())),
+            constraints_json,
+            target,
+        )
 
-    def lookup(self, key: str) -> Optional[ComponentInstance]:
-        """The snapshot for ``key``, or None; updates hit/miss statistics."""
+    def lookup(self, key: Hashable) -> Optional[ComponentInstance]:
+        """The snapshot for ``key``, or None; updates hit/miss statistics.
+
+        The three counters move together under the cache lock, so at any
+        instant ``hits + misses == lookups`` -- the invariant the
+        concurrency stress test asserts.
+        """
         with self._lock:
             template = self._entries.get(key)
+            self.lookups += 1
             if template is None:
                 self.misses += 1
                 return None
@@ -99,7 +107,7 @@ class ResultCache:
             self.hits += 1
             return template
 
-    def store(self, key: str, instance: ComponentInstance) -> None:
+    def store(self, key: Hashable, instance: ComponentInstance) -> None:
         """Snapshot ``instance`` as the template for ``key``."""
         snapshot = clone_instance(instance, instance.name)
         with self._lock:
@@ -113,15 +121,18 @@ class ResultCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.lookups = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def stats(self) -> Dict[str, int]:
+        """A consistent snapshot of the counters (taken under the lock)."""
         with self._lock:
             return {
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
+                "lookups": self.lookups,
             }

@@ -24,6 +24,13 @@ E_NOT_FOUND = "NOT_FOUND"
 E_CONFLICT = "CONFLICT"
 #: The component generator failed to produce an instance.
 E_GENERATION_FAILED = "GENERATION_FAILED"
+#: A wire frame violates the transport protocol (bad framing, bad JSON,
+#: missing handshake, unsupported protocol version).
+E_PROTOCOL = "PROTOCOL"
+#: A wire frame exceeds the transport's frame-size limit.
+E_FRAME_TOO_LARGE = "FRAME_TOO_LARGE"
+#: The server (or the connection to it) is gone or shutting down.
+E_UNAVAILABLE = "UNAVAILABLE"
 #: Anything unexpected; the service never lets an exception escape raw.
 E_INTERNAL = "INTERNAL"
 
@@ -32,6 +39,9 @@ ERROR_CODES = (
     E_NOT_FOUND,
     E_CONFLICT,
     E_GENERATION_FAILED,
+    E_PROTOCOL,
+    E_FRAME_TOO_LARGE,
+    E_UNAVAILABLE,
     E_INTERNAL,
 )
 

@@ -34,7 +34,11 @@ from ..constraints import Constraints, PortPosition
 from ..core.icdb import IcdbError
 from ..core.instances import TARGET_LOGIC
 from ..netlist.structural import StructuralNetlist
-from .errors import E_BAD_REQUEST, IcdbErrorInfo
+from .errors import E_BAD_REQUEST, E_PROTOCOL, IcdbErrorInfo
+
+#: Version of the wire contract spoken by :mod:`repro.net`.  Bump when a
+#: frame or envelope changes incompatibly; the handshake rejects mismatches.
+PROTOCOL_VERSION = 1
 
 
 def _tuple(value) -> Tuple[str, ...]:
@@ -139,6 +143,10 @@ class InstanceQuery(Request):
         return cls(name=data.get("name", ""), fields=_tuple(data.get("fields")))
 
 
+#: Valid ``detail`` projections of a :class:`ComponentRequest` answer.
+COMPONENT_DETAILS = ("full", "summary")
+
+
 @dataclass(frozen=True)
 class ComponentRequest(Request):
     """The CQL ``request_component``: generate a component instance.
@@ -147,6 +155,10 @@ class ComponentRequest(Request):
     a component / implementation name plus attributes, an IIF description,
     or a structural netlist of existing instances.  ``use_cache`` opts out
     of the canonical-signature result cache for the catalog-based path.
+    ``detail`` selects the answer projection: ``"full"`` carries every
+    render a client may want (delay / area / shape reports, file paths);
+    ``"summary"`` only the instance identity and headline numbers, which
+    bulk pipelined clients use to keep response frames small.
     """
 
     kind: ClassVar[str] = "request_component"
@@ -163,6 +175,7 @@ class ComponentRequest(Request):
     instance_name: Optional[str] = None
     parameters: Optional[Dict[str, int]] = None
     use_cache: bool = True
+    detail: str = "full"
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -179,6 +192,7 @@ class ComponentRequest(Request):
             "instance_name": self.instance_name,
             "parameters": dict(self.parameters) if self.parameters else None,
             "use_cache": self.use_cache,
+            "detail": self.detail,
         }
 
     @classmethod
@@ -208,6 +222,7 @@ class ComponentRequest(Request):
                 else None
             ),
             use_cache=bool(data.get("use_cache", True)),
+            detail=data.get("detail", "full"),
         )
 
 
@@ -297,6 +312,75 @@ class DesignOp(Request):
         )
 
 
+@dataclass(frozen=True)
+class BatchRequest(Request):
+    """A pipelined batch: several requests executed in one server pass.
+
+    The server executes the member requests in order against one session
+    -- the whole sequence ``repeat`` times over -- under a single
+    acquisition of the service lock, and answers with one
+    :class:`Response` whose ``value`` is the list of the member responses'
+    ``to_dict()`` forms (``repeat * len(requests)`` of them, in execution
+    order).  ``repeat`` is the ``executemany`` of the protocol: bulk
+    generators asking for N identical cached components ship and parse the
+    request once instead of N times.  Batches cannot nest.
+    """
+
+    kind: ClassVar[str] = "batch"
+
+    #: Ceiling on ``repeat * len(requests)``: a batch holds the service
+    #: lock for its whole execution, so one frame must not be able to
+    #: queue unbounded work (or allocate an unbounded flattened tuple).
+    MAX_TOTAL_REQUESTS: ClassVar[int] = 10_000
+
+    requests: Tuple[Request, ...] = ()
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if any(isinstance(member, BatchRequest) for member in self.requests):
+            raise IcdbError("batch requests cannot be nested", code=E_BAD_REQUEST)
+        if not isinstance(self.repeat, int) or self.repeat < 1:
+            raise IcdbError(
+                f"batch repeat must be a positive integer, got {self.repeat!r}",
+                code=E_BAD_REQUEST,
+            )
+        total = self.repeat * len(self.requests)
+        if total > self.MAX_TOTAL_REQUESTS:
+            raise IcdbError(
+                f"batch of {total} requests exceeds the "
+                f"{self.MAX_TOTAL_REQUESTS}-request limit",
+                code=E_BAD_REQUEST,
+            )
+
+    def flattened(self) -> Tuple[Request, ...]:
+        """The full request sequence with ``repeat`` applied."""
+        if self.repeat == 1:
+            return self.requests
+        return self.requests * self.repeat
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "requests": [member.to_dict() for member in self.requests],
+            "repeat": self.repeat,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BatchRequest":
+        members = data.get("requests") or ()
+        if not isinstance(members, (list, tuple)):
+            raise IcdbError("batch 'requests' must be a list", code=E_BAD_REQUEST)
+        repeat = data.get("repeat", 1)
+        if not isinstance(repeat, int) or isinstance(repeat, bool):
+            raise IcdbError(
+                f"batch repeat must be an integer, got {repeat!r}", code=E_BAD_REQUEST
+            )
+        return cls(
+            requests=tuple(request_from_dict(member) for member in members),
+            repeat=repeat,
+        )
+
+
 #: Registry of request types by wire kind.
 REQUEST_TYPES: Dict[str, Type[Request]] = {
     cls.kind: cls
@@ -307,12 +391,18 @@ REQUEST_TYPES: Dict[str, Type[Request]] = {
         ComponentRequest,
         LayoutRequest,
         DesignOp,
+        BatchRequest,
     )
 }
 
 
 def request_from_dict(data: Mapping[str, Any]) -> Request:
     """Rebuild any request from its ``to_dict()`` form (transport entry)."""
+    if not isinstance(data, Mapping):
+        raise IcdbError(
+            f"a request must be a mapping, got {type(data).__name__}",
+            code=E_BAD_REQUEST,
+        )
     kind = data.get("kind")
     request_type = REQUEST_TYPES.get(kind or "")
     if request_type is None:
@@ -321,6 +411,54 @@ def request_from_dict(data: Mapping[str, Any]) -> Request:
 
 
 @dataclass(frozen=True)
+class Hello:
+    """The client's opening frame of a transport connection.
+
+    Carries the protocol version the client speaks and a client label the
+    server records on the session it creates for this connection.
+    """
+
+    protocol: int = PROTOCOL_VERSION
+    client: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "hello", "protocol": self.protocol, "client": self.client}
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "Hello":
+        try:
+            protocol = int(data.get("protocol", 0))
+        except (TypeError, ValueError):
+            raise IcdbError("hello 'protocol' must be an integer", code=E_PROTOCOL)
+        return Hello(protocol=protocol, client=str(data.get("client", "")))
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """The server's answer to a :class:`Hello`: the session is open."""
+
+    protocol: int = PROTOCOL_VERSION
+    session_id: str = ""
+    server: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "welcome",
+            "protocol": self.protocol,
+            "session_id": self.session_id,
+            "server": self.server,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "Welcome":
+        return Welcome(
+            protocol=int(data.get("protocol", 0)),
+            session_id=str(data.get("session_id", "")),
+            server=str(data.get("server", "")),
+        )
+
+
+@dataclass
 class Response:
     """The envelope every service call returns.
 
@@ -329,6 +467,10 @@ class Response:
     server-side execution time, ``cached`` marks results served from the
     result cache.  ``exception`` is in-process only (never serialized): the
     original exception, kept so legacy entry points re-raise it unchanged.
+
+    The envelope is a plain (unfrozen) dataclass: responses are built and
+    re-parsed once per request on the pipelined hot path, where the
+    ``object.__setattr__`` cost of a frozen dataclass is measurable.
     """
 
     ok: bool
@@ -343,15 +485,23 @@ class Response:
     )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        """The wire form; default-valued fields are omitted (sparse
+        encoding -- ``from_dict`` restores the defaults), which keeps the
+        per-item envelopes of large batch answers small."""
+        data: Dict[str, Any] = {
             "ok": self.ok,
             "value": self.value,
-            "error": self.error.to_dict() if self.error else None,
             "elapsed_ms": self.elapsed_ms,
-            "cached": self.cached,
-            "session_id": self.session_id,
-            "request_kind": self.request_kind,
         }
+        if self.error is not None:
+            data["error"] = self.error.to_dict()
+        if self.cached:
+            data["cached"] = True
+        if self.session_id:
+            data["session_id"] = self.session_id
+        if self.request_kind:
+            data["request_kind"] = self.request_kind
+        return data
 
     @staticmethod
     def from_dict(data: Mapping[str, Any]) -> "Response":

@@ -26,7 +26,7 @@ from __future__ import annotations
 import threading
 import time
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..components import genus
 from ..components.catalog import (
@@ -57,10 +57,12 @@ from ..layout.generator import ComponentLayout, generate_layout
 from ..netlist.cif import layout_to_cif
 from ..netlist.structural import StructuralNetlist
 from ..techlib import CellLibrary, standard_cells
-from .cache import ResultCache, clone_instance
-from .errors import E_CONFLICT, E_NOT_FOUND, error_from_exception
+from .cache import DEFAULT_CONSTRAINTS, ResultCache, clone_instance
+from .errors import E_BAD_REQUEST, E_CONFLICT, E_NOT_FOUND, error_from_exception
 from .messages import (
+    COMPONENT_DETAILS,
     FUNCTION_QUERY_WANTS,
+    BatchRequest,
     ComponentQuery,
     ComponentRequest,
     DesignOp,
@@ -72,32 +74,81 @@ from .messages import (
 )
 
 
-def instance_summary(instance: ComponentInstance) -> Dict[str, object]:
+def instance_summary(
+    instance: ComponentInstance, detail: str = "full"
+) -> Dict[str, object]:
     """The JSON-safe wire summary of a generated instance.
 
     This is what a :class:`~repro.api.messages.ComponentRequest` answers
-    with: the fresh instance name plus the renders and figures a client
-    needs without another round trip.
+    with.  ``detail="full"`` carries the renders and figures a client needs
+    without another round trip, plus the structured delay and shape data a
+    remote client rebuilds report objects from; ``detail="summary"`` only
+    the identity and headline numbers (the projection bulk pipelined
+    clients ask for to keep response frames small).
     """
-    return {
-        "instance": instance.name,
-        "implementation": instance.implementation,
-        "component_type": instance.component_type,
-        "parameters": dict(instance.parameters),
-        "functions": list(instance.functions),
-        "target": instance.target,
-        "clock_width": float(instance.clock_width),
-        "area_um2": float(instance.area),
-        "cells": int(instance.netlist.cell_count()),
-        "delay": instance.render_delay(),
-        "area": instance.render_area_records(),
-        "shape_function": instance.render_shape(),
-        "met_constraints": instance.met_constraints(),
-        "violations": list(instance.constraint_violations),
-        "files": dict(instance.files),
-        "cached": bool(instance.cached),
-        "design": instance.design,
-    }
+    # The name-independent headline facts are identical for every clone of
+    # one synthesized netlist; they are built once and shared through the
+    # instance's render cache (hot on the pipelined cached path).  A
+    # refined instance (a generated layout, a non-logic target) computes
+    # them directly: its facts no longer match its clone family's.
+    refined = instance.layout is not None or instance.target != TARGET_LOGIC
+    fragment = None if refined else instance.render_cache.get("summary_fragment")
+    if fragment is None:
+        fragment = {
+            "implementation": instance.implementation,
+            "component_type": instance.component_type,
+            "target": instance.target,
+            "clock_width": float(instance.clock_width),
+            "area_um2": float(instance.area),
+            "cells": int(instance.netlist.cell_count()),
+            "met_constraints": instance.met_constraints(),
+        }
+        if not refined:
+            instance.render_cache["summary_fragment"] = fragment
+    summary: Dict[str, object] = dict(fragment)
+    summary["instance"] = instance.name
+    summary["cached"] = bool(instance.cached)
+    summary["design"] = instance.design
+    if instance.constraint_violations:
+        summary["met_constraints"] = instance.met_constraints()
+    if detail == "summary":
+        return summary
+    detail_fragment = instance.render_cache.get("detail_fragment")
+    if detail_fragment is None:
+        report = instance.delay_report
+        detail_fragment = {
+            "shape_alternatives": [
+                {
+                    "strips": int(record.strips),
+                    "width": float(record.width),
+                    "height": float(record.height),
+                }
+                for record in instance.shape.alternatives
+            ],
+            "delay_detail": {
+                "clock_width": float(report.clock_width),
+                "is_sequential": bool(report.is_sequential),
+                "min_pulse_width": float(report.min_pulse_width),
+                "clock_to_output": dict(report.clock_to_output),
+                "setup_times": dict(report.setup_times),
+                "comb_delays": dict(report.comb_delays),
+            },
+        }
+        instance.render_cache["detail_fragment"] = detail_fragment
+    summary.update(
+        {
+            "parameters": dict(instance.parameters),
+            "functions": list(instance.functions),
+            "delay": instance.render_delay(),
+            "area": instance.render_area_records(),
+            "shape_function": instance.render_shape(),
+            "violations": list(instance.constraint_violations),
+            "files": dict(instance.files),
+            "shape_alternatives": detail_fragment["shape_alternatives"],
+            "delay_detail": detail_fragment["delay_detail"],
+        }
+    )
+    return summary
 
 
 class Session:
@@ -222,7 +273,9 @@ class Session:
         forces a full generator run).
         """
         service = self.service
-        constraints = constraints or Constraints()
+        # Constraints are immutable by convention (with_updates returns
+        # copies), so the no-constraints case shares one default object.
+        constraints = constraints if constraints is not None else DEFAULT_CONSTRAINTS
         if strategy is not None:
             constraints = constraints.with_updates(strategy=strategy)
         if target not in (TARGET_LOGIC, TARGET_LAYOUT):
@@ -280,9 +333,12 @@ class Session:
 
         ``fields`` restricts the answer to the named reports; only those are
         rendered (``connect_component`` asks for ``("connect",)`` and never
-        pays for the VHDL netlist).
+        pays for the VHDL netlist).  Asking for ``files`` materializes any
+        lazily deferred artifacts first, so the returned paths are readable.
         """
         instance = self.instances.get(name)
+        if not fields or "files" in fields:
+            self.service.materialize_artifacts(name)
         producers = {
             "function": lambda: list(instance.functions),
             "delay": instance.render_delay,
@@ -492,7 +548,12 @@ class ComponentService:
         store: Optional[DesignDataStore] = None,
         store_root: Optional[Union[str, Path]] = None,
         cache: Optional[ResultCache] = None,
+        clone_artifacts: str = "lazy",
     ):
+        if clone_artifacts not in ("lazy", "eager"):
+            raise IcdbError(
+                f"clone_artifacts must be 'lazy' or 'eager', got {clone_artifacts!r}"
+            )
         self.catalog = catalog or standard_catalog(fresh=True)
         self.cell_library = cell_library or standard_cells()
         self.database = database or new_database()
@@ -505,8 +566,20 @@ class ComponentService:
         )
         self.knowledge.load_catalog()
         self.cache = cache or ResultCache()
+        #: Artifact persistence policy for cache-served clones: ``"lazy"``
+        #: records the file paths and defers the writes until
+        #: :meth:`materialize_artifacts` (or deletes them unwritten);
+        #: ``"eager"`` writes every clone's files on generation like the
+        #: template path does.  Lazy is the default: a clone's artifacts
+        #: are pure functions of the shared template renders plus the
+        #: instance name, so files nobody reads cost nothing.
+        self.clone_artifacts = clone_artifacts
         #: Serializes writes to the relational database and design tables.
         self.lock = threading.RLock()
+        #: Lazily persisted instances awaiting artifact materialization,
+        #: keyed by instance name.
+        self._pending_artifacts: Dict[str, ComponentInstance] = {}
+        self._pending_lock = threading.Lock()
         self._session_counter = 0
         self._default_session: Optional[Session] = None
 
@@ -554,6 +627,8 @@ class ComponentService:
         )
 
     def _dispatch(self, request: Request, session: Session):
+        if isinstance(request, ComponentRequest):
+            return self._component_request(request, session)
         if isinstance(request, ComponentQuery):
             return (
                 session.component_query(
@@ -571,22 +646,6 @@ class ComponentService:
             )
         if isinstance(request, InstanceQuery):
             return session.instance_query(request.name, request.fields or None), False
-        if isinstance(request, ComponentRequest):
-            instance = session.request_component(
-                component_name=request.component_name,
-                implementation=request.implementation,
-                iif=request.iif,
-                structure=request.structure,
-                functions=list(request.functions) or None,
-                attributes=request.attributes,
-                constraints=request.constraints,
-                strategy=request.strategy,
-                target=request.target,
-                instance_name=request.instance_name,
-                parameters=request.parameters,
-                use_cache=request.use_cache,
-            )
-            return instance_summary(instance), instance.cached
         if isinstance(request, LayoutRequest):
             layout = session.request_layout(
                 request.name,
@@ -607,7 +666,49 @@ class ComponentService:
             )
         if isinstance(request, DesignOp):
             return self._design_op(request, session), False
+        if isinstance(request, BatchRequest):
+            responses = self.execute_batch(request.flattened(), session)
+            return [response.to_dict() for response in responses], False
         raise IcdbError(f"unsupported request type {type(request).__name__!r}")
+
+    def _component_request(self, request: ComponentRequest, session: Session):
+        if request.detail not in COMPONENT_DETAILS:
+            raise IcdbError(
+                f"unknown request detail {request.detail!r}; "
+                f"expected one of {COMPONENT_DETAILS}",
+                code=E_BAD_REQUEST,
+            )
+        instance = session.request_component(
+            component_name=request.component_name,
+            implementation=request.implementation,
+            iif=request.iif,
+            structure=request.structure,
+            functions=list(request.functions) or None,
+            attributes=request.attributes,
+            constraints=request.constraints,
+            strategy=request.strategy,
+            target=request.target,
+            instance_name=request.instance_name,
+            parameters=request.parameters,
+            use_cache=request.use_cache,
+        )
+        return instance_summary(instance, detail=request.detail), instance.cached
+
+    def execute_batch(
+        self, requests: Sequence[Request], session: Optional[Session] = None
+    ) -> List[Response]:
+        """Execute several requests in order under one service-lock hold.
+
+        This is the pipelining fast path: a batch pays for one lock
+        acquisition, one wire frame and one thread wake-up regardless of
+        its length.  The batch is atomic with respect to other sessions'
+        database writes; heavyweight uncached generations inside a large
+        batch therefore serialize concurrent writers and are better sent
+        individually.
+        """
+        session = session or self.default_session
+        with self.lock:
+            return [self.execute(request, session) for request in requests]
 
     def _design_op(self, request: DesignOp, session: Session) -> Dict[str, object]:
         design = request.design or session.current_design
@@ -676,24 +777,52 @@ class ComponentService:
         self.instances.add(instance)
         self._persist_instance(instance)
 
-    def _persist_instance(self, instance: ComponentInstance) -> None:
-        files = {
-            "flat_iif": self.store.write(instance.name, "flat_iif", instance.flat_milo()),
-            "vhdl": self.store.write(instance.name, "vhdl", instance.vhdl_netlist()),
-            "vhdl_head": self.store.write(instance.name, "vhdl_head", instance.vhdl_head()),
-            "delay": self.store.write(instance.name, "delay", instance.render_delay() + "\n"),
-            "shape": self.store.write(instance.name, "shape", instance.render_shape() + "\n"),
-            "area": self.store.write(instance.name, "area", instance.render_area_records() + "\n"),
+    #: Artifact kinds persisted for every instance (plus ``connect`` /
+    #: ``cif`` when the instance carries connection info / a layout).
+    _BASE_ARTIFACT_KINDS = ("flat_iif", "vhdl", "vhdl_head", "delay", "shape", "area")
+
+    def _artifact_kinds(self, instance: ComponentInstance) -> Tuple[str, ...]:
+        kinds = self._BASE_ARTIFACT_KINDS
+        if instance.connection_info:
+            kinds = kinds + ("connect",)
+        if instance.layout is not None:
+            kinds = kinds + ("cif",)
+        return kinds
+
+    def _artifact_producers(
+        self, instance: ComponentInstance
+    ) -> Dict[str, Callable[[], str]]:
+        """Producers of every artifact the instance persists, by kind."""
+        producers: Dict[str, Callable[[], str]] = {
+            "flat_iif": instance.flat_milo,
+            "vhdl": instance.vhdl_netlist,
+            "vhdl_head": instance.vhdl_head,
+            "delay": lambda: instance.render_delay() + "\n",
+            "shape": lambda: instance.render_shape() + "\n",
+            "area": lambda: instance.render_area_records() + "\n",
         }
         if instance.connection_info:
-            files["connect"] = self.store.write(
-                instance.name, "connect", instance.connection_info + "\n"
-            )
+            producers["connect"] = lambda: instance.connection_info + "\n"
         if instance.layout is not None:
-            files["cif"] = self.store.write(
-                instance.name, "cif", layout_to_cif(instance.layout)
+            producers["cif"] = lambda: layout_to_cif(instance.layout)
+        return producers
+
+    def _persist_instance(self, instance: ComponentInstance) -> None:
+        lazy = instance.cached and self.clone_artifacts == "lazy"
+        if lazy:
+            # A clone's artifacts derive from renders shared with its
+            # template; record the paths now, write the bytes on demand
+            # (the producers themselves are built at materialization).
+            instance.files = self.store.paths_for(
+                instance.name, self._artifact_kinds(instance)
             )
-        instance.files = {kind: str(path) for kind, path in files.items()}
+            with self._pending_lock:
+                self._pending_artifacts[instance.name] = instance
+        else:
+            instance.files = {
+                kind: str(self.store.write(instance.name, kind, produce()))
+                for kind, produce in self._artifact_producers(instance).items()
+            }
 
         with self.lock:
             table = self.database.table(INSTANCES)
@@ -710,20 +839,79 @@ class ComponentService:
                 height=float(instance.area_record.height),
                 strips=int(instance.area_record.strips),
                 cells=int(instance.netlist.cell_count()),
-                transistors=float(instance.netlist.transistor_units()),
+                transistors=instance.transistor_units(),
                 design=instance.design,
             )
-            files_table = self.database.table(DESIGN_FILES)
-            for kind, path in instance.files.items():
-                files_table.insert(instance=instance.name, kind=kind, path=path)
+            if not lazy:
+                files_table = self.database.table(DESIGN_FILES)
+                for kind, path in instance.files.items():
+                    files_table.insert(instance=instance.name, kind=kind, path=path)
             if instance.design:
                 self.database.table(DESIGN_INSTANCES).insert(
                     design=instance.design, instance=instance.name, kept=False
                 )
 
+    def materialize_artifacts(self, name: Optional[str] = None) -> List[str]:
+        """Write the deferred artifact files of lazily persisted instances.
+
+        ``name`` restricts materialization to one instance; the default
+        flushes everything pending.  Returns the names whose files were
+        written.  Idempotent: already-materialized (or eagerly persisted)
+        instances are no-ops.
+        """
+        with self._pending_lock:
+            if name is None:
+                pending = list(self._pending_artifacts.values())
+            elif name in self._pending_artifacts:
+                pending = [self._pending_artifacts[name]]
+            else:
+                pending = []
+        written: List[str] = []
+        for instance in pending:
+            # The pending entry stays in place until the files exist, so a
+            # concurrent materialize for the same instance either writes
+            # the identical bytes again (deterministic producers) or finds
+            # nothing left to do -- it never observes recorded paths whose
+            # files are missing.
+            producers = self._artifact_producers(instance)
+            for kind, produce in producers.items():
+                self.store.write(instance.name, kind, produce())
+            with self._pending_lock:
+                self._pending_artifacts.pop(instance.name, None)
+            with self.lock:
+                # A concurrent transaction delete may have collected the
+                # instance between the pending pop and here; recording
+                # rows for it would resurrect orphans.
+                registered = (
+                    self.database.table(INSTANCES).get(name=instance.name)
+                    is not None
+                )
+                if registered:
+                    files_table = self.database.table(DESIGN_FILES)
+                    for kind in producers:
+                        path = str(self.store.path_for(instance.name, kind))
+                        if files_table.select(
+                            {"instance": instance.name, "kind": kind}
+                        ):
+                            files_table.update(
+                                {"instance": instance.name, "kind": kind}, path=path
+                            )
+                        else:
+                            files_table.insert(
+                                instance=instance.name, kind=kind, path=path
+                            )
+            if not registered:
+                self.store.remove_instance(instance.name)
+                continue
+            written.append(instance.name)
+        return written
+
     def delete_instance(self, name: str) -> None:
         """Remove an instance from the registry, database and file store."""
         self.instances.remove(name)
+        with self._pending_lock:
+            # Never-read lazy artifacts die unwritten.
+            self._pending_artifacts.pop(name, None)
         with self.lock:
             self.database.table(INSTANCES).delete({"name": name})
             self.database.table(DESIGN_FILES).delete({"instance": name})

@@ -51,17 +51,22 @@ class ICDB:
         database=None,
         store=None,
         store_root: Optional[Union[str, Path]] = None,
+        clone_artifacts: str = "eager",
     ):
         # Imported lazily: repro.api.service imports repro.core at module
         # level, so a module-level import here would be circular.
         from ..api.service import ComponentService
 
+        # The facade predates lazy artifact materialization, and its
+        # callers read instance.files paths straight off the disk; keep
+        # the classic eager persistence unless asked otherwise.
         self.service = ComponentService(
             catalog=catalog,
             cell_library=cell_library,
             database=database,
             store=store,
             store_root=store_root,
+            clone_artifacts=clone_artifacts,
         )
         self.session = self.service.create_session(client="icdb-facade")
 

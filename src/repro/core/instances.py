@@ -26,6 +26,7 @@ from ..netlist.vhdl import (
     gate_netlist_architecture_body,
     gate_netlist_to_vhdl,
     vhdl_component_declaration,
+    vhdl_port_block,
 )
 
 
@@ -64,11 +65,20 @@ class ComponentInstance:
     #: full generator run (the netlist and estimates are shared with the
     #: originally synthesized template).
     cached: bool = False
-    #: Memoized renders of the name-independent reports (delay, shape, area,
-    #: VHDL netlist, flat IIF).  They are pure functions of the shared
-    #: netlist / report objects, so cache clones share this dict with their
-    #: template: each report is rendered once per synthesized netlist.
-    render_cache: Dict[str, str] = field(default_factory=dict)
+    #: Memoized name-independent derivations of the shared netlist / report
+    #: objects: report renders (delay, shape, area, VHDL fragments), the
+    #: transistor count, wire-summary fragments.  Cache clones share this
+    #: dict with their template, so each value is computed once per
+    #: synthesized netlist.
+    render_cache: Dict[str, object] = field(default_factory=dict)
+
+    def __copy__(self) -> "ComponentInstance":
+        # copy.copy's generic __reduce_ex__ path is measurable on the
+        # cached request_component hot path; a plain __dict__ copy is the
+        # exact same shallow semantics.
+        clone = object.__new__(ComponentInstance)
+        clone.__dict__.update(self.__dict__)
+        return clone
 
     # ------------------------------------------------------------------ facts
 
@@ -100,6 +110,20 @@ class ComponentInstance:
     def met_constraints(self) -> bool:
         return not self.constraint_violations
 
+    def transistor_units(self) -> float:
+        """Total transistor units of the sized netlist.
+
+        Sizing is finished by the time an instance exists, so the count is
+        a constant of the shared netlist; it is memoized through
+        ``render_cache`` and therefore computed once per synthesized
+        netlist, not once per cache clone.
+        """
+        value = self.render_cache.get("transistor_units")
+        if value is None:
+            value = self.netlist.transistor_units()
+            self.render_cache["transistor_units"] = value
+        return float(value)
+
     # -------------------------------------------------------------- renderings
 
     def _render(self, kind: str, producer) -> str:
@@ -124,13 +148,23 @@ class ComponentInstance:
             lambda: "\n".join(record.render() for record in self.shape.alternatives),
         )
 
+    def _vhdl_ports(self) -> str:
+        # The port-declaration block is name-independent and shared with
+        # cache clones, like the architecture body.
+        return self._render(
+            "vhdl_ports",
+            lambda: vhdl_port_block(self.netlist.inputs, self.netlist.outputs),
+        )
+
     def vhdl_netlist(self) -> str:
         # The architecture body is name-independent and shared with cache
         # clones; the entity header always carries this instance's name.
         body = self._render(
             "vhdl_body", lambda: gate_netlist_architecture_body(self.netlist)
         )
-        return gate_netlist_to_vhdl(self.netlist, name=self.name, body=body)
+        return gate_netlist_to_vhdl(
+            self.netlist, name=self.name, body=body, ports=self._vhdl_ports()
+        )
 
     def flat_milo(self) -> str:
         """The flat IIF in MILO form, headed by this instance's name."""
@@ -140,7 +174,14 @@ class ComponentInstance:
         return f"NAME={self.name};\n{body}"
 
     def vhdl_head(self) -> str:
-        return vhdl_component_declaration(self.name, self.inputs, self.outputs)
+        # Same sharing trick, but over the flat component's port lists
+        # (their ordering can differ from the mapped netlist's).
+        ports = self._render(
+            "vhdl_head_ports", lambda: vhdl_port_block(self.inputs, self.outputs)
+        )
+        return vhdl_component_declaration(
+            self.name, self.inputs, self.outputs, ports=ports
+        )
 
     def summary(self) -> str:
         return (

@@ -14,12 +14,21 @@ remote transport would use) and hands it to the
 :class:`~repro.api.service.ComponentService`, which answers with a
 :class:`~repro.api.messages.Response` envelope.  Failures re-raise the
 original engine exception, keeping the legacy error behavior intact.
+
+The executor binds to any object exposing ``execute(request) -> Response``:
+the legacy :class:`~repro.core.icdb.ICDB` facade (through its default
+session), a local :class:`~repro.api.service.Session`, or a
+:class:`~repro.net.client.RemoteClient` -- CQL scripts run against a
+network ICDB server unchanged.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..net.client import RemoteClient
 
 from ..api.messages import (
     ComponentQuery,
@@ -75,16 +84,20 @@ def _as_float(value, keyword: str) -> float:
 class CqlExecutor:
     """Binds parsed CQL commands to the ICDB component service.
 
-    ``server`` is either the legacy :class:`~repro.core.icdb.ICDB` facade
-    (commands run in its default session) or a
+    ``server`` is the legacy :class:`~repro.core.icdb.ICDB` facade
+    (commands run in its default session), a
     :class:`~repro.api.service.Session` (commands run in that client's own
-    design context).
+    design context), or a :class:`~repro.net.client.RemoteClient`
+    (commands run in the connection's server-side session).
     """
 
-    def __init__(self, server: Union[ICDB, Session]):
+    def __init__(self, server: Union[ICDB, Session, "RemoteClient"]):
         self.server = server
-        self.session: Session = getattr(server, "session", server)
-        self.service = self.session.service
+        #: The object requests execute against: an ICDB facade contributes
+        #: its default session; sessions and remote clients bind directly.
+        self.session: Union[Session, "RemoteClient"] = getattr(
+            server, "session", server
+        )
 
     # ------------------------------------------------------------------ entry
 
@@ -121,18 +134,18 @@ class CqlExecutor:
         The request is serialized to JSON and parsed back before dispatch,
         so every CQL command proves the ``to_dict`` / ``from_dict``
         round-trip a socket transport would rely on.  A failed response
-        re-raises the original engine exception.
+        re-raises the original engine exception when it is available (the
+        in-process transports) and the structured
+        :class:`~repro.core.icdb.IcdbError` otherwise (remote clients).
         """
         wire = request_from_dict(json.loads(json.dumps(request.to_dict())))
-        response = self.service.execute(wire, self.session)
+        response = self.session.execute(wire)
         if not response.ok:
             if response.exception is not None:
                 raise response.exception
-            raise CqlExecutionError(
-                f"{response.error.code}: {response.error.message}"
-                if response.error
-                else "request failed"
-            )
+            if response.error is not None:
+                response.error.raise_as_exception()
+            raise CqlExecutionError("request failed with no error information")
         return response
 
     # --------------------------------------------------------------- queries

@@ -9,12 +9,15 @@ scripts and the examples; :func:`main` provides a tiny REPL.
 from __future__ import annotations
 
 import sys
-from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
+from typing import Any, Dict, Iterable, List, Optional, TYPE_CHECKING, TextIO, Union
 
 from ..api.service import Session
 from ..core.icdb import ICDB
 from .executor import CqlExecutionError, CqlExecutor
 from .parser import CqlSyntaxError, parse_command
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..net.client import RemoteClient
 
 
 def format_result(outputs: Dict[str, Any]) -> str:
@@ -32,9 +35,14 @@ def format_result(outputs: Dict[str, Any]) -> str:
 
 
 class InteractiveSession:
-    """Executes command strings and renders results as text."""
+    """Executes command strings and renders results as text.
 
-    def __init__(self, server: Optional[Union[ICDB, Session]] = None):
+    ``server`` may be a local facade / session or a
+    :class:`~repro.net.client.RemoteClient`, in which case every typed
+    command travels to a network ICDB server.
+    """
+
+    def __init__(self, server: Optional[Union[ICDB, Session, "RemoteClient"]] = None):
         self.server = server or ICDB()
         self.executor = CqlExecutor(self.server)
         self.history: List[str] = []

@@ -66,9 +66,17 @@ class Table:
             raise DatabaseError(f"key column {key!r} is not a column of {name!r}")
         self.key = key
         self.rows: List[Dict[str, Any]] = []
+        # Key-uniqueness index: without it every keyed insert scans the
+        # whole relation, which turns a long-lived server's instance table
+        # into a quadratic hot spot.
+        self._key_index: set = set()
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    def _rebuild_key_index(self) -> None:
+        if self.key is not None:
+            self._key_index = {row[self.key] for row in self.rows}
 
     # ------------------------------------------------------------------ write
 
@@ -82,10 +90,11 @@ class Table:
         }
         if self.key is not None:
             key_value = row[self.key]
-            if any(existing[self.key] == key_value for existing in self.rows):
+            if key_value in self._key_index:
                 raise DatabaseError(
                     f"duplicate key {key_value!r} in table {self.name!r}"
                 )
+            self._key_index.add(key_value)
         self.rows.append(row)
         return dict(row)
 
@@ -98,12 +107,30 @@ class Table:
                         raise DatabaseError(f"table {self.name!r} has no column {name!r}")
                     row[name] = self.columns[name].coerce(value)
                 count += 1
+        if count and self.key is not None and self.key in changes:
+            self._rebuild_key_index()
         return count
 
     def delete(self, where: Predicate) -> int:
-        before = len(self.rows)
-        self.rows = [row for row in self.rows if not self._matches(row, where)]
-        return before - len(self.rows)
+        if self.key is None:
+            before = len(self.rows)
+            self.rows = [row for row in self.rows if not self._matches(row, where)]
+            return before - len(self.rows)
+        kept: List[Dict[str, Any]] = []
+        removed = 0
+        for row in self.rows:
+            if self._matches(row, where):
+                # Discarding the removed keys keeps deletion O(n) instead
+                # of an O(n) index rebuild per call (which made bulk
+                # per-instance teardown quadratic).  Key-changing updates
+                # are the one path that can unbalance this; update()
+                # rebuilds the index exactly for that case.
+                self._key_index.discard(row[self.key])
+                removed += 1
+            else:
+                kept.append(row)
+        self.rows = kept
+        return removed
 
     # ------------------------------------------------------------------- read
 
@@ -166,6 +193,7 @@ class Table:
         table = Table(data["name"], columns, key=data.get("key"))
         for row in data.get("rows", []):
             table.rows.append(dict(row))
+        table._rebuild_key_index()
         return table
 
 

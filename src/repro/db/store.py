@@ -10,10 +10,11 @@ returns their paths, which the database records per instance.
 
 from __future__ import annotations
 
+import os
 import re
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 
 class StoreError(ValueError):
@@ -35,9 +36,21 @@ ARTIFACT_EXTENSIONS = {
 }
 
 
+_SAFE_NAME_RE = re.compile(r"[A-Za-z0-9.-][A-Za-z0-9_.-]*")
+
+
 def _safe_name(name: str) -> str:
+    # Fast path: typical instance names (alnum + underscores, no leading /
+    # trailing underscore) pass through without the regex substitution.
+    # All-dot names ("." / "..") must never pass: instance names reach
+    # this from remote clients, and ".." as a path component would write
+    # artifacts outside the store root.
+    if _SAFE_NAME_RE.fullmatch(name) and not name.endswith("_") and name.strip("."):
+        return name
     cleaned = re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
-    return cleaned or "unnamed"
+    if not cleaned.strip("."):
+        return "unnamed"
+    return cleaned
 
 
 class DesignDataStore:
@@ -51,8 +64,38 @@ class DesignDataStore:
             self._tempdir = None
             self.root = Path(root)
             self.root.mkdir(parents=True, exist_ok=True)
+        self._root_str = str(self.root)
 
     # ------------------------------------------------------------------ write
+
+    def path_for(self, instance: str, kind: str) -> Path:
+        """The path an artifact would be written to, whether it exists yet.
+
+        Lazily persisted artifacts record this path before any bytes hit
+        the disk; :meth:`write` materializes the same path later.
+        """
+        if kind not in ARTIFACT_EXTENSIONS:
+            raise StoreError(f"unknown artifact kind {kind!r}")
+        return self.root / _safe_name(instance) / (
+            _safe_name(instance) + ARTIFACT_EXTENSIONS[kind]
+        )
+
+    def paths_for(self, instance: str, kinds: Iterable[str]) -> Dict[str, str]:
+        """Path strings of several would-be artifacts at once.
+
+        The bulk form of :meth:`path_for`: one name sanitization, plain
+        string joins, no filesystem access -- this sits on the cached
+        request hot path where every microsecond counts.
+        """
+        safe = _safe_name(instance)
+        base = f"{self._root_str}{os.sep}{safe}{os.sep}{safe}"
+        paths: Dict[str, str] = {}
+        for kind in kinds:
+            extension = ARTIFACT_EXTENSIONS.get(kind)
+            if extension is None:
+                raise StoreError(f"unknown artifact kind {kind!r}")
+            paths[kind] = base + extension
+        return paths
 
     def write(self, instance: str, kind: str, text: str) -> Path:
         """Store one artifact; returns the file path."""
@@ -75,11 +118,7 @@ class DesignDataStore:
         return path.read_text()
 
     def path_of(self, instance: str, kind: str) -> Optional[Path]:
-        if kind not in ARTIFACT_EXTENSIONS:
-            raise StoreError(f"unknown artifact kind {kind!r}")
-        path = self.root / _safe_name(instance) / (
-            _safe_name(instance) + ARTIFACT_EXTENSIONS[kind]
-        )
+        path = self.path_for(instance, kind)
         return path if path.exists() else None
 
     def artifacts_of(self, instance: str) -> Dict[str, Path]:

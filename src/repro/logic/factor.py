@@ -64,7 +64,11 @@ def _most_common_factor(terms: Sequence[Tuple[E.BExpr, ...]]) -> Optional[E.BExp
             counts[factor] = counts.get(factor, 0) + 1
     best = None
     best_count = 1
-    for factor, count in counts.items():
+    # Ties are broken by the structural repr, not by dict order: the dict
+    # is populated in set-iteration order, which varies with the process
+    # hash seed and used to make synthesized netlists irreproducible
+    # across runs (caught by the golden-file suite).
+    for factor, count in sorted(counts.items(), key=lambda item: repr(item[0])):
         if count > best_count:
             best = factor
             best_count = count

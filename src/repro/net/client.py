@@ -1,0 +1,618 @@
+"""Remote ICDB clients: the full :class:`~repro.api.service.Session`
+surface over a transport.
+
+:class:`RemoteClient` speaks the :mod:`repro.net.protocol` frame codec to
+an :class:`~repro.net.server.ICDBServer` and mirrors every classic session
+method (`request_component`, queries, layout, design transactions), so the
+legacy call sites -- CQL executors, the datapath builders, the Figure 13
+simple computer -- bind to a network server exactly like to a local
+session.  ``request_component`` answers a :class:`RemoteInstance`: a
+client-side view of the generated instance that rebuilds the shape
+function and delay report from the wire summary and fetches the heavier
+renders (VHDL, connection info) on demand.
+
+Two transports share the codec:
+
+* :class:`SocketTransport` -- a blocking TCP connection;
+* :class:`LoopbackTransport` -- no socket: frames are encoded, decoded and
+  dispatched in process through the same :class:`FrameDispatcher` the TCP
+  server uses.  Deterministic and fast, it is what most transport tests
+  run on.
+
+::
+
+    from repro.net import connect, serve
+
+    server = serve(port=0)
+    client = connect(server.host, server.port, client="hls-tool")
+    counter = client.request_component(
+        component_name="counter", functions=["INC"], attributes={"size": 5}
+    )
+    print(counter.render_delay())
+    client.close()
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..api.errors import E_UNAVAILABLE, IcdbErrorInfo, error_from_exception
+from ..api.messages import (
+    PROTOCOL_VERSION,
+    BatchRequest,
+    ComponentQuery,
+    ComponentRequest,
+    DesignOp,
+    FunctionQuery,
+    Hello,
+    InstanceQuery,
+    LayoutRequest,
+    Request,
+    Response,
+    Welcome,
+)
+from ..api.service import ComponentService
+from ..constraints import Constraints, PortPosition
+from ..core.icdb import IcdbError
+from ..core.instances import TARGET_LOGIC
+from ..estimation.area import AreaRecord
+from ..estimation.delay import DelayReport
+from ..estimation.shape import ShapeFunction
+from ..netlist.structural import StructuralNetlist
+from .protocol import (
+    FRAME_BYE,
+    FRAME_ERROR,
+    FRAME_META,
+    FRAME_META_RESULT,
+    FRAME_PING,
+    FRAME_PONG,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    FRAME_WELCOME,
+    MAX_FRAME_BYTES,
+    FrameStream,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_payload,
+)
+from .server import FrameDispatcher
+
+
+class SocketTransport:
+    """One blocking TCP connection; a lock serializes request/reply pairs."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        timeout: Optional[float] = None,
+    ):
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._stream = FrameStream(self._socket, max_frame_bytes)
+        self._lock = threading.Lock()
+        self._dead = False
+        self.description = f"tcp://{host}:{port}"
+
+    def send_payload(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            if self._dead:
+                raise IcdbError(
+                    "connection to the ICDB server is closed", code=E_UNAVAILABLE
+                )
+            try:
+                self._stream.send(payload)
+                reply = self._stream.recv()
+            except ProtocolError:
+                # The stream position is unreliable after a framing error;
+                # poison the transport so no later call can misread a
+                # stale reply as its own.
+                self._poison()
+                raise
+            except OSError as exc:
+                # Includes socket timeouts: the server's late reply would
+                # desynchronize every later request/response pair.
+                self._poison()
+                raise IcdbError(
+                    f"connection to the ICDB server lost: {exc}", code=E_UNAVAILABLE
+                ) from exc
+        if reply is None:
+            with self._lock:
+                self._poison()
+            raise IcdbError(
+                "the ICDB server closed the connection", code=E_UNAVAILABLE
+            )
+        return reply
+
+    def _poison(self) -> None:
+        self._dead = True
+        self._stream.close()
+
+    def close(self) -> None:
+        self._dead = True
+        self._stream.close()
+
+
+class LoopbackTransport:
+    """The in-process transport: same codec, no socket.
+
+    Every payload is encoded to frame bytes and decoded back on both legs,
+    so anything that would not survive the wire does not survive the
+    loopback either.
+    """
+
+    def __init__(
+        self, service: ComponentService, max_frame_bytes: int = MAX_FRAME_BYTES
+    ):
+        self._dispatcher = FrameDispatcher(service, client_label="loopback")
+        self._max = max_frame_bytes
+        self._lock = threading.Lock()
+        self.description = "loopback"
+
+    def send_payload(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        wire = encode_frame(payload, self._max)
+        with self._lock:
+            if self._dispatcher.closed:
+                raise IcdbError("loopback connection is closed", code=E_UNAVAILABLE)
+            reply = self._dispatcher.dispatch(decode_frame(wire[4:]))
+        try:
+            return decode_frame(encode_frame(reply, self._max)[4:])
+        except ProtocolError as exc:
+            # Mirror the TCP server: an oversized reply becomes an error
+            # frame, the connection survives.
+            return error_payload(error_from_exception(exc))
+
+    def close(self) -> None:
+        self._dispatcher.closed = True
+
+
+class RemoteInstance:
+    """Client-side view of a generated instance (from its wire summary).
+
+    Exposes the :class:`~repro.core.instances.ComponentInstance` surface
+    the synthesis clients rely on: identity, estimates, the rebuilt shape
+    function and delay report, the rendered reports, and lazy fetches of
+    the VHDL artifacts through the owning client.
+    """
+
+    def __init__(self, client: "RemoteClient", summary: Mapping[str, Any]):
+        self._client = client
+        self._summary = dict(summary)
+        self.name: str = str(summary["instance"])
+        self.implementation: str = str(summary.get("implementation", ""))
+        self.component_type: str = str(summary.get("component_type", ""))
+        self.target: str = str(summary.get("target", TARGET_LOGIC))
+        self.design: str = str(summary.get("design", ""))
+        self.cached: bool = bool(summary.get("cached", False))
+        self.parameters: Dict[str, int] = dict(summary.get("parameters") or {})
+        self.functions: List[str] = list(summary.get("functions") or [])
+        self.constraint_violations: List[str] = list(summary.get("violations") or [])
+        self.files: Dict[str, str] = dict(summary.get("files") or {})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteInstance({self.name!r})"
+
+    # ------------------------------------------------------------------ facts
+
+    @property
+    def clock_width(self) -> float:
+        return float(self._summary.get("clock_width") or 0.0)
+
+    @property
+    def area(self) -> float:
+        return float(self._summary.get("area_um2") or 0.0)
+
+    @property
+    def cells(self) -> int:
+        return int(self._summary.get("cells") or 0)
+
+    def met_constraints(self) -> bool:
+        return bool(self._summary.get("met_constraints", True))
+
+    def _detail(self, key: str) -> Any:
+        value = self._summary.get(key)
+        if value is None:
+            raise IcdbError(
+                f"instance {self.name!r} was requested with detail='summary'; "
+                f"{key} is only carried by detail='full' answers"
+            )
+        return value
+
+    @property
+    def shape(self) -> ShapeFunction:
+        """The shape function, rebuilt from the structured wire data."""
+        alternatives = tuple(
+            AreaRecord(
+                strips=int(record["strips"]),
+                width=float(record["width"]),
+                height=float(record["height"]),
+            )
+            for record in self._detail("shape_alternatives")
+        )
+        return ShapeFunction(component=self.name, alternatives=alternatives)
+
+    @property
+    def delay_report(self) -> DelayReport:
+        """The delay report, rebuilt from the structured wire data."""
+        detail = self._detail("delay_detail")
+        return DelayReport(
+            component=self.name,
+            clock_width=float(detail["clock_width"]),
+            clock_to_output=dict(detail["clock_to_output"]),
+            setup_times=dict(detail["setup_times"]),
+            comb_delays=dict(detail["comb_delays"]),
+            min_pulse_width=float(detail["min_pulse_width"]),
+            is_sequential=bool(detail["is_sequential"]),
+        )
+
+    def worst_delay(self) -> float:
+        return self.delay_report.worst_output_delay()
+
+    def delay_to(self, output: str) -> float:
+        return self.delay_report.delay_to(output)
+
+    # ------------------------------------------------------------- renderings
+
+    def render_delay(self) -> str:
+        return str(self._detail("delay"))
+
+    def render_shape(self) -> str:
+        return str(self._detail("shape_function"))
+
+    def render_area_records(self) -> str:
+        return str(self._detail("area"))
+
+    def vhdl_netlist(self) -> str:
+        return str(self._query_field("VHDL_net_list"))
+
+    def vhdl_head(self) -> str:
+        return str(self._query_field("VHDL_head"))
+
+    @property
+    def connection_info(self) -> str:
+        return str(self._query_field("connect"))
+
+    def _query_field(self, field: str) -> Any:
+        return self._client.instance_query(self.name, fields=(field,))[field]
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: impl={self.implementation} "
+            f"cells={self.cells} CW={self.clock_width:.1f} ns "
+            f"area={self.area:,.0f} um^2"
+        )
+
+
+class RemoteInstances:
+    """Remote mirror of the shared instance registry's naming surface."""
+
+    def __init__(self, client: "RemoteClient"):
+        self._client = client
+
+    def new_name(self, base: str) -> str:
+        """A fresh server-side instance name derived from ``base``."""
+        return str(self._client.meta("new_name", base=base))
+
+    def names(self) -> List[str]:
+        return list(self._client.meta("instance_names"))
+
+    def __contains__(self, name: str) -> bool:
+        return bool(self._client.meta("contains", name=name))
+
+    def __len__(self) -> int:
+        return int(self._client.meta("instance_count"))
+
+
+class RemoteClient:
+    """A connected ICDB client mirroring the local session surface."""
+
+    def __init__(self, transport, client: str = ""):
+        self.transport = transport
+        self.client = client
+        self.current_design: str = ""
+        self.instances = RemoteInstances(self)
+        welcome = self._handshake(client)
+        self.session_id = welcome.session_id
+        self.server_name = welcome.server
+        self.protocol = welcome.protocol
+
+    # ------------------------------------------------------------ connection
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        client: str = "",
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        timeout: Optional[float] = None,
+    ) -> "RemoteClient":
+        return cls(
+            SocketTransport(host, port, max_frame_bytes, timeout), client=client
+        )
+
+    @classmethod
+    def loopback(
+        cls, service: ComponentService, client: str = ""
+    ) -> "RemoteClient":
+        """An in-process client: same codec and dispatcher, no socket."""
+        return cls(LoopbackTransport(service), client=client)
+
+    def _handshake(self, client: str) -> Welcome:
+        reply = self.transport.send_payload(Hello(client=client).to_dict())
+        self._raise_on_error(reply)
+        if reply.get("type") != FRAME_WELCOME:
+            raise ProtocolError(
+                f"expected a welcome frame, got {reply.get('type')!r}"
+            )
+        welcome = Welcome.from_dict(reply)
+        if welcome.protocol != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"server speaks protocol {welcome.protocol}, "
+                f"client speaks {PROTOCOL_VERSION}"
+            )
+        return welcome
+
+    @staticmethod
+    def _raise_on_error(reply: Mapping[str, Any]) -> None:
+        if reply.get("type") == FRAME_ERROR:
+            info = IcdbErrorInfo.from_dict(reply.get("error") or {})
+            raise IcdbError(info.message or "transport error", code=info.code)
+
+    def close(self) -> None:
+        """Send ``bye`` (best effort) and drop the transport."""
+        try:
+            self.transport.send_payload({"type": FRAME_BYE})
+        except (IcdbError, OSError):
+            pass
+        self.transport.close()
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def ping(self) -> float:
+        """Round-trip time of an empty frame, in milliseconds."""
+        start = time.perf_counter()
+        reply = self.transport.send_payload({"type": FRAME_PING})
+        self._raise_on_error(reply)
+        if reply.get("type") != FRAME_PONG:
+            raise ProtocolError(f"expected pong, got {reply.get('type')!r}")
+        return (time.perf_counter() - start) * 1000.0
+
+    # ----------------------------------------------------------- typed entry
+
+    def execute(self, request: Request) -> Response:
+        """Send one typed request; returns the response envelope.
+
+        Like the local service, transport-level delivery of a bad request
+        still answers an envelope (``ok=False`` with a structured error)
+        rather than raising; only connection-level failures raise.
+        """
+        reply = self.transport.send_payload(
+            {"type": FRAME_REQUEST, "request": request.to_dict()}
+        )
+        self._raise_on_error(reply)
+        if reply.get("type") != FRAME_RESPONSE:
+            raise ProtocolError(
+                f"expected a response frame, got {reply.get('type')!r}"
+            )
+        return Response.from_dict(reply.get("response") or {})
+
+    def execute_batch(
+        self, requests: Sequence[Request], repeat: int = 1
+    ) -> List[Response]:
+        """Pipeline several requests in one frame; one response each.
+
+        The server executes the batch in one service-lock acquisition; the
+        answering envelopes come back in execution order.  ``repeat`` runs
+        the whole sequence that many times over (``repeat * len(requests)``
+        responses) while shipping and parsing the requests only once -- the
+        bulk fast path for "N more of this component".
+        """
+        outer = self.execute(BatchRequest(requests=tuple(requests), repeat=repeat))
+        if not outer.ok:
+            outer.unwrap()  # raises the structured error
+        return [Response.from_dict(item) for item in outer.value]
+
+    def meta(self, op: str, **args: Any) -> Any:
+        """A lightweight server operation (see the protocol's meta frames)."""
+        reply = self.transport.send_payload(
+            {"type": FRAME_META, "op": op, "args": args}
+        )
+        self._raise_on_error(reply)
+        if reply.get("type") != FRAME_META_RESULT:
+            raise ProtocolError(
+                f"expected a meta_result frame, got {reply.get('type')!r}"
+            )
+        return reply.get("value")
+
+    # ------------------------------------------------------- session surface
+
+    def function_query(
+        self, functions: Sequence[str], want: str = "implementation"
+    ) -> List[str]:
+        return list(
+            self.execute(
+                FunctionQuery(functions=tuple(functions), want=want)
+            ).unwrap()
+        )
+
+    def component_query(
+        self,
+        component: Optional[str] = None,
+        implementation: Optional[str] = None,
+        functions: Optional[Sequence[str]] = None,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, List[str]]:
+        return self.execute(
+            ComponentQuery(
+                component=component,
+                implementation=implementation,
+                functions=tuple(functions or ()),
+                attributes=dict(attributes) if attributes else None,
+            )
+        ).unwrap()
+
+    def functions_of(self, name: str) -> List[str]:
+        result = self.component_query(implementation=name)
+        return list(result.get("function", []))
+
+    def request_component(
+        self,
+        component_name: Optional[str] = None,
+        implementation: Optional[str] = None,
+        iif: Optional[str] = None,
+        structure: Optional[StructuralNetlist] = None,
+        functions: Optional[Sequence[str]] = None,
+        attributes: Optional[Mapping[str, Any]] = None,
+        constraints: Optional[Constraints] = None,
+        strategy: Optional[str] = None,
+        target: str = TARGET_LOGIC,
+        instance_name: Optional[str] = None,
+        parameters: Optional[Mapping[str, int]] = None,
+        use_cache: bool = True,
+        detail: str = "full",
+    ) -> RemoteInstance:
+        """The remote ``request_component``; answers a :class:`RemoteInstance`."""
+        request = ComponentRequest(
+            component_name=component_name,
+            implementation=implementation,
+            iif=iif,
+            structure=structure,
+            functions=tuple(functions or ()),
+            attributes=dict(attributes) if attributes else None,
+            constraints=constraints,
+            strategy=strategy,
+            target=target,
+            instance_name=instance_name,
+            parameters=dict(parameters) if parameters else None,
+            use_cache=use_cache,
+            detail=detail,
+        )
+        summary = self.execute(request).unwrap()
+        return RemoteInstance(self, summary)
+
+    def instance_query(
+        self, name: str, fields: Optional[Sequence[str]] = None
+    ) -> Dict[str, Any]:
+        return self.execute(
+            InstanceQuery(name=name, fields=tuple(fields or ()))
+        ).unwrap()
+
+    def connect_component(self, name: str) -> str:
+        return str(self.instance_query(name, fields=("connect",))["connect"])
+
+    def request_layout(
+        self,
+        name: str,
+        alternative: Optional[int] = None,
+        strips: Optional[int] = None,
+        port_positions: Sequence[PortPosition] = (),
+    ) -> Dict[str, Any]:
+        """Generate a layout remotely; answers the wire summary (CIF text,
+        area, width, height, strips)."""
+        return self.execute(
+            LayoutRequest(
+                name=name,
+                alternative=alternative,
+                strips=strips,
+                port_positions=tuple(port_positions),
+            )
+        ).unwrap()
+
+    # --------------------------------------------------- design transactions
+
+    def start_a_design(self, design: str) -> None:
+        self.execute(DesignOp(op="start_design", design=design)).unwrap()
+        self.current_design = design
+
+    def start_a_transaction(self, design: Optional[str] = None) -> None:
+        value = self.execute(
+            DesignOp(op="start_transaction", design=design or "")
+        ).unwrap()
+        self.current_design = str(value["design"])
+
+    def put_in_component_list(
+        self, instance: str, design: Optional[str] = None
+    ) -> None:
+        self.execute(
+            DesignOp(op="put_in_list", design=design or "", instance=instance)
+        ).unwrap()
+
+    def component_list(self, design: Optional[str] = None) -> List[str]:
+        value = self.execute(
+            DesignOp(op="component_list", design=design or "")
+        ).unwrap()
+        return list(value["instances"])
+
+    def end_a_transaction(self, design: Optional[str] = None) -> List[str]:
+        value = self.execute(
+            DesignOp(op="end_transaction", design=design or "")
+        ).unwrap()
+        return list(value["removed"])
+
+    def end_a_design(self, design: Optional[str] = None) -> List[str]:
+        value = self.execute(
+            DesignOp(op="end_design", design=design or "")
+        ).unwrap()
+        if self.current_design == (design or self.current_design):
+            self.current_design = ""
+        return list(value["removed"])
+
+    # ---------------------------------------------------------------- helpers
+
+    def area_time_tradeoff(
+        self,
+        component_name: str,
+        configurations: Sequence[Tuple[str, Mapping[str, int]]],
+        constraints: Optional[Constraints] = None,
+        delay_output: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """The Figure 5 experiment, driven over the wire."""
+        rows: List[Dict[str, Any]] = []
+        for label, parameters in configurations:
+            instance = self.request_component(
+                implementation=component_name,
+                parameters=parameters,
+                constraints=constraints,
+                instance_name=self.instances.new_name(f"{component_name}_{label}"),
+            )
+            delay_value = (
+                instance.delay_to(delay_output)
+                if delay_output is not None
+                else instance.worst_delay()
+            )
+            rows.append(
+                {
+                    "label": label,
+                    "instance": instance.name,
+                    "delay": delay_value,
+                    "clock_width": instance.clock_width,
+                    "area": instance.area,
+                    "cells": instance.cells,
+                }
+            )
+        return rows
+
+    def summary(self) -> str:
+        return str(self.meta("summary"))
+
+
+def connect(
+    host: str,
+    port: int,
+    client: str = "",
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    timeout: Optional[float] = None,
+) -> RemoteClient:
+    """Connect to a running :class:`~repro.net.server.ICDBServer`."""
+    return RemoteClient.connect(
+        host, port, client=client, max_frame_bytes=max_frame_bytes, timeout=timeout
+    )

@@ -1,0 +1,421 @@
+"""The ICDB network server: sessions over TCP.
+
+The paper's ICDB is a component server many synthesis tools talk to
+concurrently.  :class:`ICDBServer` is that server process: it listens on a
+TCP port, maps **one connection to one**
+:class:`~repro.api.service.Session` (created at the ``hello`` handshake)
+and dispatches the typed requests of :mod:`repro.api.messages` through the
+shared :class:`~repro.api.service.ComponentService`.  Pipelined
+:class:`~repro.api.messages.BatchRequest` envelopes execute server-side
+under a single service-lock acquisition.
+
+:class:`FrameDispatcher` holds the per-connection protocol state machine
+and is transport-agnostic: the TCP handler and the in-process loopback
+transport of :mod:`repro.net.client` both drive it through the same codec,
+so tests exercise the exact byte-level contract without a socket.
+
+Run a standalone server with::
+
+    python -m repro.net.server --host 127.0.0.1 --port 7361
+
+It announces ``icdb server listening on HOST:PORT`` on stdout and shuts
+down gracefully on SIGINT / SIGTERM (draining open connections).
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import socket
+import sys
+import threading
+from typing import Any, Dict, List, Optional, Set
+
+from ..api.errors import (
+    E_BAD_REQUEST,
+    E_PROTOCOL,
+    IcdbErrorInfo,
+    error_from_exception,
+)
+from ..api.messages import (
+    PROTOCOL_VERSION,
+    Hello,
+    Response,
+    Welcome,
+    request_from_dict,
+)
+from ..api.service import ComponentService, Session
+from ..core.icdb import IcdbError
+from .protocol import (
+    FRAME_BYE,
+    FRAME_ERROR,
+    FRAME_HELLO,
+    FRAME_META,
+    FRAME_META_RESULT,
+    FRAME_PING,
+    FRAME_PONG,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    FRAME_WELCOME,
+    MAX_FRAME_BYTES,
+    FrameStream,
+    ProtocolError,
+    error_payload,
+)
+
+#: Server software name announced in the ``welcome`` frame.
+SERVER_NAME = "repro-icdb"
+
+
+class FrameDispatcher:
+    """Per-connection protocol state machine (transport-agnostic).
+
+    Feed it decoded frame payloads; it answers with reply payloads.  The
+    first frame must be a ``hello``; the dispatcher then owns one service
+    session for the rest of the connection.  ``closed`` turns true when
+    the peer said ``bye`` or a fatal handshake error occurred.
+    """
+
+    def __init__(self, service: ComponentService, client_label: str = ""):
+        self.service = service
+        self.client_label = client_label
+        self.session: Optional[Session] = None
+        self.closed = False
+
+    # ----------------------------------------------------------------- frames
+
+    def dispatch(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        frame_type = payload.get("type")
+        if frame_type == FRAME_HELLO:
+            return self._hello(payload)
+        if self.session is None:
+            self.closed = True
+            return error_payload(
+                IcdbErrorInfo(
+                    code=E_PROTOCOL,
+                    message="the first frame of a connection must be 'hello'",
+                )
+            )
+        if frame_type == FRAME_REQUEST:
+            return self._request(payload)
+        if frame_type == FRAME_META:
+            return self._meta(payload)
+        if frame_type == FRAME_PING:
+            return {"type": FRAME_PONG}
+        if frame_type == FRAME_BYE:
+            self.closed = True
+            return {"type": FRAME_BYE}
+        # Unknown frame type: framing is intact, the connection survives.
+        return error_payload(
+            IcdbErrorInfo(
+                code=E_PROTOCOL, message=f"unknown frame type {frame_type!r}"
+            )
+        )
+
+    def _hello(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if self.session is not None:
+            return error_payload(
+                IcdbErrorInfo(code=E_PROTOCOL, message="duplicate hello")
+            )
+        try:
+            hello = Hello.from_dict(payload)
+        except IcdbError as exc:
+            self.closed = True
+            return error_payload(error_from_exception(exc))
+        if hello.protocol != PROTOCOL_VERSION:
+            self.closed = True
+            return error_payload(
+                IcdbErrorInfo(
+                    code=E_PROTOCOL,
+                    message=(
+                        f"unsupported protocol version {hello.protocol}; "
+                        f"server speaks {PROTOCOL_VERSION}"
+                    ),
+                )
+            )
+        self.session = self.service.create_session(
+            client=hello.client or self.client_label
+        )
+        return Welcome(
+            protocol=PROTOCOL_VERSION,
+            session_id=self.session.session_id,
+            server=SERVER_NAME,
+        ).to_dict()
+
+    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        assert self.session is not None
+        data = payload.get("request")
+        try:
+            request = request_from_dict(data if isinstance(data, dict) else {})
+        except Exception as exc:  # noqa: BLE001 - all mapped to envelopes
+            # A malformed or unknown-op request answers with a structured
+            # error envelope, never a dropped connection or a traceback.
+            response = Response(
+                ok=False,
+                error=error_from_exception(exc),
+                session_id=self.session.session_id,
+                request_kind=str((data or {}).get("kind") or "")
+                if isinstance(data, dict)
+                else "",
+            )
+        else:
+            response = self.service.execute(request, self.session)
+        return {"type": FRAME_RESPONSE, "response": response.to_dict()}
+
+    # ------------------------------------------------------------------- meta
+
+    def _meta(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        op = payload.get("op")
+        args = payload.get("args")
+        args = args if isinstance(args, dict) else {}
+        try:
+            value = self._meta_value(str(op), args)
+        except Exception as exc:  # noqa: BLE001
+            return error_payload(error_from_exception(exc))
+        return {"type": FRAME_META_RESULT, "op": op, "value": value}
+
+    def _meta_value(self, op: str, args: Dict[str, Any]) -> Any:
+        instances = self.service.instances
+        if op == "new_name":
+            return instances.new_name(str(args.get("base") or "component"))
+        if op == "instance_names":
+            return instances.names()
+        if op == "instance_count":
+            return len(instances)
+        if op == "contains":
+            return str(args.get("name", "")) in instances
+        if op == "cache_stats":
+            return self.service.cache.stats()
+        if op == "summary":
+            return self.service.summary()
+        if op == "materialize":
+            name = args.get("name")
+            return self.service.materialize_artifacts(
+                str(name) if name is not None else None
+            )
+        raise IcdbError(f"unknown meta op {op!r}", code=E_BAD_REQUEST)
+
+
+class ICDBServer:
+    """A threaded TCP server fronting one :class:`ComponentService`.
+
+    One handler thread per connection; all threads are daemons, and
+    :meth:`stop` drains them by closing the listener and every live
+    connection socket.  ``port=0`` binds an ephemeral port; the bound
+    address is available as :attr:`host` / :attr:`port` after
+    :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        service: Optional[ComponentService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self.service = service or ComponentService()
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self.connections_served = 0
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._threads: List[threading.Thread] = []
+        self._live: Set[socket.socket] = set()
+        self._live_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+
+    # ---------------------------------------------------------------- control
+
+    def start(self) -> "ICDBServer":
+        if self._listener is not None:
+            raise IcdbError("server is already running")
+        self._listener = socket.create_server(
+            (self.host, self.port), backlog=128, reuse_port=False
+        )
+        # A blocking accept() does not reliably wake when another thread
+        # closes the listener; a short timeout lets the accept loop poll
+        # the stop flag instead.
+        self._listener.settimeout(0.25)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._stopping.clear()
+        self._stopped.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="icdb-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` is called (e.g. from a signal handler)."""
+        self._stopped.wait()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, close live connections."""
+        if self._listener is None:
+            return
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._live_lock:
+            live = list(self._live)
+        for conn in live:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout)
+        with self._live_lock:
+            handlers = list(self._threads)
+            self._threads = []
+        for thread in handlers:
+            thread.join(timeout)
+        self._listener = None
+        self._accept_thread = None
+        self._stopped.set()
+
+    def __enter__(self) -> "ICDBServer":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ---------------------------------------------------------------- serving
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed by stop()
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, addr),
+                name=f"icdb-conn-{addr[1]}",
+                daemon=True,
+            )
+            with self._live_lock:
+                # Prune finished handlers so a long-running server does
+                # not accumulate one dead Thread per past connection.
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket, addr) -> None:
+        conn.settimeout(None)  # accepted sockets must block, whatever the listener does
+        with self._live_lock:
+            self._live.add(conn)
+            self.connections_served += 1
+        stream = FrameStream(conn, self.max_frame_bytes)
+        dispatcher = FrameDispatcher(
+            self.service, client_label=f"{addr[0]}:{addr[1]}"
+        )
+        try:
+            while not self._stopping.is_set():
+                try:
+                    payload = stream.recv()
+                except ProtocolError as exc:
+                    # Bad framing: report it, then drop the connection --
+                    # after a malformed or oversized frame the stream
+                    # position is unreliable.
+                    try:
+                        stream.send(error_payload(error_from_exception(exc)))
+                    except OSError:
+                        pass
+                    break
+                except OSError:
+                    break  # peer vanished mid-frame
+                if payload is None:
+                    break  # clean disconnect
+                reply = dispatcher.dispatch(payload)
+                try:
+                    stream.send(reply)
+                except ProtocolError as exc:
+                    # The reply itself did not fit the frame limit.  Nothing
+                    # was written (encoding fails before any bytes go out),
+                    # so the stream is intact: report and keep serving.
+                    try:
+                        stream.send(error_payload(error_from_exception(exc)))
+                    except OSError:
+                        break
+                except OSError:
+                    break
+                if dispatcher.closed:
+                    break
+        finally:
+            with self._live_lock:
+                self._live.discard(conn)
+            stream.close()
+
+
+def serve(
+    service: Optional[ComponentService] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> ICDBServer:
+    """Start an :class:`ICDBServer` and return it (already listening)."""
+    return ICDBServer(
+        service=service, host=host, port=port, max_frame_bytes=max_frame_bytes
+    ).start()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """The ``python -m repro.net.server`` command line."""
+    parser = argparse.ArgumentParser(
+        prog="repro.net.server",
+        description="Serve an ICDB component service over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7361, help="TCP port (0 for ephemeral)"
+    )
+    parser.add_argument(
+        "--store-root", default=None, help="design-data file store directory"
+    )
+    parser.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=MAX_FRAME_BYTES,
+        help="per-frame payload size limit",
+    )
+    args = parser.parse_args(argv)
+
+    service = ComponentService(store_root=args.store_root)
+    server = serve(
+        service=service,
+        host=args.host,
+        port=args.port,
+        max_frame_bytes=args.max_frame_bytes,
+    )
+    print(f"icdb server listening on {server.host}:{server.port}", flush=True)
+
+    def _shutdown(signum, frame) -> None:  # pragma: no cover - signal path
+        server.stop()
+
+    signal.signal(signal.SIGINT, _shutdown)
+    signal.signal(signal.SIGTERM, _shutdown)
+    server.serve_forever()
+    print("icdb server stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    sys.exit(main())

@@ -19,7 +19,7 @@ Two builders live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING, Tuple, Union
 
 from ..components.counters import counter_parameters, TYPE_SYNCHRONOUS, UP_ONLY
 from ..api.service import Session
@@ -33,9 +33,13 @@ from .allocation import Allocation, storage_requirements
 from .dfg import DataFlowGraph
 from .scheduling import Schedule
 
-#: Builders accept the legacy facade or one client's service session; both
-#: expose ``request_component`` and the shared instance registry.
-IcdbClient = Union[ICDB, Session]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..net.client import RemoteClient
+
+#: Builders accept the legacy facade, one client's service session, or a
+#: network :class:`~repro.net.client.RemoteClient`; all three expose
+#: ``request_component`` and the shared instance registry's naming surface.
+IcdbClient = Union[ICDB, Session, "RemoteClient"]
 
 
 class DatapathError(RuntimeError):

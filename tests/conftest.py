@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.components import standard_catalog
@@ -70,3 +72,59 @@ def shared_icdb(tmp_path_factory):
     """A session-wide ICDB server for read-mostly integration tests."""
     root = tmp_path_factory.mktemp("icdb_store")
     return ICDB(catalog=standard_catalog(fresh=True), store_root=root)
+
+
+# ---------------------------------------------------------------------------
+# Golden-file regression support
+# ---------------------------------------------------------------------------
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden snapshot files under tests/golden/ instead of "
+        "comparing against them",
+    )
+
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def normalize_golden(text: str) -> str:
+    """Whitespace-normalized comparison form: universal newlines, trailing
+    whitespace stripped per line, exactly one trailing newline."""
+    lines = text.replace("\r\n", "\n").replace("\r", "\n").split("\n")
+    body = "\n".join(line.rstrip() for line in lines).rstrip("\n")
+    return body + "\n"
+
+
+class GoldenComparator:
+    """Compares rendered artifacts against the snapshots in tests/golden/."""
+
+    def __init__(self, update: bool):
+        self.update = update
+
+    def check(self, name: str, text: str) -> None:
+        path = GOLDEN_DIR / name
+        actual = normalize_golden(text)
+        if self.update:
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(actual)
+            return
+        assert path.exists(), (
+            f"golden file {path.name} is missing; run "
+            f"`pytest --update-golden {Path(__file__).parent / 'test_golden_regressions.py'}` "
+            f"to create it"
+        )
+        expected = normalize_golden(path.read_text())
+        assert actual == expected, (
+            f"rendered {name} no longer matches its golden snapshot; if the "
+            f"change is intentional, refresh with `pytest --update-golden`"
+        )
+
+
+@pytest.fixture()
+def golden(request) -> GoldenComparator:
+    return GoldenComparator(update=request.config.getoption("--update-golden"))

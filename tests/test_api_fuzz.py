@@ -1,0 +1,312 @@
+"""Property / fuzz tests for the wire contract.
+
+Randomized (seeded, dependency-free) round trips for every request and
+response type: ``to_dict() -> JSON -> from_dict()`` must be a true
+inverse, ``request_from_dict`` must dispatch every kind, and unknown /
+malformed payloads must surface as structured
+:class:`~repro.core.icdb.IcdbError` codes -- never as raw tracebacks
+escaping the service or the wire dispatcher.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import string
+
+import pytest
+
+from repro.api import (
+    BatchRequest,
+    ComponentQuery,
+    ComponentRequest,
+    ComponentService,
+    DESIGN_OPS,
+    DesignOp,
+    FunctionQuery,
+    IcdbErrorInfo,
+    InstanceQuery,
+    LayoutRequest,
+    REQUEST_TYPES,
+    Response,
+    request_from_dict,
+)
+from repro.components import standard_catalog
+from repro.constraints import Constraints, PortPosition
+from repro.core.icdb import IcdbError
+from repro.net.server import FrameDispatcher
+from repro.netlist.structural import StructuralNetlist
+
+SEED = 0xD_AC_19_90
+ROUNDS = 60
+
+
+def _name(rng: random.Random, prefix: str = "") -> str:
+    return prefix + "".join(rng.choices(string.ascii_lowercase + "_", k=rng.randint(1, 10)))
+
+
+def _names(rng: random.Random, upper: int = 4):
+    return tuple(_name(rng) for _ in range(rng.randint(0, upper)))
+
+
+def _maybe(rng: random.Random, producer, p: float = 0.5):
+    return producer() if rng.random() < p else None
+
+
+def _constraints(rng: random.Random) -> Constraints:
+    return Constraints(
+        clock_width=_maybe(rng, lambda: round(rng.uniform(1, 200), 3)),
+        comb_delay={_name(rng): round(rng.uniform(0, 50), 3)
+                    for _ in range(rng.randint(0, 3))},
+        default_comb_delay=_maybe(rng, lambda: round(rng.uniform(0, 50), 3)),
+        setup_time=_maybe(rng, lambda: round(rng.uniform(0, 50), 3)),
+        output_loads={_name(rng): round(rng.uniform(0, 20), 3)
+                      for _ in range(rng.randint(0, 3))},
+        default_output_load=round(rng.uniform(0, 5), 3),
+        strategy=rng.choice([None, "fastest", "cheapest"]),
+        strips=_maybe(rng, lambda: rng.randint(1, 12)),
+        aspect_ratio=_maybe(rng, lambda: round(rng.uniform(0.2, 5.0), 3)),
+        port_positions=tuple(
+            PortPosition(
+                port=_name(rng).upper(),
+                side=rng.choice(["left", "right", "top", "bottom"]),
+                order=round(rng.uniform(0, 10), 2),
+            )
+            for _ in range(rng.randint(0, 3))
+        ),
+    )
+
+
+def _structure(rng: random.Random) -> StructuralNetlist:
+    netlist = StructuralNetlist(
+        name=_name(rng, "net_"),
+        inputs=list(dict.fromkeys(_names(rng))),
+        outputs=list(dict.fromkeys(_names(rng))),
+    )
+    for index in range(rng.randint(0, 3)):
+        netlist.add(
+            f"u{index}",
+            _name(rng, "comp_"),
+            {_name(rng).upper(): _name(rng) for _ in range(rng.randint(0, 3))},
+        )
+    return netlist
+
+
+def _component_query(rng: random.Random) -> ComponentQuery:
+    return ComponentQuery(
+        component=_maybe(rng, lambda: _name(rng)),
+        implementation=_maybe(rng, lambda: _name(rng)),
+        functions=_names(rng),
+        attributes=_maybe(
+            rng, lambda: {_name(rng): rng.randint(0, 64) for _ in range(rng.randint(1, 3))}
+        ),
+    )
+
+
+def _function_query(rng: random.Random) -> FunctionQuery:
+    return FunctionQuery(
+        functions=_names(rng), want=rng.choice(["implementation", "component"])
+    )
+
+
+def _instance_query(rng: random.Random) -> InstanceQuery:
+    return InstanceQuery(name=_name(rng), fields=_names(rng))
+
+
+def _component_request(rng: random.Random) -> ComponentRequest:
+    return ComponentRequest(
+        component_name=_maybe(rng, lambda: _name(rng)),
+        implementation=_maybe(rng, lambda: _name(rng)),
+        iif=_maybe(rng, lambda: f"NAME: {_name(rng).upper()};", 0.3),
+        structure=_maybe(rng, lambda: _structure(rng), 0.3),
+        functions=_names(rng),
+        attributes=_maybe(
+            rng, lambda: {_name(rng): rng.randint(0, 32) for _ in range(rng.randint(1, 3))}
+        ),
+        constraints=_maybe(rng, lambda: _constraints(rng)),
+        strategy=rng.choice([None, "fastest", "cheapest"]),
+        target=rng.choice(["logic", "layout"]),
+        instance_name=_maybe(rng, lambda: _name(rng)),
+        parameters=_maybe(
+            rng, lambda: {_name(rng): rng.randint(0, 16) for _ in range(rng.randint(1, 4))}
+        ),
+        use_cache=rng.random() < 0.5,
+        detail=rng.choice(["full", "summary"]),
+    )
+
+
+def _layout_request(rng: random.Random) -> LayoutRequest:
+    return LayoutRequest(
+        name=_name(rng),
+        alternative=_maybe(rng, lambda: rng.randint(1, 8)),
+        strips=_maybe(rng, lambda: rng.randint(1, 8)),
+        port_positions=tuple(
+            PortPosition(
+                port=_name(rng).upper(),
+                side=rng.choice(["left", "right", "top", "bottom"]),
+                order=float(rng.randint(0, 9)),
+            )
+            for _ in range(rng.randint(0, 2))
+        ),
+    )
+
+
+def _design_op(rng: random.Random) -> DesignOp:
+    return DesignOp(
+        op=rng.choice(DESIGN_OPS), design=_name(rng), instance=_name(rng)
+    )
+
+
+GENERATORS = {
+    "component_query": _component_query,
+    "function_query": _function_query,
+    "instance_query": _instance_query,
+    "request_component": _component_request,
+    "request_layout": _layout_request,
+    "design_op": _design_op,
+}
+
+
+def _batch(rng: random.Random) -> BatchRequest:
+    inner_kinds = [kind for kind in GENERATORS if kind != "batch"]
+    members = tuple(
+        GENERATORS[rng.choice(inner_kinds)](rng) for _ in range(rng.randint(0, 4))
+    )
+    return BatchRequest(requests=members, repeat=rng.randint(1, 4))
+
+
+GENERATORS["batch"] = _batch
+
+
+def test_generators_cover_every_registered_kind():
+    assert set(GENERATORS) == set(REQUEST_TYPES)
+
+
+@pytest.mark.parametrize("kind", sorted(GENERATORS))
+def test_randomized_requests_survive_json_round_trip(kind):
+    rng = random.Random(SEED ^ hash(kind))
+    for _ in range(ROUNDS):
+        request = GENERATORS[kind](rng)
+        wire = json.loads(json.dumps(request.to_dict()))
+        rebuilt = request_from_dict(wire)
+        assert type(rebuilt) is type(request)
+        assert rebuilt == request
+        # from_dict is a true inverse: re-serialization is stable too.
+        assert rebuilt.to_dict() == request.to_dict()
+
+
+def test_randomized_responses_survive_json_round_trip():
+    rng = random.Random(SEED)
+    for _ in range(ROUNDS):
+        response = Response(
+            ok=rng.random() < 0.7,
+            value=rng.choice(
+                [None, rng.randint(0, 99), _name(rng), [1, 2, 3], {"a": 1}]
+            ),
+            error=_maybe(
+                rng,
+                lambda: IcdbErrorInfo(
+                    code=rng.choice(["BAD_REQUEST", "NOT_FOUND", "INTERNAL"]),
+                    message=_name(rng),
+                    exception_type=_name(rng),
+                ),
+            ),
+            elapsed_ms=round(rng.uniform(0, 500), 4),
+            cached=rng.random() < 0.5,
+            session_id=_name(rng, "session-"),
+            request_kind=rng.choice(list(REQUEST_TYPES)),
+        )
+        rebuilt = Response.from_dict(json.loads(json.dumps(response.to_dict())))
+        assert rebuilt == response
+
+
+def test_unknown_fields_are_ignored_not_fatal():
+    rng = random.Random(SEED)
+    for kind, generator in GENERATORS.items():
+        request = generator(rng)
+        wire = request.to_dict()
+        wire["flux_capacitor"] = {"charge": 88}
+        assert request_from_dict(wire) == request
+
+
+@pytest.fixture(scope="module")
+def fuzz_service(tmp_path_factory):
+    return ComponentService(
+        catalog=standard_catalog(fresh=True),
+        store_root=tmp_path_factory.mktemp("fuzz_store"),
+    )
+
+
+def test_unknown_kind_and_op_produce_structured_errors(fuzz_service):
+    with pytest.raises(IcdbError) as excinfo:
+        request_from_dict({"kind": "teleport"})
+    assert excinfo.value.code == "BAD_REQUEST"
+    with pytest.raises(IcdbError):
+        request_from_dict([1, 2, 3])
+    with pytest.raises(IcdbError):
+        DesignOp(op="explode_design")
+    with pytest.raises(IcdbError):
+        FunctionQuery(functions=("ADD",), want="sandwich").functions and \
+            fuzz_service.execute(
+                FunctionQuery(functions=("ADD",), want="sandwich")
+            ).unwrap()
+    response = fuzz_service.execute(
+        ComponentRequest(implementation="alu", attributes={"size": 2}, detail="everything")
+    )
+    assert not response.ok
+    assert response.error.code == "BAD_REQUEST"
+    assert "detail" in response.error.message
+
+
+def test_random_request_dicts_never_crash_the_dispatcher(fuzz_service):
+    """Feed the wire dispatcher random request payloads: every answer must
+    be a response or error frame, never an exception."""
+    rng = random.Random(SEED + 1)
+    dispatcher = FrameDispatcher(fuzz_service, client_label="fuzz")
+    assert dispatcher.dispatch({"type": "hello", "protocol": 1})["type"] == "welcome"
+
+    def random_value(depth=0):
+        choices = [
+            lambda: None,
+            lambda: rng.randint(-5, 99),
+            lambda: _name(rng),
+            lambda: rng.random() < 0.5,
+        ]
+        if depth < 2:
+            choices.extend(
+                [
+                    lambda: [random_value(depth + 1) for _ in range(rng.randint(0, 3))],
+                    lambda: {
+                        _name(rng): random_value(depth + 1)
+                        for _ in range(rng.randint(0, 3))
+                    },
+                ]
+            )
+        return rng.choice(choices)()
+
+    for _ in range(150):
+        kind = rng.choice(list(REQUEST_TYPES) + ["bogus", None, 42])
+        payload = {
+            "kind": kind,
+            **{_name(rng): random_value() for _ in range(rng.randint(0, 4))},
+        }
+        reply = dispatcher.dispatch({"type": "request", "request": payload})
+        assert reply["type"] in ("response", "error")
+        if reply["type"] == "response" and not reply["response"]["ok"]:
+            assert reply["response"]["error"]["code"]
+
+
+def test_executing_random_valid_requests_never_raises(fuzz_service):
+    """Randomized *well-formed* requests against a live service: every
+    outcome is an envelope, and failures carry structured codes."""
+    rng = random.Random(SEED + 2)
+    session = fuzz_service.create_session()
+    for _ in range(80):
+        kind = rng.choice(["component_query", "function_query", "instance_query",
+                           "request_layout", "design_op"])
+        request = GENERATORS[kind](rng)
+        response = fuzz_service.execute(request, session)
+        assert response.ok or response.error is not None
+        if not response.ok:
+            assert response.error.code
+            assert response.error.message

@@ -78,6 +78,7 @@ def test_registry_covers_every_cql_operation():
         "request_component",
         "request_layout",
         "design_op",
+        "batch",
     }
 
 

@@ -143,7 +143,9 @@ def test_identical_catalog_requests_hit_the_cache(service):
     assert second.value["area"] == first.value["area"]
     assert second.value["cached"] is True
     assert service.cache.stats()["hits"] == 1
-    # Both instances are fully registered and persisted.
+    # Both instances are fully registered; the clone's artifact files are
+    # lazy, so flush them before checking the store.
+    service.materialize_artifacts()
     for name in (first.value["instance"], second.value["instance"]):
         assert name in service.instances
         assert service.database.table(INSTANCES).get(name=name) is not None
@@ -206,6 +208,7 @@ def test_cached_clone_survives_template_deletion(service):
     assert clone.ok and clone.cached
     name = clone.value["instance"]
     assert name in service.instances
+    service.materialize_artifacts(name)
     assert service.store.path_of(name, "delay") is not None
 
 
@@ -241,7 +244,8 @@ def test_cached_clone_artifacts_carry_their_own_name(icdb, tmp_path):
     assert first.name not in vhdl
     assert f"component {second.name}" in second.vhdl_head()
     assert second.flat_milo().startswith(f"NAME={second.name};")
-    # The persisted files match what the instance reports.
+    # The persisted files match what the instance reports (the legacy
+    # facade keeps the classic eager artifact persistence).
     from pathlib import Path
 
     assert f"entity {second.name} is" in Path(second.files["vhdl"]).read_text()

@@ -1,0 +1,171 @@
+"""Concurrency stress: 16 threaded clients hammering one ICDB server.
+
+Mixed cached / uncached ``request_component`` traffic plus design
+transactions from every client, over real TCP connections.  Asserts the
+properties the shared-state design guarantees:
+
+* no cross-session instance-name collisions, and every successful
+  response's instance is registered exactly once;
+* result-cache hit accounting stays consistent under races
+  (``hits + misses == lookups``, hits equal cached responses);
+* ``Response`` timing metadata and the ``cached`` flag are trustworthy
+  under concurrent execution (the satellite fix of this PR: the counters
+  move atomically under the cache lock).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+import pytest
+
+from repro.api import ComponentRequest, ComponentService
+from repro.components import standard_catalog
+from repro.net import connect, serve
+
+CLIENTS = 16
+ROUNDS = 6
+
+
+@pytest.fixture()
+def stress_server(tmp_path):
+    service = ComponentService(
+        catalog=standard_catalog(fresh=True), store_root=tmp_path / "stress"
+    )
+    server = serve(service=service, port=0)
+    yield server
+    server.stop()
+
+
+def test_sixteen_clients_mixed_traffic(stress_server):
+    service = stress_server.service
+    results = [None] * CLIENTS
+    errors = []
+
+    def client_worker(index: int) -> None:
+        try:
+            client = connect(
+                stress_server.host, stress_server.port, client=f"stress-{index}"
+            )
+            design = f"design_{index}"
+            client.start_a_design(design)
+            client.start_a_transaction()
+            names = []
+            records = []  # (cached flag, elapsed_ms) per successful response
+            for round_no in range(ROUNDS):
+                # Cached traffic: same signature from every client.
+                shared = client.execute(
+                    ComponentRequest(
+                        implementation="register",
+                        attributes={"size": 4},
+                        detail="summary",
+                    )
+                )
+                assert shared.ok
+                names.append(shared.value["instance"])
+                records.append((shared.cached, shared.elapsed_ms))
+                # A second signature lane, pipelined.
+                for response in client.execute_batch(
+                    [
+                        ComponentRequest(
+                            implementation="mux2",
+                            attributes={"size": 2 + (index % 3)},
+                            detail="summary",
+                        )
+                    ],
+                    repeat=2,
+                ):
+                    assert response.ok
+                    names.append(response.value["instance"])
+                    records.append((response.cached, response.elapsed_ms))
+                # Uncached traffic on the first round only (it is slow).
+                if round_no == 0 and index % 4 == 0:
+                    fresh = client.execute(
+                        ComponentRequest(
+                            implementation="register",
+                            attributes={"size": 4},
+                            use_cache=False,
+                            detail="summary",
+                        )
+                    )
+                    assert fresh.ok and not fresh.cached
+                    names.append(fresh.value["instance"])
+                    records.append((fresh.cached, fresh.elapsed_ms))
+            # Transactions: keep the first instance, drop the rest.
+            client.put_in_component_list(names[0])
+            removed = client.end_a_transaction()
+            assert names[0] not in removed
+            assert client.component_list() == [names[0]]
+            client.close()
+            results[index] = (names, records, removed)
+        except Exception as exc:  # noqa: BLE001 - surfaced by the main thread
+            errors.append((index, exc))
+
+    threads = [
+        threading.Thread(target=client_worker, args=(i,)) for i in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+    assert not errors, f"client failures: {errors!r}"
+    assert all(result is not None for result in results)
+
+    all_names = [name for names, _, _ in results for name in names]
+    all_records = [record for _, records, _ in results for record in records]
+
+    # --- no cross-session instance-name collisions -------------------------
+    duplicates = [name for name, count in Counter(all_names).items() if count > 1]
+    assert not duplicates, f"instance names served twice: {duplicates}"
+
+    # --- registry and database agree on the survivors ----------------------
+    removed_total = {name for _, _, removed in results for name in removed}
+    survivors = set(all_names) - removed_total
+    assert survivors == set(service.instances.names())
+    instances_table = service.database.table("instances")
+    assert {row["name"] for row in instances_table.select()} == survivors
+
+    # --- cache-hit accounting is consistent under races --------------------
+    stats = service.cache.stats()
+    assert stats["hits"] + stats["misses"] == stats["lookups"]
+    cached_responses = sum(1 for cached, _ in all_records if cached)
+    assert stats["hits"] == cached_responses
+    # Per signature lane at least one generation ran uncached-by-miss; the
+    # deliberate use_cache=False traffic never touched the cache.
+    use_cache_false = CLIENTS // 4  # one per index % 4 == 0 client
+    lookups_expected = len(all_records) - use_cache_false
+    assert stats["lookups"] == lookups_expected
+
+    # --- timing metadata survives concurrency ------------------------------
+    assert all(elapsed >= 0.0 for _, elapsed in all_records)
+    assert any(elapsed > 0.0 for _, elapsed in all_records)
+
+
+def test_materialize_races_with_deletion(tmp_path):
+    """Concurrent materialization and transaction deletes must not corrupt
+    the pending-artifact registry or resurrect deleted instances."""
+    service = ComponentService(
+        catalog=standard_catalog(fresh=True), store_root=tmp_path / "races"
+    )
+    session = service.create_session()
+    template = session.request_component(implementation="register", attributes={"size": 2})
+
+    def churn(index: int) -> None:
+        for _ in range(10):
+            instance = session.request_component(
+                implementation="register", attributes={"size": 2}
+            )
+            if index % 2:
+                service.materialize_artifacts(instance.name)
+            service.delete_instance(instance.name)
+
+    threads = [threading.Thread(target=churn, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    assert len(service.instances) == 1  # only the template survives
+    assert not service._pending_artifacts or set(
+        service._pending_artifacts
+    ) <= {template.name}

@@ -3,6 +3,8 @@ and the constraint parsers."""
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.constraints import (
@@ -140,6 +142,21 @@ def test_store_sanitizes_instance_names(tmp_path):
     path = store.write("weird/name with spaces", "iif", "x")
     assert path.exists()
     assert "/" not in path.parent.name
+
+
+def test_store_never_escapes_its_root(tmp_path):
+    """Instance names arrive from remote clients; dot-only names must not
+    resolve to parent directories."""
+    root = tmp_path / "store_root"
+    store = DesignDataStore(root)
+    for hostile in ("..", ".", "...", "../..", "a/../.."):
+        written = store.write(hostile, "iif", "x")
+        assert root.resolve() in written.resolve().parents, hostile
+        assert str(store.path_for(hostile, "vhdl").resolve()).startswith(
+            str(root.resolve())
+        )
+        for path in store.paths_for(hostile, ("vhdl", "delay")).values():
+            assert str(Path(path).resolve()).startswith(str(root.resolve()))
 
 
 def test_store_uses_temporary_directory_by_default():

@@ -1,0 +1,108 @@
+"""Golden-file regressions for the generated design artifacts.
+
+A fixed set of catalog components is generated under fixed instance names
+and every textual artifact ICDB serves -- the VHDL netlist and head, the
+delay / area / shape reports, the flat IIF and the CIF layout -- is
+compared (whitespace-normalized) against the snapshots in
+``tests/golden/``.  Any change to logic synthesis, sizing, estimation,
+layout or the renderers shows up here as a byte-level diff.
+
+Refresh intentionally-changed snapshots with::
+
+    pytest --update-golden tests/test_golden_regressions.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components import standard_catalog
+from repro.components.counters import (
+    TYPE_SYNCHRONOUS,
+    UP_DOWN,
+    counter_parameters,
+)
+from repro.core import ICDB
+from repro.netlist.cif import layout_to_cif
+
+#: The snapshotted components: (slug, request_component keyword arguments).
+GOLDEN_COMPONENTS = [
+    (
+        "adder4",
+        dict(implementation="ripple_carry_adder", attributes={"size": 4}),
+    ),
+    (
+        "updown_counter4",
+        dict(
+            implementation="counter",
+            parameters=counter_parameters(
+                size=4, style=TYPE_SYNCHRONOUS, load=True, enable=True,
+                up_or_down=UP_DOWN,
+            ),
+        ),
+    ),
+    ("alu4", dict(implementation="alu", attributes={"size": 4})),
+    ("register8", dict(implementation="register", attributes={"size": 8})),
+    ("mux4", dict(implementation="mux2", attributes={"size": 4})),
+]
+
+#: Renders snapshotted per component, keyed by file suffix.
+ARTIFACTS = ("vhdl", "vhdl_head", "delay", "area", "shape", "flat_iif", "cif")
+
+
+@pytest.fixture(scope="module")
+def golden_instances(tmp_path_factory):
+    """Every golden component generated once, under a fixed instance name."""
+    icdb = ICDB(
+        catalog=standard_catalog(fresh=True),
+        store_root=tmp_path_factory.mktemp("golden_store"),
+    )
+    instances = {}
+    for slug, kwargs in GOLDEN_COMPONENTS:
+        instance = icdb.request_component(instance_name=f"golden_{slug}", **kwargs)
+        layout = icdb.request_layout(instance.name, alternative=1)
+        instances[slug] = (instance, layout)
+    return instances
+
+
+@pytest.mark.parametrize("slug", [slug for slug, _ in GOLDEN_COMPONENTS])
+@pytest.mark.parametrize("artifact", ARTIFACTS)
+def test_artifact_matches_golden_snapshot(golden_instances, golden, slug, artifact):
+    instance, layout = golden_instances[slug]
+    renders = {
+        "vhdl": instance.vhdl_netlist,
+        "vhdl_head": instance.vhdl_head,
+        "delay": instance.render_delay,
+        "area": instance.render_area_records,
+        "shape": instance.render_shape,
+        "flat_iif": instance.flat_milo,
+        "cif": lambda: layout_to_cif(layout),
+    }
+    golden.check(f"{slug}.{artifact}.txt", renders[artifact]())
+
+
+def test_generation_is_deterministic(tmp_path):
+    """The premise of the golden suite: an identical request on a fresh
+    server reproduces the artifacts byte for byte."""
+    renders = []
+    for run in range(2):
+        icdb = ICDB(
+            catalog=standard_catalog(fresh=True),
+            store_root=tmp_path / f"det_{run}",
+        )
+        instance = icdb.request_component(
+            implementation="ripple_carry_adder",
+            attributes={"size": 4},
+            instance_name="golden_adder4",
+        )
+        layout = icdb.request_layout(instance.name, alternative=1)
+        renders.append(
+            (
+                instance.vhdl_netlist(),
+                instance.render_delay(),
+                instance.render_shape(),
+                instance.flat_milo(),
+                layout_to_cif(layout),
+            )
+        )
+    assert renders[0] == renders[1]

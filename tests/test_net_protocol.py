@@ -1,0 +1,186 @@
+"""Unit tests for the wire codec: frames, handshake, batch envelopes."""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.api import (
+    BatchRequest,
+    ComponentRequest,
+    FunctionQuery,
+    Hello,
+    InstanceQuery,
+    PROTOCOL_VERSION,
+    Welcome,
+)
+from repro.core.icdb import IcdbError
+from repro.net import FrameStream, FrameTooLarge, ProtocolError, decode_frame, encode_frame
+
+
+# ---------------------------------------------------------------------------
+# Frame codec
+# ---------------------------------------------------------------------------
+
+
+def test_frame_round_trip():
+    payload = {"type": "request", "request": {"kind": "function_query"}}
+    wire = encode_frame(payload)
+    length = struct.unpack(">I", wire[:4])[0]
+    assert length == len(wire) - 4
+    assert decode_frame(wire[4:]) == payload
+
+
+def test_encode_rejects_oversized_payload():
+    with pytest.raises(FrameTooLarge):
+        encode_frame({"blob": "x" * 100}, max_bytes=50)
+
+
+def test_decode_rejects_bad_json_and_non_objects():
+    with pytest.raises(ProtocolError):
+        decode_frame(b"{not json!")
+    with pytest.raises(ProtocolError):
+        decode_frame(b"[1, 2, 3]")
+    with pytest.raises(ProtocolError):
+        decode_frame(b"\xff\xfe")
+
+
+def test_protocol_errors_carry_structured_codes():
+    assert ProtocolError("x").code == "PROTOCOL"
+    assert FrameTooLarge("x").code == "FRAME_TOO_LARGE"
+    assert isinstance(ProtocolError("x"), IcdbError)
+
+
+# ---------------------------------------------------------------------------
+# FrameStream over a socket pair
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def stream_pair():
+    left_sock, right_sock = socket.socketpair()
+    left, right = FrameStream(left_sock), FrameStream(right_sock)
+    yield left, right
+    left.close()
+    right.close()
+
+
+def test_stream_send_and_recv(stream_pair):
+    left, right = stream_pair
+    left.send({"type": "ping", "n": 1})
+    left.send({"type": "ping", "n": 2})
+    assert right.recv() == {"type": "ping", "n": 1}
+    assert right.recv() == {"type": "ping", "n": 2}
+
+
+def test_stream_clean_eof_returns_none(stream_pair):
+    left, right = stream_pair
+    left.close()
+    assert right.recv() is None
+
+
+def test_stream_truncated_header_raises(stream_pair):
+    left, right = stream_pair
+    left.socket.sendall(b"\x00\x00")  # half a header
+    left.close()
+    with pytest.raises(ProtocolError):
+        right.recv()
+
+
+def test_stream_truncated_payload_raises(stream_pair):
+    left, right = stream_pair
+    left.socket.sendall(struct.pack(">I", 100) + b"only ten b")
+    left.close()
+    with pytest.raises(ProtocolError):
+        right.recv()
+
+
+def test_stream_oversized_announcement_raises():
+    left_sock, right_sock = socket.socketpair()
+    left = FrameStream(left_sock)
+    right = FrameStream(right_sock, max_bytes=64)
+    try:
+        left.socket.sendall(struct.pack(">I", 1 << 20))
+        with pytest.raises(FrameTooLarge):
+            right.recv()
+    finally:
+        left.close()
+        right.close()
+
+
+# ---------------------------------------------------------------------------
+# Handshake frames
+# ---------------------------------------------------------------------------
+
+
+def test_hello_and_welcome_round_trip():
+    hello = Hello(client="hls-tool")
+    assert hello.protocol == PROTOCOL_VERSION
+    assert Hello.from_dict(json.loads(json.dumps(hello.to_dict()))) == hello
+
+    welcome = Welcome(session_id="session-9", server="repro-icdb")
+    assert Welcome.from_dict(json.loads(json.dumps(welcome.to_dict()))) == welcome
+
+
+def test_hello_rejects_non_integer_protocol():
+    with pytest.raises(IcdbError):
+        Hello.from_dict({"protocol": "banana"})
+
+
+# ---------------------------------------------------------------------------
+# Batch envelope
+# ---------------------------------------------------------------------------
+
+
+def test_batch_round_trip_and_flatten():
+    batch = BatchRequest(
+        requests=(
+            FunctionQuery(functions=("ADD",)),
+            InstanceQuery(name="alu_1"),
+        ),
+        repeat=3,
+    )
+    again = BatchRequest.from_dict(json.loads(json.dumps(batch.to_dict())))
+    assert again == batch
+    flattened = batch.flattened()
+    assert len(flattened) == 6
+    assert flattened[0] == flattened[2] == flattened[4]
+
+
+def test_batch_rejects_nesting_and_bad_repeat():
+    inner = BatchRequest(requests=(FunctionQuery(functions=("ADD",)),))
+    with pytest.raises(IcdbError):
+        BatchRequest(requests=(inner,))
+    with pytest.raises(IcdbError):
+        BatchRequest(requests=(), repeat=0)
+    with pytest.raises(IcdbError):
+        BatchRequest.from_dict({"requests": [], "repeat": "many"})
+    with pytest.raises(IcdbError):
+        BatchRequest.from_dict({"requests": "not-a-list"})
+
+
+def test_batch_caps_total_request_count():
+    """One small frame must not be able to queue unbounded lock-held work."""
+    member = FunctionQuery(functions=("ADD",))
+    with pytest.raises(IcdbError, match="limit"):
+        BatchRequest(requests=(member,), repeat=BatchRequest.MAX_TOTAL_REQUESTS + 1)
+    with pytest.raises(IcdbError, match="limit"):
+        BatchRequest.from_dict(
+            {"requests": [member.to_dict()] * 2,
+             "repeat": BatchRequest.MAX_TOTAL_REQUESTS}
+        )
+    # At the cap it is fine.
+    batch = BatchRequest(requests=(member,), repeat=BatchRequest.MAX_TOTAL_REQUESTS)
+    assert len(batch.flattened()) == BatchRequest.MAX_TOTAL_REQUESTS
+
+
+def test_component_request_detail_round_trips():
+    request = ComponentRequest(
+        implementation="alu", attributes={"size": 8}, detail="summary"
+    )
+    from repro.api import request_from_dict
+
+    assert request_from_dict(json.loads(json.dumps(request.to_dict()))) == request
