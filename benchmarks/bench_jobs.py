@@ -1,0 +1,203 @@
+"""Job scheduler throughput: concurrent slow jobs on one connection.
+
+The PR-3 acceptance experiment.  The paper's generators are *external
+tools* the ICDB waits on (MILO for logic synthesis, LES for layout);
+while one runs, the old synchronous protocol welded the whole connection
+to it.  The job API decouples that: N slow generations submitted on ONE
+connection overlap on the server's worker pool, so the wall-clock
+approaches ``ceil(N / workers) * T`` instead of ``N * T``.
+
+Here the external tool is simulated by a generator that sleeps in slices
+between cooperative cancellation checkpoints (exactly the shape of
+waiting on a subprocess: the GIL is released, the work overlaps even on
+one core).  Measured:
+
+* **serial** -- N blocking ``request_component`` calls back to back;
+* **concurrent** -- the same N generations as jobs via ``submit`` +
+  ``result()``, one TCP connection.
+
+Acceptance:
+
+* concurrent wall-clock < 0.5x serial wall-clock;
+* a cancelled running job frees its worker slot promptly and leaves no
+  orphan instance, database row, artifact file or cache entry.
+
+``BENCH_JOBS_SMOKE=1`` shrinks the tool delay for CI smoke runs (the
+ratio assertion is sleep-bound, so it still holds).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import record_bench_results, run_once
+
+from repro.api import ComponentRequest, ComponentService
+from repro.components import standard_catalog
+from repro.core.generation import EmbeddedGenerator
+from repro.core.progress import checkpoint
+from repro.net import connect, serve
+
+SMOKE = os.environ.get("BENCH_JOBS_SMOKE", "") not in ("", "0")
+
+#: Concurrent slow jobs submitted on the single connection.
+JOBS = 6
+#: Job worker pool width (all N jobs can be in flight at once).
+WORKERS = 8
+#: Simulated external-tool latency per generation, seconds.
+TOOL_DELAY = 0.25 if SMOKE else 1.0
+#: Sleep slices (= cancellation checkpoints) per simulated tool run.
+TOOL_SLICES = 10
+#: Acceptance ceiling: concurrent wall-clock over serial wall-clock.
+MAX_CONCURRENT_RATIO = 0.5
+
+
+def _slow_generator(cell_library):
+    class ExternalToolGenerator(EmbeddedGenerator):
+        """Sleeps like a subprocess wait, checkpointing between slices."""
+
+        def run_flow(self, flat, constraints, target):
+            for index in range(TOOL_SLICES):
+                checkpoint("external_tool", 0.05 + 0.5 * index / TOOL_SLICES)
+                time.sleep(TOOL_DELAY / TOOL_SLICES)
+            return super().run_flow(flat, constraints, target)
+
+    return ExternalToolGenerator(cell_library)
+
+
+def _slow_server(tmp_path, tag):
+    service = ComponentService(
+        catalog=standard_catalog(fresh=True),
+        store_root=tmp_path / tag,
+        job_workers=WORKERS,
+    )
+    service.generator = _slow_generator(service.cell_library)
+    return service, serve(service=service, port=0)
+
+
+def _request(index: int) -> ComponentRequest:
+    # Distinct small components so the cache cannot collapse the work.
+    implementations = ["register", "mux2", "counter", "register", "mux2", "counter"]
+    return ComponentRequest(
+        implementation=implementations[index % len(implementations)],
+        attributes={"size": 2 + index},
+        use_cache=False,
+        detail="summary",
+    )
+
+
+def test_bench_concurrent_jobs_on_one_connection(benchmark, tmp_path):
+    service, server = _slow_server(tmp_path, "jobs")
+    try:
+        client = connect(server.host, server.port, client="bench-jobs")
+
+        def measure():
+            # Serial baseline: blocking calls, one after another.
+            start = time.perf_counter()
+            for index in range(JOBS):
+                client.execute(_request(index)).unwrap()
+            serial_s = time.perf_counter() - start
+
+            # Concurrent: submit all N as jobs, then collect.
+            start = time.perf_counter()
+            handles = [client.submit(_request(index)) for index in range(JOBS)]
+            for handle in handles:
+                handle.result(timeout=120)
+            concurrent_s = time.perf_counter() - start
+            return {"serial_s": serial_s, "concurrent_s": concurrent_s}
+
+        timings = run_once(benchmark, measure)
+        client.close()
+    finally:
+        server.stop()
+        service.jobs.shutdown()
+
+    ratio = timings["concurrent_s"] / timings["serial_s"]
+    print()
+    print(f"{JOBS} slow generations, serial (blocking):   {timings['serial_s']:>7.2f} s")
+    print(f"{JOBS} slow generations, concurrent jobs:     {timings['concurrent_s']:>7.2f} s")
+    print(f"concurrent / serial wall-clock:           {ratio:>7.2f}x")
+    measured = {
+        "jobs": JOBS,
+        "workers": WORKERS,
+        "tool_delay_s": TOOL_DELAY,
+        "serial_s": round(timings["serial_s"], 3),
+        "concurrent_s": round(timings["concurrent_s"], 3),
+        "ratio": round(ratio, 3),
+    }
+    benchmark.extra_info["measured"] = measured
+    if not SMOKE:
+        record_bench_results("jobs", "concurrency", measured)
+    # Acceptance: jobs on one connection overlap the external-tool waits.
+    assert ratio < MAX_CONCURRENT_RATIO
+
+
+def test_bench_cancelled_job_frees_worker_and_leaves_no_state(benchmark, tmp_path):
+    service, server = _slow_server(tmp_path, "cancel")
+    try:
+        client = connect(server.host, server.port, client="bench-cancel")
+        store_baseline = set(service.store.instances())
+        registry_baseline = set(service.instances.names())
+        cache_baseline = service.cache.stats()
+
+        def measure():
+            handle = client.submit(
+                ComponentRequest(
+                    implementation="alu", attributes={"size": 8}, use_cache=False
+                )
+            )
+            while handle.status()["state"] == "queued":
+                time.sleep(0.005)
+            start = time.perf_counter()
+            handle.cancel()
+            final = handle.wait(timeout=60)
+            cancel_latency_s = time.perf_counter() - start
+            assert final["state"] == "cancelled"
+
+            # The freed worker picks up new work immediately.
+            start = time.perf_counter()
+            follow_up = client.submit(_request(0))
+            follow_up.result(timeout=60)
+            follow_up_s = time.perf_counter() - start
+            return {
+                "cancel_latency_s": cancel_latency_s,
+                "follow_up_s": follow_up_s,
+            }
+
+        timings = run_once(benchmark, measure)
+        client.close()
+    finally:
+        server.stop()
+        service.jobs.shutdown()
+
+    # No orphan state from the cancelled ALU generation: nothing with its
+    # name reached the registry, the database, the file store or the cache.
+    new_instances = set(service.instances.names()) - registry_baseline
+    assert not any(name.startswith("alu") for name in new_instances)
+    assert not any(
+        row["name"].startswith("alu")
+        for row in service.database.table("instances").select()
+    )
+    assert not any(
+        name.startswith("alu")
+        for name in set(service.store.instances()) - store_baseline
+    )
+    after_cache = service.cache.stats()
+    assert after_cache["stores"] == cache_baseline["stores"]
+
+    print()
+    print(f"cancel honored after {timings['cancel_latency_s'] * 1000:,.0f} ms "
+          f"(checkpoint interval {TOOL_DELAY / TOOL_SLICES * 1000:,.0f} ms)")
+    print(f"follow-up job completed in {timings['follow_up_s']:,.2f} s")
+    measured = {
+        "cancel_latency_s": round(timings["cancel_latency_s"], 4),
+        "follow_up_s": round(timings["follow_up_s"], 3),
+    }
+    benchmark.extra_info["measured"] = measured
+    if not SMOKE:
+        record_bench_results("jobs", "cancellation", measured)
+    # The cancellation must land within a few checkpoint intervals, and the
+    # worker slot must be immediately reusable.
+    assert timings["cancel_latency_s"] < TOOL_DELAY
+    assert timings["follow_up_s"] < TOOL_DELAY + 5.0

@@ -32,7 +32,7 @@ import os
 import threading
 import time
 
-from conftest import run_once
+from conftest import record_bench_results, run_once
 
 from repro.api import ComponentRequest, ComponentService
 from repro.components import standard_catalog
@@ -184,6 +184,10 @@ def test_bench_cached_throughput(benchmark, tmp_path):
         "pipelined_rps": round(rates["pipelined_rps"]),
         "speedup": round(speedup, 2),
     }
+    if not SMOKE:
+        record_bench_results(
+            "net_throughput", "cached", benchmark.extra_info["measured"]
+        )
     # Acceptance: pipelined batching multiplies cached aggregate throughput.
     if not SMOKE:
         assert speedup >= MIN_CACHED_SPEEDUP
@@ -217,5 +221,9 @@ def test_bench_uncached_throughput(benchmark, tmp_path):
         "single_rps": round(rates["single_rps"], 1),
         "pipelined_rps": round(rates["pipelined_rps"], 1),
     }
+    if not SMOKE:
+        record_bench_results(
+            "net_throughput", "uncached", benchmark.extra_info["measured"]
+        )
     # Every response still came from a full generator run.
     assert rates["single_rps"] < 100

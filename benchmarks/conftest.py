@@ -10,10 +10,43 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import platform
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.components import standard_catalog
 from repro.core import ICDB
+
+#: Where the machine-readable benchmark results land (committed, so the
+#: perf trajectory is tracked across PRs).
+BENCH_RESULTS_DIR = Path(__file__).parent
+
+
+def record_bench_results(name: str, key: str, payload: dict) -> Path:
+    """Merge ``payload`` under ``key`` into ``BENCH_<name>.json``.
+
+    Each benchmark module owns one file; each test contributes one keyed
+    section, so partial runs update their section without clobbering the
+    rest.  Environment metadata rides along for cross-PR comparability.
+    """
+    path = BENCH_RESULTS_DIR / f"BENCH_{name}.json"
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    data[key] = payload
+    data["meta"] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 #: Reference points from the paper (delay ns, area 1e4 um^2), Figure 5.

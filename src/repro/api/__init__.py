@@ -28,12 +28,15 @@ Quick tour::
 from .cache import ResultCache, clone_instance
 from .errors import (
     E_BAD_REQUEST,
+    E_BUSY,
+    E_CANCELLED,
     E_CONFLICT,
     E_FRAME_TOO_LARGE,
     E_GENERATION_FAILED,
     E_INTERNAL,
     E_NOT_FOUND,
     E_PROTOCOL,
+    E_TIMEOUT,
     E_UNAVAILABLE,
     ERROR_CODES,
     IcdbErrorInfo,
@@ -43,38 +46,59 @@ from .messages import (
     COMPONENT_DETAILS,
     DESIGN_OPS,
     FUNCTION_QUERY_WANTS,
+    JOB_CONTROL_KINDS,
+    JOB_STATES,
+    JOB_TERMINAL_STATES,
     PROTOCOL_VERSION,
     REQUEST_TYPES,
+    AttachSession,
     BatchRequest,
+    CancelJob,
     ComponentQuery,
     ComponentRequest,
     DesignOp,
     FunctionQuery,
     Hello,
     InstanceQuery,
+    JobEvent,
+    JobStatus,
     LayoutRequest,
     Request,
     Response,
+    SubmitJob,
     Welcome,
     request_from_dict,
 )
-from .service import ComponentService, Session, instance_summary
+from .service import (
+    ComponentService,
+    DEFAULT_JOB_WORKERS,
+    JobManager,
+    LocalJobHandle,
+    Session,
+    instance_summary,
+)
 
 __all__ = [
+    "AttachSession",
     "BatchRequest",
     "COMPONENT_DETAILS",
+    "CancelJob",
     "ComponentQuery",
     "ComponentRequest",
     "ComponentService",
+    "DEFAULT_JOB_WORKERS",
     "DESIGN_OPS",
     "DesignOp",
     "E_BAD_REQUEST",
+    "E_BUSY",
+    "E_CANCELLED",
     "E_CONFLICT",
     "E_FRAME_TOO_LARGE",
     "E_GENERATION_FAILED",
     "E_INTERNAL",
     "E_NOT_FOUND",
     "E_PROTOCOL",
+    "E_TIMEOUT",
     "E_UNAVAILABLE",
     "ERROR_CODES",
     "FUNCTION_QUERY_WANTS",
@@ -82,13 +106,21 @@ __all__ = [
     "Hello",
     "IcdbErrorInfo",
     "InstanceQuery",
+    "JOB_CONTROL_KINDS",
+    "JOB_STATES",
+    "JOB_TERMINAL_STATES",
+    "JobEvent",
+    "JobManager",
+    "JobStatus",
     "LayoutRequest",
+    "LocalJobHandle",
     "PROTOCOL_VERSION",
     "REQUEST_TYPES",
     "Request",
     "Response",
     "ResultCache",
     "Session",
+    "SubmitJob",
     "Welcome",
     "clone_instance",
     "error_from_exception",

@@ -70,6 +70,8 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.lookups = 0
+        self.stores = 0
+        self.evictions = 0
 
     @staticmethod
     def signature(
@@ -108,13 +110,25 @@ class ResultCache:
             return template
 
     def store(self, key: Hashable, instance: ComponentInstance) -> None:
-        """Snapshot ``instance`` as the template for ``key``."""
+        """Snapshot ``instance`` as the template for ``key``.
+
+        ``stores`` and ``evictions`` move together with the entry map
+        under the lock, so ``entries == stores - evictions - replaced``
+        holds at any instant (``replaced`` being same-key overwrites) --
+        the accounting invariant the cancellation stress tests rely on: a
+        generation cancelled before this point has left *no* counter or
+        entry behind.
+        """
         snapshot = clone_instance(instance, instance.name)
         with self._lock:
+            if key in self._entries:
+                self.evictions += 1  # same-key overwrite replaces a snapshot
             self._entries[key] = snapshot
             self._entries.move_to_end(key)
+            self.stores += 1
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         with self._lock:
@@ -122,6 +136,8 @@ class ResultCache:
             self.hits = 0
             self.misses = 0
             self.lookups = 0
+            self.stores = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -135,4 +151,6 @@ class ResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "lookups": self.lookups,
+                "stores": self.stores,
+                "evictions": self.evictions,
             }

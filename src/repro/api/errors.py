@@ -31,6 +31,14 @@ E_PROTOCOL = "PROTOCOL"
 E_FRAME_TOO_LARGE = "FRAME_TOO_LARGE"
 #: The server (or the connection to it) is gone or shutting down.
 E_UNAVAILABLE = "UNAVAILABLE"
+#: The job (or the operation it was running) was cancelled by a client.
+E_CANCELLED = "CANCELLED"
+#: A bounded wait (``JobStatus`` with ``wait``, a client-side ``result``
+#: timeout) expired before the job reached a terminal state.
+E_TIMEOUT = "TIMEOUT"
+#: The server is at capacity: the job queue is full or the session limit
+#: has been reached.  Retryable -- the request itself was well-formed.
+E_BUSY = "BUSY"
 #: Anything unexpected; the service never lets an exception escape raw.
 E_INTERNAL = "INTERNAL"
 
@@ -42,6 +50,9 @@ ERROR_CODES = (
     E_PROTOCOL,
     E_FRAME_TOO_LARGE,
     E_UNAVAILABLE,
+    E_CANCELLED,
+    E_TIMEOUT,
+    E_BUSY,
     E_INTERNAL,
 )
 
@@ -81,9 +92,12 @@ def error_from_exception(exc: BaseException) -> IcdbErrorInfo:
     from ..core.generation import GenerationError
     from ..core.instances import InstanceError
     from ..core.knowledge import KnowledgeError
+    from ..core.progress import OperationCancelled
     from ..db import DatabaseError, StoreError
 
-    if isinstance(exc, IcdbError):
+    if isinstance(exc, OperationCancelled):
+        code = E_CANCELLED
+    elif isinstance(exc, IcdbError):
         code = getattr(exc, "code", E_BAD_REQUEST)
     elif isinstance(exc, (InstanceError, CatalogError)):
         code = E_NOT_FOUND

@@ -13,7 +13,16 @@ request type              server operation
 :class:`ComponentRequest` ``request_component`` (generate an instance)
 :class:`LayoutRequest`    layout generation for an existing instance
 :class:`DesignOp`         design / transaction / component-list management
+:class:`SubmitJob`        run any request as an asynchronous server job
+:class:`JobStatus`        poll (or wait for) a job; fetch its events
+:class:`CancelJob`        cooperatively cancel a queued / running job
 ========================  =================================================
+
+Two more wire dataclasses are not requests: :class:`JobEvent` is the
+server-pushed progress record of a running job, and
+:class:`AttachSession` is the alternative opening handshake frame that
+resumes an existing session by token (sessions are decoupled from
+connections; see :mod:`repro.net`).
 
 Every request and the :class:`Response` envelope round-trip through
 ``to_dict()`` -> JSON -> ``from_dict()``, so a socket or HTTP transport can
@@ -38,7 +47,10 @@ from .errors import E_BAD_REQUEST, E_PROTOCOL, IcdbErrorInfo
 
 #: Version of the wire contract spoken by :mod:`repro.net`.  Bump when a
 #: frame or envelope changes incompatibly; the handshake rejects mismatches.
-PROTOCOL_VERSION = 1
+#: Version 2: job-oriented async API (submit/status/cancel requests,
+#: server-pushed ``job_event`` frames) and session tokens with the
+#: ``attach`` resume handshake.
+PROTOCOL_VERSION = 2
 
 
 def _tuple(value) -> Tuple[str, ...]:
@@ -339,6 +351,15 @@ class BatchRequest(Request):
     def __post_init__(self) -> None:
         if any(isinstance(member, BatchRequest) for member in self.requests):
             raise IcdbError("batch requests cannot be nested", code=E_BAD_REQUEST)
+        # Job control is connection-level: a batch holds the service lock
+        # for its whole execution, and a waiting job_status inside it would
+        # deadlock against the very job it awaits.
+        offenders = [m.kind for m in self.requests if m.kind in JOB_CONTROL_KINDS]
+        if offenders:
+            raise IcdbError(
+                f"job-control requests cannot ride in a batch: {offenders}",
+                code=E_BAD_REQUEST,
+            )
         if not isinstance(self.repeat, int) or self.repeat < 1:
             raise IcdbError(
                 f"batch repeat must be a positive integer, got {self.repeat!r}",
@@ -381,6 +402,229 @@ class BatchRequest(Request):
         )
 
 
+#: Job lifecycle states, in the order a job moves through them.
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+
+JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+
+#: States a job never leaves once reached.
+JOB_TERMINAL_STATES = (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+
+
+@dataclass(frozen=True)
+class SubmitJob(Request):
+    """Run any service request as an asynchronous server-side job.
+
+    The answer is a *job descriptor* (``job_id``, ``state``, timing and
+    progress fields), returned immediately; the wrapped request executes
+    on the service's bounded worker pool.  Jobs of one session are
+    dispatched in submit order (per-session FIFO); jobs of different
+    sessions run in parallel.  Job-control requests cannot themselves be
+    submitted as jobs, and neither can batches containing them.
+    """
+
+    kind: ClassVar[str] = "submit_job"
+
+    request: Optional[Request] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.request is None:
+            raise IcdbError(
+                "submit_job requires a wrapped 'request'", code=E_BAD_REQUEST
+            )
+        if isinstance(self.request, (SubmitJob, JobStatus, CancelJob)):
+            raise IcdbError(
+                f"a {self.request.kind!r} request cannot be submitted as a job",
+                code=E_BAD_REQUEST,
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        assert self.request is not None
+        return {
+            "kind": self.kind,
+            "request": self.request.to_dict(),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SubmitJob":
+        inner = data.get("request")
+        if not isinstance(inner, Mapping):
+            raise IcdbError(
+                "submit_job requires a 'request' object", code=E_BAD_REQUEST
+            )
+        return cls(
+            request=request_from_dict(inner), label=str(data.get("label") or "")
+        )
+
+
+@dataclass(frozen=True)
+class JobStatus(Request):
+    """Poll one job's descriptor; optionally wait and fetch its events.
+
+    ``wait=True`` blocks server-side until the job reaches a terminal
+    state or ``timeout_ms`` expires (an ``E_TIMEOUT`` error envelope; the
+    job itself is unaffected).  ``include_events`` attaches the retained
+    event history (entries with ``seq > events_since``) to the
+    descriptor.  A terminal descriptor carries the job's full
+    :class:`Response` envelope under ``"response"``.
+    """
+
+    kind: ClassVar[str] = "job_status"
+
+    job_id: str = ""
+    wait: bool = False
+    timeout_ms: Optional[float] = None
+    include_events: bool = False
+    events_since: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "wait": self.wait,
+            "timeout_ms": self.timeout_ms,
+            "include_events": self.include_events,
+            "events_since": self.events_since,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobStatus":
+        timeout = data.get("timeout_ms")
+        if timeout is not None:
+            try:
+                timeout = float(timeout)
+            except (TypeError, ValueError):
+                raise IcdbError(
+                    "job_status 'timeout_ms' must be a number", code=E_BAD_REQUEST
+                )
+        try:
+            since = int(data.get("events_since") or 0)
+        except (TypeError, ValueError):
+            raise IcdbError(
+                "job_status 'events_since' must be an integer", code=E_BAD_REQUEST
+            )
+        return cls(
+            job_id=str(data.get("job_id") or ""),
+            wait=bool(data.get("wait", False)),
+            timeout_ms=timeout,
+            include_events=bool(data.get("include_events", False)),
+            events_since=since,
+        )
+
+
+@dataclass(frozen=True)
+class CancelJob(Request):
+    """Cooperatively cancel a job.
+
+    A queued job is cancelled immediately; a running job stops at its next
+    generation / layout checkpoint (its worker slot is freed and no
+    instance or artifact is left behind).  Cancelling a terminal job is a
+    no-op answering the final descriptor.
+    """
+
+    kind: ClassVar[str] = "cancel_job"
+
+    job_id: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "job_id": self.job_id}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CancelJob":
+        return cls(job_id=str(data.get("job_id") or ""))
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One progress record of a job (pushed as a ``job_event`` frame).
+
+    ``seq`` is monotonic per job (starting at 1); ``state`` is the job
+    state after the event; ``stage`` / ``progress`` describe the pipeline
+    checkpoint that produced it.  ``timestamp`` is server wall-clock
+    seconds (``time.time()``).
+    """
+
+    job_id: str = ""
+    seq: int = 0
+    state: str = JOB_QUEUED
+    stage: str = ""
+    progress: float = 0.0
+    message: str = ""
+    timestamp: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "seq": self.seq,
+            "state": self.state,
+            "stage": self.stage,
+            "progress": self.progress,
+            "message": self.message,
+            "timestamp": self.timestamp,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "JobEvent":
+        return JobEvent(
+            job_id=str(data.get("job_id") or ""),
+            seq=int(data.get("seq") or 0),
+            state=str(data.get("state") or JOB_QUEUED),
+            stage=str(data.get("stage") or ""),
+            progress=float(data.get("progress") or 0.0),
+            message=str(data.get("message") or ""),
+            timestamp=float(data.get("timestamp") or 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class AttachSession:
+    """The alternative opening frame: resume an existing session by token.
+
+    The ``hello`` / ``welcome`` handshake issues a ``session_token``; a
+    later connection opens with ``attach`` instead of ``hello`` to bind to
+    that same server-side session -- its design context and its jobs
+    (running or finished) survive the connection that submitted them.
+    """
+
+    protocol: int = PROTOCOL_VERSION
+    token: str = ""
+    client: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "attach",
+            "protocol": self.protocol,
+            "token": self.token,
+            "client": self.client,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "AttachSession":
+        try:
+            protocol = int(data.get("protocol", 0))
+        except (TypeError, ValueError):
+            raise IcdbError("attach 'protocol' must be an integer", code=E_PROTOCOL)
+        return AttachSession(
+            protocol=protocol,
+            token=str(data.get("token") or ""),
+            client=str(data.get("client") or ""),
+        )
+
+
+#: Request kinds that control jobs rather than doing work themselves.
+#: Transports execute these inline on the connection (a waiting
+#: ``JobStatus`` must never occupy a job worker slot), and they are
+#: rejected inside batches (a batch holds the service lock, which the
+#: awaited job may need).
+JOB_CONTROL_KINDS = (SubmitJob.kind, JobStatus.kind, CancelJob.kind)
+
+
 #: Registry of request types by wire kind.
 REQUEST_TYPES: Dict[str, Type[Request]] = {
     cls.kind: cls
@@ -392,6 +636,9 @@ REQUEST_TYPES: Dict[str, Type[Request]] = {
         LayoutRequest,
         DesignOp,
         BatchRequest,
+        SubmitJob,
+        JobStatus,
+        CancelJob,
     )
 }
 
@@ -435,11 +682,18 @@ class Hello:
 
 @dataclass(frozen=True)
 class Welcome:
-    """The server's answer to a :class:`Hello`: the session is open."""
+    """The server's answer to a :class:`Hello` (or ``attach``): the
+    session is open.
+
+    ``session_token`` is the resume credential: present it in an
+    :class:`AttachSession` frame on a later connection to rebind to this
+    session and its jobs.
+    """
 
     protocol: int = PROTOCOL_VERSION
     session_id: str = ""
     server: str = ""
+    session_token: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -447,6 +701,7 @@ class Welcome:
             "protocol": self.protocol,
             "session_id": self.session_id,
             "server": self.server,
+            "session_token": self.session_token,
         }
 
     @staticmethod
@@ -455,6 +710,7 @@ class Welcome:
             protocol=int(data.get("protocol", 0)),
             session_id=str(data.get("session_id", "")),
             server=str(data.get("server", "")),
+            session_token=str(data.get("session_token", "")),
         )
 
 

@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict, deque
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..components import genus
 from ..components.catalog import (
@@ -44,6 +45,7 @@ from ..core.instances import (
     TARGET_LOGIC,
 )
 from ..core.knowledge import KnowledgeServer
+from ..core.progress import OperationCancelled, observed
 from ..db import (
     DESIGNS,
     DESIGN_FILES,
@@ -58,19 +60,40 @@ from ..netlist.cif import layout_to_cif
 from ..netlist.structural import StructuralNetlist
 from ..techlib import CellLibrary, standard_cells
 from .cache import DEFAULT_CONSTRAINTS, ResultCache, clone_instance
-from .errors import E_BAD_REQUEST, E_CONFLICT, E_NOT_FOUND, error_from_exception
+from .errors import (
+    E_BAD_REQUEST,
+    E_BUSY,
+    E_CANCELLED,
+    E_CONFLICT,
+    E_NOT_FOUND,
+    E_TIMEOUT,
+    E_UNAVAILABLE,
+    IcdbErrorInfo,
+    error_from_exception,
+)
 from .messages import (
     COMPONENT_DETAILS,
     FUNCTION_QUERY_WANTS,
+    JOB_CONTROL_KINDS,
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JOB_TERMINAL_STATES,
     BatchRequest,
+    CancelJob,
     ComponentQuery,
     ComponentRequest,
     DesignOp,
     FunctionQuery,
     InstanceQuery,
+    JobEvent,
+    JobStatus,
     LayoutRequest,
     Request,
     Response,
+    SubmitJob,
 )
 
 
@@ -189,6 +212,44 @@ class Session:
     def execute(self, request: Request) -> Response:
         """Execute a typed request in this session's context."""
         return self.service.execute(request, self)
+
+    # ------------------------------------------------------------------- jobs
+
+    def submit(self, request: Request, label: str = "") -> "LocalJobHandle":
+        """Submit ``request`` as an asynchronous job of this session."""
+        descriptor = self.service.jobs.submit(request, self, label=label)
+        return LocalJobHandle(self, descriptor)
+
+    def submit_component(self, **kwargs: Any) -> "LocalJobHandle":
+        """Asynchronous ``request_component``: submit and return a handle.
+
+        Accepts the :class:`~repro.api.messages.ComponentRequest` fields
+        (``component_name``, ``implementation``, ``functions``,
+        ``attributes``, ``constraints``, ``parameters`` ...); the handle's
+        :meth:`LocalJobHandle.instance` waits and answers the registered
+        :class:`~repro.core.instances.ComponentInstance`.
+        """
+        return self.submit(_component_request_from_kwargs(kwargs))
+
+    def job_status(
+        self,
+        job_id: str,
+        wait: bool = False,
+        timeout_ms: Optional[float] = None,
+        include_events: bool = False,
+        events_since: int = 0,
+    ) -> Dict[str, object]:
+        return self.service.jobs.status(
+            job_id,
+            wait=wait,
+            timeout_ms=timeout_ms,
+            include_events=include_events,
+            events_since=events_since,
+            session=self,
+        )
+
+    def cancel_job(self, job_id: str) -> Dict[str, object]:
+        return self.service.jobs.cancel(job_id, session=self)
 
     # ----------------------------------------------------------------- query
 
@@ -537,6 +598,20 @@ class Session:
         return rows
 
 
+def _component_request_from_kwargs(kwargs: Mapping[str, Any]) -> ComponentRequest:
+    """Build a :class:`ComponentRequest` from ``request_component`` kwargs."""
+    fields = dict(kwargs)
+    functions = fields.pop("functions", None)
+    attributes = fields.pop("attributes", None)
+    parameters = fields.pop("parameters", None)
+    return ComponentRequest(
+        functions=tuple(functions or ()),
+        attributes=dict(attributes) if attributes else None,
+        parameters=dict(parameters) if parameters else None,
+        **fields,
+    )
+
+
 class ComponentService:
     """The shared ICDB engine behind every session and the legacy facade."""
 
@@ -549,6 +624,8 @@ class ComponentService:
         store_root: Optional[Union[str, Path]] = None,
         cache: Optional[ResultCache] = None,
         clone_artifacts: str = "lazy",
+        job_workers: Optional[int] = None,
+        job_queue_limit: int = 1024,
     ):
         if clone_artifacts not in ("lazy", "eager"):
             raise IcdbError(
@@ -582,6 +659,15 @@ class ComponentService:
         self._pending_lock = threading.Lock()
         self._session_counter = 0
         self._default_session: Optional[Session] = None
+        #: The bounded asynchronous job scheduler: submitted requests run
+        #: on its worker pool; the network layer's blocking requests are
+        #: submit+wait over the same path.  Worker threads start lazily on
+        #: the first submission.
+        self.jobs = JobManager(
+            self,
+            workers=job_workers if job_workers is not None else DEFAULT_JOB_WORKERS,
+            max_queued=job_queue_limit,
+        )
 
     # ---------------------------------------------------------------- sessions
 
@@ -669,6 +755,26 @@ class ComponentService:
         if isinstance(request, BatchRequest):
             responses = self.execute_batch(request.flattened(), session)
             return [response.to_dict() for response in responses], False
+        if isinstance(request, SubmitJob):
+            assert request.request is not None  # enforced by __post_init__
+            return self.jobs.submit(request.request, session, label=request.label), False
+        if isinstance(request, JobStatus):
+            # The wait happens on the *calling* thread (a connection thread
+            # or an in-process client), never on a job worker slot; the
+            # session scopes the lookup to its own jobs.
+            return (
+                self.jobs.status(
+                    request.job_id,
+                    wait=request.wait,
+                    timeout_ms=request.timeout_ms,
+                    include_events=request.include_events,
+                    events_since=request.events_since,
+                    session=session,
+                ),
+                False,
+            )
+        if isinstance(request, CancelJob):
+            return self.jobs.cancel(request.job_id, session=session), False
         raise IcdbError(f"unsupported request type {type(request).__name__!r}")
 
     def _component_request(self, request: ComponentRequest, session: Session):
@@ -924,4 +1030,614 @@ class ComponentService:
             f"ICDB: {len(self.catalog)} implementations, "
             f"{len(self.instances)} generated instances, "
             f"{len(self.cell_library)} library cells"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The job scheduler
+# ---------------------------------------------------------------------------
+
+#: Default size of a service's job worker pool.  The paper's generators are
+#: external tools (MILO, LES, ...) the server *waits on*, so a handful of
+#: workers keeps several generations in flight without oversubscribing the
+#: interpreter for the pure-Python stages.
+DEFAULT_JOB_WORKERS = 4
+
+
+class JobRecord:
+    """Server-side state of one submitted job (owned by the JobManager).
+
+    All mutable fields are guarded by the manager's condition variable;
+    ``cancel_event`` alone is read lock-free by the worker's progress
+    observer on every generation checkpoint.
+    """
+
+    __slots__ = (
+        "job_id",
+        "session",
+        "request",
+        "label",
+        "quiet",
+        "state",
+        "submitted_at",
+        "started_at",
+        "finished_at",
+        "progress",
+        "stage",
+        "seq",
+        "events",
+        "response",
+        "cancel_event",
+    )
+
+    def __init__(
+        self,
+        job_id: str,
+        session: Session,
+        request: Request,
+        label: str,
+        quiet: bool,
+        max_events: int,
+    ):
+        self.job_id = job_id
+        self.session = session
+        self.request = request
+        self.label = label
+        #: Quiet jobs are the blocking submit+wait path: no event history,
+        #: no subscriber pushes -- the caller is already holding the result.
+        self.quiet = quiet
+        self.state = JOB_QUEUED
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.progress = 0.0
+        self.stage = ""
+        self.seq = 0
+        self.events: "deque[JobEvent]" = deque(maxlen=max_events)
+        self.response: Optional[Response] = None
+        self.cancel_event = threading.Event()
+
+
+class JobManager:
+    """Bounded asynchronous scheduler for service requests.
+
+    Submitted requests become first-class *jobs*: they run on a fixed pool
+    of daemon worker threads, carry monotonic progress events, can be
+    cancelled cooperatively at generation / layout checkpoints, and retain
+    a bounded result + event history after finishing, so a client that
+    reconnects (or never watched) can still collect the outcome.
+
+    Ordering: jobs enter one FIFO ready queue at submission, so jobs of
+    one session *start* in submit order (per-session FIFO) while jobs of
+    different sessions run in parallel up to the pool width.  Dispatched
+    jobs may overlap -- the engine already serializes naming, database and
+    cache access.
+
+    The blocking request path of the network layer is :meth:`run_sync`:
+    submit + wait over the same queue and workers, byte-identical to
+    direct execution because the job's stored :class:`Response` *is* the
+    envelope ``ComponentService.execute`` produced.
+    """
+
+    def __init__(
+        self,
+        service: ComponentService,
+        workers: int = DEFAULT_JOB_WORKERS,
+        max_queued: int = 1024,
+        max_retained: int = 512,
+        max_events_per_job: int = 256,
+    ):
+        if workers < 1:
+            raise IcdbError(f"job worker count must be >= 1, got {workers}")
+        self.service = service
+        self.workers = workers
+        self.max_queued = max_queued
+        self.max_retained = max_retained
+        self.max_events_per_job = max_events_per_job
+        self._cond = threading.Condition()
+        self._queue: "deque[str]" = deque()
+        self._jobs: "OrderedDict[str, JobRecord]" = OrderedDict()
+        self._counter = 0
+        self._submitted = 0
+        self._threads: List[threading.Thread] = []
+        self._subscribers: Dict[int, Tuple[str, Callable[[Dict[str, Any]], None]]] = {}
+        self._subscriber_counter = 0
+        self._shutdown = False
+        #: Non-terminal job count per session id -- the O(1) answer to
+        #: :meth:`session_has_work` (hot: every blocking network request
+        #: asks it to decide between the direct and the FIFO job path).
+        self._active_by_session: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- submission
+
+    def submit(
+        self,
+        request: Request,
+        session: Session,
+        label: str = "",
+        quiet: bool = False,
+    ) -> Dict[str, Any]:
+        """Queue ``request`` as a job of ``session``; answer its descriptor.
+
+        Raises ``E_BUSY`` when the ready queue is at capacity and
+        ``E_UNAVAILABLE`` after :meth:`shutdown`.
+        """
+        if request.kind in JOB_CONTROL_KINDS:
+            raise IcdbError(
+                f"a {request.kind!r} request cannot run as a job",
+                code=E_BAD_REQUEST,
+            )
+        with self._cond:
+            if self._shutdown:
+                raise IcdbError("the job manager is shut down", code=E_UNAVAILABLE)
+            if len(self._queue) >= self.max_queued:
+                raise IcdbError(
+                    f"job queue is full ({self.max_queued} queued); retry later",
+                    code=E_BUSY,
+                )
+            self._counter += 1
+            self._submitted += 1
+            job_id = f"job-{self._counter}"
+            record = JobRecord(
+                job_id, session, request, label, quiet, self.max_events_per_job
+            )
+            self._jobs[job_id] = record
+            sid = session.session_id
+            self._active_by_session[sid] = self._active_by_session.get(sid, 0) + 1
+            self._retire_locked()
+            self._queue.append(job_id)
+            self._ensure_workers_locked()
+            event = self._emit_locked(record, stage="submit", message="job queued")
+            subscribers = self._subscribers_locked(record)
+            descriptor = self._descriptor_locked(record)
+            self._cond.notify_all()
+        self._deliver(subscribers, event)
+        return descriptor
+
+    def run_sync(self, request: Request, session: Session) -> Response:
+        """Submit + wait: the blocking request path over the job queue.
+
+        Returns the exact :class:`Response` envelope the service produced
+        (byte-identical to direct execution).  The job is quiet -- no
+        events are recorded or pushed, it is invisible to the job-control
+        requests -- and is not retained afterwards.
+        """
+        descriptor = self.submit(request, session, quiet=True)
+        job_id = str(descriptor["job_id"])
+        with self._cond:
+            record = self._jobs[job_id]
+            while record.state not in JOB_TERMINAL_STATES:
+                if self._shutdown:
+                    raise IcdbError(
+                        "the job manager shut down mid-request", code=E_UNAVAILABLE
+                    )
+                self._cond.wait()
+            response = record.response
+            self._jobs.pop(job_id, None)
+        assert response is not None
+        return response
+
+    # ------------------------------------------------------------ inspection
+
+    def status(
+        self,
+        job_id: str,
+        wait: bool = False,
+        timeout_ms: Optional[float] = None,
+        include_events: bool = False,
+        events_since: int = 0,
+        session: Optional[Session] = None,
+    ) -> Dict[str, Any]:
+        """The job's descriptor; with ``wait``, block until terminal.
+
+        A ``wait`` whose ``timeout_ms`` expires raises ``E_TIMEOUT`` (the
+        job keeps running); an unknown job id -- or, when ``session`` is
+        given, another session's job -- raises ``E_NOT_FOUND``.
+        """
+        deadline = (
+            time.monotonic() + timeout_ms / 1000.0 if timeout_ms is not None else None
+        )
+        with self._cond:
+            record = self._record_locked(job_id, session)
+            if wait:
+                while record.state not in JOB_TERMINAL_STATES:
+                    if self._shutdown:
+                        raise IcdbError(
+                            "the job manager is shut down", code=E_UNAVAILABLE
+                        )
+                    if deadline is None:
+                        self._cond.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise IcdbError(
+                            f"timed out after {timeout_ms:g} ms waiting for "
+                            f"job {job_id!r} (state {record.state!r})",
+                            code=E_TIMEOUT,
+                        )
+                    self._cond.wait(remaining)
+            return self._descriptor_locked(
+                record, include_events=include_events, events_since=events_since
+            )
+
+    def response(
+        self, job_id: str, session: Optional[Session] = None
+    ) -> Optional[Response]:
+        """The stored envelope of a terminal job (``None`` while running).
+
+        In-process callers use this instead of the descriptor's
+        ``"response"`` dict: the live envelope still carries the original
+        exception, so legacy error paths re-raise exactly what a direct
+        call would have raised.
+        """
+        with self._cond:
+            return self._record_locked(job_id, session).response
+
+    def events(
+        self, job_id: str, since: int = 0, session: Optional[Session] = None
+    ) -> List[Dict[str, Any]]:
+        """The retained event history of a job (entries with seq > since)."""
+        with self._cond:
+            record = self._record_locked(job_id, session)
+            return [e.to_dict() for e in record.events if e.seq > since]
+
+    def session_has_work(self, session_id: str) -> bool:
+        """True while any job of the session is queued or running (O(1))."""
+        with self._cond:
+            return self._active_by_session.get(session_id, 0) > 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            running = sum(
+                1 for r in self._jobs.values() if r.state == JOB_RUNNING
+            )
+            return {
+                "workers": self.workers,
+                "queued": len(self._queue),
+                "running": running,
+                "retained": len(self._jobs),
+                "submitted": self._submitted,
+            }
+
+    # ----------------------------------------------------------- cancellation
+
+    def cancel(
+        self, job_id: str, session: Optional[Session] = None
+    ) -> Dict[str, Any]:
+        """Cooperatively cancel a job; answer its (possibly final) descriptor.
+
+        Queued jobs are cancelled on the spot.  Running jobs get their
+        cancel flag set and stop at the next generation / layout
+        checkpoint; requests without checkpoints (queries, design ops) may
+        still complete normally.  Terminal jobs are left untouched.  With
+        ``session``, only the owning session's jobs are addressable.
+        """
+        with self._cond:
+            record = self._record_locked(job_id, session)
+            if record.state in JOB_TERMINAL_STATES:
+                return self._descriptor_locked(record)
+            record.cancel_event.set()
+            if record.state == JOB_QUEUED:
+                record.state = JOB_CANCELLED
+                record.finished_at = time.time()
+                self._settle_locked(record)
+                record.response = Response(
+                    ok=False,
+                    error=IcdbErrorInfo(
+                        code=E_CANCELLED,
+                        message=f"job {job_id} cancelled before it started",
+                        exception_type="OperationCancelled",
+                    ),
+                    session_id=record.session.session_id,
+                    request_kind=record.request.kind,
+                )
+                event = self._emit_locked(
+                    record, stage="cancel", message="cancelled while queued"
+                )
+                self._cond.notify_all()
+            else:
+                event = self._emit_locked(
+                    record, stage="cancel", message="cancellation requested"
+                )
+            subscribers = self._subscribers_locked(record)
+            descriptor = self._descriptor_locked(record)
+        self._deliver(subscribers, event)
+        return descriptor
+
+    # ------------------------------------------------------------ event push
+
+    def subscribe(
+        self, session_id: str, callback: Callable[[Dict[str, Any]], None]
+    ) -> int:
+        """Receive every event of the session's jobs; returns an unsubscribe
+        token.  Callbacks run on worker threads and must not block long."""
+        with self._cond:
+            self._subscriber_counter += 1
+            token = self._subscriber_counter
+            self._subscribers[token] = (session_id, callback)
+            return token
+
+    def unsubscribe(self, token: int) -> None:
+        with self._cond:
+            self._subscribers.pop(token, None)
+
+    # --------------------------------------------------------------- lifecycle
+
+    def shutdown(self) -> None:
+        """Stop the workers after their current jobs; wake all waiters."""
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+    # ---------------------------------------------------------------- internal
+
+    def _record_locked(
+        self, job_id: str, session: Optional[Session] = None
+    ) -> JobRecord:
+        """Resolve a job id for a caller.
+
+        Quiet (blocking-path) jobs are internal bookkeeping, never part of
+        the addressable id space; and when ``session`` is given (every
+        request that arrived through the typed entry points), only that
+        session's jobs resolve -- another session's job id answers the
+        same ``E_NOT_FOUND`` as a nonexistent one, so ids leak nothing.
+        Trusted in-process callers (tests, operators) pass no session.
+        """
+        record = self._jobs.get(job_id)
+        if (
+            record is None
+            or record.quiet
+            or (
+                session is not None
+                and record.session.session_id != session.session_id
+            )
+        ):
+            raise IcdbError(f"unknown job {job_id!r}", code=E_NOT_FOUND)
+        return record
+
+    def _settle_locked(self, record: JobRecord) -> None:
+        """A job reached a terminal state: drop its active-session count."""
+        sid = record.session.session_id
+        remaining = self._active_by_session.get(sid, 0) - 1
+        if remaining > 0:
+            self._active_by_session[sid] = remaining
+        else:
+            self._active_by_session.pop(sid, None)
+
+    def _ensure_workers_locked(self) -> None:
+        while len(self._threads) < self.workers:
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"icdb-job-worker-{len(self._threads)}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _retire_locked(self) -> None:
+        """Evict the oldest *terminal* jobs beyond the retention bound."""
+        if len(self._jobs) <= self.max_retained:
+            return
+        for job_id in list(self._jobs):
+            if len(self._jobs) <= self.max_retained:
+                break
+            record = self._jobs[job_id]
+            # Quiet (blocking-path) jobs are popped by their waiter in
+            # run_sync, never retired -- retiring one would lose the
+            # response out from under the thread waiting on it.
+            if record.state in JOB_TERMINAL_STATES and not record.quiet:
+                del self._jobs[job_id]
+
+    def _descriptor_locked(
+        self,
+        record: JobRecord,
+        include_events: bool = False,
+        events_since: int = 0,
+    ) -> Dict[str, Any]:
+        descriptor: Dict[str, Any] = {
+            "job_id": record.job_id,
+            "label": record.label,
+            "kind": record.request.kind,
+            "session_id": record.session.session_id,
+            "state": record.state,
+            "submitted_at": record.submitted_at,
+            "started_at": record.started_at,
+            "finished_at": record.finished_at,
+            "progress": record.progress,
+            "stage": record.stage,
+            "seq": record.seq,
+            "cancel_requested": record.cancel_event.is_set(),
+        }
+        if record.state in JOB_TERMINAL_STATES and record.response is not None:
+            descriptor["response"] = record.response.to_dict()
+        if include_events:
+            descriptor["events"] = [
+                e.to_dict() for e in record.events if e.seq > events_since
+            ]
+        return descriptor
+
+    def _emit_locked(
+        self, record: JobRecord, stage: str = "", message: str = ""
+    ) -> Optional[Dict[str, Any]]:
+        if record.quiet:
+            return None
+        record.seq += 1
+        event = JobEvent(
+            job_id=record.job_id,
+            seq=record.seq,
+            state=record.state,
+            stage=stage or record.stage,
+            progress=record.progress,
+            message=message,
+            timestamp=time.time(),
+        )
+        record.events.append(event)
+        return event.to_dict()
+
+    def _subscribers_locked(
+        self, record: JobRecord
+    ) -> List[Callable[[Dict[str, Any]], None]]:
+        if record.quiet or not self._subscribers:
+            return []
+        session_id = record.session.session_id
+        return [
+            callback
+            for (sid, callback) in self._subscribers.values()
+            if sid == session_id
+        ]
+
+    @staticmethod
+    def _deliver(
+        subscribers: List[Callable[[Dict[str, Any]], None]],
+        event: Optional[Dict[str, Any]],
+    ) -> None:
+        if event is None:
+            return
+        for callback in subscribers:
+            try:
+                callback(event)
+            except Exception:  # noqa: BLE001 - a dead connection must not kill a job
+                pass
+
+    def _progress(self, record: JobRecord, stage: str, fraction: float) -> None:
+        with self._cond:
+            record.stage = stage
+            record.progress = max(record.progress, min(max(float(fraction), 0.0), 1.0))
+            event = self._emit_locked(record, stage=stage)
+            subscribers = self._subscribers_locked(record)
+        self._deliver(subscribers, event)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._shutdown:
+                    self._cond.wait()
+                if self._shutdown:
+                    return
+                job_id = self._queue.popleft()
+                record = self._jobs.get(job_id)
+                if record is None or record.state != JOB_QUEUED:
+                    continue  # cancelled while queued, or a forgotten sync job
+                record.state = JOB_RUNNING
+                record.started_at = time.time()
+                event = self._emit_locked(record, stage="start", message="job started")
+                subscribers = self._subscribers_locked(record)
+            self._deliver(subscribers, event)
+            self._execute(record)
+
+    def _execute(self, record: JobRecord) -> None:
+        if record.quiet:
+            # The blocking path: quiet jobs are not addressable (the
+            # job-control lookups treat them as unknown), so cancellation
+            # is impossible by construction and nobody watches progress --
+            # skip the observer bookkeeping entirely on this hot path.
+            response = self.service.execute(record.request, record.session)
+        else:
+
+            def observer(stage: str, fraction: float) -> None:
+                if record.cancel_event.is_set():
+                    raise OperationCancelled(
+                        f"job {record.job_id} cancelled at checkpoint {stage!r}"
+                    )
+                self._progress(record, stage, fraction)
+
+            with observed(observer):
+                # execute() maps every exception -- including the
+                # observer's OperationCancelled -- to an error envelope.
+                response = self.service.execute(record.request, record.session)
+        with self._cond:
+            record.response = response
+            record.finished_at = time.time()
+            if response.ok:
+                record.state = JOB_DONE
+                record.progress = 1.0
+            elif response.error is not None and response.error.code == E_CANCELLED:
+                record.state = JOB_CANCELLED
+            else:
+                record.state = JOB_FAILED
+            self._settle_locked(record)
+            event = self._emit_locked(
+                record,
+                stage="end",
+                message=(
+                    "job finished"
+                    if response.ok
+                    else (response.error.message if response.error else "job failed")
+                ),
+            )
+            subscribers = self._subscribers_locked(record)
+            self._retire_locked()
+            self._cond.notify_all()
+        self._deliver(subscribers, event)
+
+
+class LocalJobHandle:
+    """Futures-style view of a job submitted through a local session.
+
+    Mirrors the remote :class:`~repro.net.client.JobHandle` surface:
+    ``result(timeout)``, ``cancel()``, ``events()``, ``wait()``,
+    ``instance()``.  Timeouts are seconds; an expired wait raises an
+    ``E_TIMEOUT`` :class:`~repro.core.icdb.IcdbError` while the job keeps
+    running.
+    """
+
+    def __init__(self, session: Session, descriptor: Dict[str, Any]):
+        self._session = session
+        self.descriptor = dict(descriptor)
+        self.job_id = str(descriptor["job_id"])
+        self.label = str(descriptor.get("label") or "")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocalJobHandle({self.job_id!r}, state={self.state!r})"
+
+    @property
+    def state(self) -> str:
+        return str(self.descriptor.get("state") or JOB_QUEUED)
+
+    @property
+    def progress(self) -> float:
+        return float(self.descriptor.get("progress") or 0.0)
+
+    def status(self) -> Dict[str, Any]:
+        self.descriptor = self._session.job_status(self.job_id)
+        return self.descriptor
+
+    def done(self) -> bool:
+        return self.status()["state"] in JOB_TERMINAL_STATES
+
+    def wait(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        self.descriptor = self._session.job_status(
+            self.job_id,
+            wait=True,
+            timeout_ms=None if timeout is None else timeout * 1000.0,
+        )
+        return self.descriptor
+
+    def response(self, timeout: Optional[float] = None) -> Response:
+        self.wait(timeout)
+        response = self._session.service.jobs.response(
+            self.job_id, session=self._session
+        )
+        assert response is not None
+        return response
+
+    def result(self, timeout: Optional[float] = None):
+        """The job's result value; re-raises the original engine error."""
+        return self.response(timeout).unwrap()
+
+    def instance(self, timeout: Optional[float] = None) -> ComponentInstance:
+        """For component jobs: wait, then answer the registered instance."""
+        summary = self.result(timeout)
+        return self._session.instances.get(str(summary["instance"]))
+
+    def cancel(self) -> Dict[str, Any]:
+        self.descriptor = self._session.cancel_job(self.job_id)
+        return self.descriptor
+
+    def events(self, since: int = 0) -> List[Dict[str, Any]]:
+        return self._session.service.jobs.events(
+            self.job_id, since=since, session=self._session
         )

@@ -28,6 +28,7 @@ from ..netlist.structural import StructuralNetlist, flatten_to_gates
 from ..sizing import SizingOptions, size_for_constraints
 from ..techlib import CellLibrary, standard_cells
 from .instances import ComponentInstance, TARGET_LAYOUT, TARGET_LOGIC
+from .progress import checkpoint
 
 
 class GenerationError(RuntimeError):
@@ -137,10 +138,19 @@ class EmbeddedGenerator:
         target: str = TARGET_LOGIC,
     ) -> Tuple[GateNetlist, object, ShapeFunction, object, Optional[ComponentLayout], int, List[str]]:
         """Run synthesis, sizing, estimation and optional layout on a flat
-        component; returns the artifacts needed to build an instance."""
+        component; returns the artifacts needed to build an instance.
+
+        Every stage boundary is a cooperative
+        :func:`~repro.core.progress.checkpoint`: a job scheduler observes
+        them for progress events, and a cancelled job unwinds here --
+        before anything is registered or written -- leaving no state.
+        """
+        checkpoint("synthesize", 0.10)
         netlist = synthesize(flat, self.cell_library, self.synthesis_options)
+        checkpoint("size", 0.45)
         sizing = size_for_constraints(netlist, constraints, self.sizing_options)
         report = sizing.report
+        checkpoint("estimate", 0.70)
         shape = shape_function(netlist)
         if constraints.strips is not None:
             area_record = AreaEstimator(netlist).estimate(constraints.strips)
@@ -250,6 +260,7 @@ class EmbeddedGenerator:
         whole (the partitioner / floorplanner use this to evaluate
         clusterings, Section 6.3 of Appendix B).
         """
+        checkpoint("flatten", 0.10)
         merged = flatten_to_gates(structure, resolver)
         merged.name = instance_name
         flat = FlatComponent(
@@ -257,8 +268,10 @@ class EmbeddedGenerator:
             inputs=list(structure.inputs),
             outputs=list(structure.outputs),
         )
+        checkpoint("size", 0.45)
         sizing = size_for_constraints(merged, constraints, self.sizing_options)
         report = sizing.report
+        checkpoint("estimate", 0.70)
         shape = shape_function(merged)
         if constraints.strips is not None:
             area_record = AreaEstimator(merged).estimate(constraints.strips)

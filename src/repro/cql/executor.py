@@ -31,14 +31,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..net.client import RemoteClient
 
 from ..api.messages import (
+    CancelJob,
     ComponentQuery,
     ComponentRequest,
     DesignOp,
     FunctionQuery,
     InstanceQuery,
+    JobStatus,
     LayoutRequest,
     Request,
     Response,
+    SubmitJob,
     request_from_dict,
 )
 from ..api.service import Session
@@ -253,15 +256,8 @@ class CqlExecutor:
             attributes["size"] = values["size"]
         return {key: _as_int(value, key) for key, value in attributes.items()}
 
-    def _cmd_request_component(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
-        # Layout request on an existing instance (Section 3.3): the command
-        # carries an 'instance' input together with 'alternative' and/or port
-        # positions and a CIF output slot.
-        existing = values.get("instance")
-        output_keywords = [term.keyword for term in command.output_slots()]
-        if existing and ("cif_layout" in output_keywords or "alternative" in values):
-            return self._layout_request(command, values, str(existing))
-
+    def _component_request_from_values(self, values: Dict[str, Any]) -> ComponentRequest:
+        """The typed ``request_component`` a command's terms describe."""
         constraints = self._build_constraints(values)
         functions = _as_list(values.get("function"))
         attributes = self._attributes(values)
@@ -269,8 +265,7 @@ class CqlExecutor:
         structure = values.get("vhdl_net_list")
         iif_source = values.get("iif")
         naming = values.get("naming")
-
-        request = ComponentRequest(
+        return ComponentRequest(
             component_name=str(values["component_name"]) if values.get("component_name") else None,
             implementation=str(values["implementation"]) if values.get("implementation") else None,
             iif=str(iif_source) if iif_source else None,
@@ -281,7 +276,10 @@ class CqlExecutor:
             target=TARGET_LAYOUT if target.lower() == TARGET_LAYOUT else TARGET_LOGIC,
             instance_name=str(naming) if naming else None,
         )
-        summary = self._run(request).value
+
+    @staticmethod
+    def _component_outputs(command: CqlCommand, summary: Mapping[str, Any]) -> Dict[str, Any]:
+        """Map a component summary onto the command's ``?`` output slots."""
         outputs: Dict[str, Any] = {}
         for term in command.output_slots():
             if term.keyword == "instance":
@@ -298,6 +296,79 @@ class CqlExecutor:
                 outputs["shape_function"] = summary["shape_function"]
         outputs.setdefault("instance", summary["instance"])
         return outputs
+
+    def _cmd_request_component(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        # Layout request on an existing instance (Section 3.3): the command
+        # carries an 'instance' input together with 'alternative' and/or port
+        # positions and a CIF output slot.
+        existing = values.get("instance")
+        output_keywords = [term.keyword for term in command.output_slots()]
+        if existing and ("cif_layout" in output_keywords or "alternative" in values):
+            return self._layout_request(command, values, str(existing))
+
+        summary = self._run(self._component_request_from_values(values)).value
+        return self._component_outputs(command, summary)
+
+    # ------------------------------------------------------- asynchronous jobs
+
+    def _cmd_submit(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        """``command: submit``: request_component as an asynchronous job.
+
+        Takes the same terms as ``request_component``; answers the job id
+        (``?job``) and state immediately instead of blocking for the
+        generated instance.  Collect the result with ``command: wait``.
+        """
+        request = self._component_request_from_values(values)
+        descriptor = self._run(
+            SubmitJob(request=request, label=str(values.get("label") or ""))
+        ).value
+        outputs: Dict[str, Any] = {}
+        for term in command.output_slots():
+            if term.keyword in ("job", "job_id"):
+                outputs[term.keyword] = descriptor["job_id"]
+            elif term.keyword == "state":
+                outputs["state"] = descriptor["state"]
+        outputs.setdefault("job", descriptor["job_id"])
+        return outputs
+
+    def _cmd_wait(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        """``command: wait``: block until a submitted job finishes.
+
+        ``job`` names the job; an optional ``timeout`` (seconds) bounds
+        the wait.  On success the outputs mirror ``request_component``
+        (``?instance``, ``?delay``, ``?area``, ``?shape_function``); a
+        failed or cancelled job re-raises its structured error.
+        """
+        job_id = values.get("job") or values.get("job_id")
+        if not job_id:
+            raise CqlExecutionError("wait needs a 'job' term")
+        timeout = values.get("timeout")
+        descriptor = self._run(
+            JobStatus(
+                job_id=str(job_id),
+                wait=True,
+                timeout_ms=(
+                    _as_float(timeout, "timeout") * 1000.0
+                    if timeout not in (None, "")
+                    else None
+                ),
+            )
+        ).value
+        response = Response.from_dict(descriptor.get("response") or {})
+        summary = response.unwrap()  # raises the job's structured error
+        outputs = self._component_outputs(command, summary) if isinstance(
+            summary, Mapping
+        ) and "instance" in summary else {"value": summary}
+        outputs.setdefault("state", descriptor["state"])
+        return outputs
+
+    def _cmd_cancel(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        """``command: cancel``: cooperatively cancel a submitted job."""
+        job_id = values.get("job") or values.get("job_id")
+        if not job_id:
+            raise CqlExecutionError("cancel needs a 'job' term")
+        descriptor = self._run(CancelJob(job_id=str(job_id))).value
+        return {"job": descriptor["job_id"], "state": descriptor["state"]}
 
     def _layout_request(self, command: CqlCommand, values: Dict[str, Any], instance_name: str) -> Dict[str, Any]:
         alternative = values.get("alternative")

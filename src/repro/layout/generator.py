@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..constraints import PortPosition
+from ..core.progress import checkpoint
 from ..netlist.gates import GateNetlist
 from ..techlib import BASE_STRIP_HEIGHT_UM, TRACK_PITCH_UM
 from .strips import PlacedCell, StripPlacement, place_in_strips, routing_tracks_per_strip
@@ -188,7 +189,9 @@ def generate_layout(
     if netlist.cell_count() == 0:
         raise LayoutError(f"{netlist.name} has no cells to lay out")
 
+    checkpoint("layout", 0.85)
     placement = place_in_strips(netlist, strips)
+    checkpoint("route", 0.92)
     tracks = routing_tracks_per_strip(netlist, placement)
     strip_heights = [strip_height + count * track_pitch for count in tracks]
     width = placement.width

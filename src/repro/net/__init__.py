@@ -39,7 +39,15 @@ Quick tour::
 The full wire-protocol specification lives in ``docs/net.md``.
 """
 
-from .client import LoopbackTransport, RemoteClient, RemoteInstance, SocketTransport, connect
+from .client import (
+    JobHandle,
+    LoopbackTransport,
+    RemoteClient,
+    RemoteInstance,
+    SocketTransport,
+    attach,
+    connect,
+)
 from .protocol import (
     FrameStream,
     FrameTooLarge,
@@ -48,20 +56,30 @@ from .protocol import (
     decode_frame,
     encode_frame,
 )
-from .server import FrameDispatcher, ICDBServer, SERVER_NAME, main, serve
+from .server import (
+    FrameDispatcher,
+    ICDBServer,
+    SERVER_NAME,
+    SessionRegistry,
+    main,
+    serve,
+)
 
 __all__ = [
     "FrameDispatcher",
     "FrameStream",
     "FrameTooLarge",
     "ICDBServer",
+    "JobHandle",
     "LoopbackTransport",
     "MAX_FRAME_BYTES",
     "ProtocolError",
     "RemoteClient",
     "RemoteInstance",
     "SERVER_NAME",
+    "SessionRegistry",
     "SocketTransport",
+    "attach",
     "connect",
     "decode_frame",
     "encode_frame",

@@ -11,6 +11,13 @@ client-side view of the generated instance that rebuilds the shape
 function and delay report from the wire summary and fetches the heavier
 renders (VHDL, connection info) on demand.
 
+Since protocol v2 the client also exposes the asynchronous job surface:
+:meth:`RemoteClient.submit` / :meth:`RemoteClient.submit_component`
+answer a :class:`JobHandle` (futures-style ``result(timeout)`` /
+``cancel()`` / ``events()``), server-pushed ``job_event`` frames keep
+handles live between replies, and :func:`attach` resumes a session -- with
+its jobs -- on a fresh connection after a disconnect.
+
 Two transports share the codec:
 
 * :class:`SocketTransport` -- a blocking TCP connection;
@@ -37,24 +44,32 @@ from __future__ import annotations
 import socket
 import threading
 import time
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from collections import OrderedDict, deque
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..api.errors import E_UNAVAILABLE, IcdbErrorInfo, error_from_exception
 from ..api.messages import (
+    JOB_QUEUED,
+    JOB_TERMINAL_STATES,
     PROTOCOL_VERSION,
+    AttachSession,
     BatchRequest,
+    CancelJob,
     ComponentQuery,
     ComponentRequest,
     DesignOp,
     FunctionQuery,
     Hello,
     InstanceQuery,
+    JobEvent,
+    JobStatus,
     LayoutRequest,
     Request,
     Response,
+    SubmitJob,
     Welcome,
 )
-from ..api.service import ComponentService
+from ..api.service import ComponentService, _component_request_from_kwargs
 from ..constraints import Constraints, PortPosition
 from ..core.icdb import IcdbError
 from ..core.instances import TARGET_LOGIC
@@ -65,6 +80,7 @@ from ..netlist.structural import StructuralNetlist
 from .protocol import (
     FRAME_BYE,
     FRAME_ERROR,
+    FRAME_JOB_EVENT,
     FRAME_META,
     FRAME_META_RESULT,
     FRAME_PING,
@@ -83,7 +99,12 @@ from .server import FrameDispatcher
 
 
 class SocketTransport:
-    """One blocking TCP connection; a lock serializes request/reply pairs."""
+    """One blocking TCP connection; a lock serializes request/reply pairs.
+
+    The server may interleave pushed ``job_event`` frames with replies;
+    they are routed to :attr:`on_event` (set by the owning client) and
+    never returned as a reply.
+    """
 
     def __init__(
         self,
@@ -97,6 +118,18 @@ class SocketTransport:
         self._lock = threading.Lock()
         self._dead = False
         self.description = f"tcp://{host}:{port}"
+        #: Callback receiving each pushed job-event dict (or None to drop).
+        self.on_event: Optional[Callable[[Dict[str, Any]], None]] = None
+
+    def _recv_reply(self) -> Optional[Dict[str, Any]]:
+        """The next non-push frame; pushed job events go to ``on_event``."""
+        while True:
+            reply = self._stream.recv()
+            if reply is None or reply.get("type") != FRAME_JOB_EVENT:
+                return reply
+            sink = self.on_event
+            if sink is not None:
+                sink(reply.get("event") or {})
 
     def send_payload(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         with self._lock:
@@ -106,7 +139,7 @@ class SocketTransport:
                 )
             try:
                 self._stream.send(payload)
-                reply = self._stream.recv()
+                reply = self._recv_reply()
             except ProtocolError:
                 # The stream position is unreliable after a framing error;
                 # poison the transport so no later call can misread a
@@ -148,10 +181,25 @@ class LoopbackTransport:
     def __init__(
         self, service: ComponentService, max_frame_bytes: int = MAX_FRAME_BYTES
     ):
-        self._dispatcher = FrameDispatcher(service, client_label="loopback")
         self._max = max_frame_bytes
         self._lock = threading.Lock()
         self.description = "loopback"
+        #: Callback receiving each pushed job-event dict (or None to drop).
+        self.on_event: Optional[Callable[[Dict[str, Any]], None]] = None
+        self._dispatcher = FrameDispatcher(
+            service, client_label="loopback", push=self._push
+        )
+
+    def _push(self, payload: Dict[str, Any]) -> None:
+        """Server push: same codec round-trip, delivered synchronously."""
+        sink = self.on_event
+        if sink is None:
+            return
+        try:
+            wire = decode_frame(encode_frame(payload, self._max)[4:])
+        except ProtocolError:
+            return  # mirror TCP: an oversized push is dropped, not fatal
+        sink(wire.get("event") or {})
 
     def send_payload(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         wire = encode_frame(payload, self._max)
@@ -167,6 +215,7 @@ class LoopbackTransport:
             return error_payload(error_from_exception(exc))
 
     def close(self) -> None:
+        self._dispatcher.close()
         self._dispatcher.closed = True
 
 
@@ -307,16 +356,156 @@ class RemoteInstances:
         return int(self._client.meta("instance_count"))
 
 
-class RemoteClient:
-    """A connected ICDB client mirroring the local session surface."""
+class JobHandle:
+    """Futures-style view of a job submitted over a transport.
 
-    def __init__(self, transport, client: str = ""):
+    Live state (``state`` / ``progress`` / ``stage``) is updated from the
+    server-pushed ``job_event`` frames as they arrive; the authoritative
+    calls go back over the wire:
+
+    * :meth:`result` -- block (server-side long-poll) until the job ends
+      and return its value, re-raising the job's structured error;
+      ``timeout`` seconds raise an ``E_TIMEOUT`` error while the job
+      keeps running;
+    * :meth:`cancel` -- cooperative cancellation;
+    * :meth:`events` -- the locally received pushed events, or (with
+      ``remote=True``) the server's retained event history.
+    """
+
+    def __init__(self, client: "RemoteClient", descriptor: Mapping[str, Any]):
+        self._client = client
+        self._lock = threading.Lock()
+        self._events: "deque[JobEvent]" = deque(maxlen=256)
+        self.descriptor: Dict[str, Any] = dict(descriptor)
+        self.job_id = str(descriptor["job_id"])
+        self.label = str(descriptor.get("label") or "")
+        self.kind = str(descriptor.get("kind") or "")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobHandle({self.job_id!r}, state={self.state!r})"
+
+    # ---------------------------------------------------------- pushed events
+
+    def _apply(self, event: JobEvent) -> None:
+        """Fold one pushed event into the live view (worker-thread safe)."""
+        with self._lock:
+            self._events.append(event)
+            if event.seq >= int(self.descriptor.get("seq") or 0):
+                self.descriptor["seq"] = event.seq
+                self.descriptor["state"] = event.state
+                if event.stage:
+                    self.descriptor["stage"] = event.stage
+                self.descriptor["progress"] = max(
+                    float(self.descriptor.get("progress") or 0.0), event.progress
+                )
+
+    # -------------------------------------------------------------- live view
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return str(self.descriptor.get("state") or JOB_QUEUED)
+
+    @property
+    def progress(self) -> float:
+        with self._lock:
+            return float(self.descriptor.get("progress") or 0.0)
+
+    @property
+    def stage(self) -> str:
+        with self._lock:
+            return str(self.descriptor.get("stage") or "")
+
+    def done(self) -> bool:
+        return self.state in JOB_TERMINAL_STATES
+
+    # ------------------------------------------------------------- wire calls
+
+    def _update(self, descriptor: Mapping[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            if int(descriptor.get("seq") or 0) >= int(
+                self.descriptor.get("seq") or 0
+            ):
+                self.descriptor = dict(descriptor)
+            return dict(self.descriptor)
+
+    def status(self) -> Dict[str, Any]:
+        """Refresh and return the job descriptor from the server."""
+        return self._update(self._client.job_status(self.job_id))
+
+    def wait(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until the job is terminal; ``timeout`` is in seconds."""
+        return self._update(
+            self._client.job_status(
+                self.job_id,
+                wait=True,
+                timeout_ms=None if timeout is None else timeout * 1000.0,
+            )
+        )
+
+    def response(self, timeout: Optional[float] = None) -> Response:
+        """The job's full :class:`Response` envelope (waits for it)."""
+        descriptor = self.wait(timeout)
+        return Response.from_dict(descriptor.get("response") or {})
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The job's result value; raises its structured error instead."""
+        return self.response(timeout).unwrap()
+
+    def instance(self, timeout: Optional[float] = None) -> "RemoteInstance":
+        """For component jobs: wait, then wrap the resulting summary."""
+        return RemoteInstance(self._client, self.result(timeout))
+
+    def cancel(self) -> Dict[str, Any]:
+        """Request cooperative cancellation; returns the descriptor."""
+        return self._update(self._client.cancel_job(self.job_id))
+
+    def events(self, since: int = 0, remote: bool = False) -> List[JobEvent]:
+        """Job events with ``seq > since``.
+
+        Default: the events this client received as pushes (a resumed
+        session starts empty).  ``remote=True`` fetches the server's
+        retained history -- authoritative and disconnect-proof.
+        """
+        if remote:
+            descriptor = self._client.job_status(
+                self.job_id, include_events=True, events_since=since
+            )
+            return [
+                JobEvent.from_dict(item)
+                for item in descriptor.get("events") or []
+            ]
+        with self._lock:
+            return [event for event in self._events if event.seq > since]
+
+
+class RemoteClient:
+    """A connected ICDB client mirroring the local session surface.
+
+    The classic blocking calls execute as submit+wait on the server's job
+    scheduler; :meth:`submit` / :meth:`submit_component` expose the
+    asynchronous path directly, answering a :class:`JobHandle`.
+    ``session_token`` is the resume credential: after losing the
+    connection, :meth:`RemoteClient.attach` binds a fresh connection to
+    the same server-side session with its design context and jobs intact.
+    """
+
+    def __init__(
+        self, transport, client: str = "", attach_token: Optional[str] = None
+    ):
         self.transport = transport
         self.client = client
         self.current_design: str = ""
         self.instances = RemoteInstances(self)
-        welcome = self._handshake(client)
+        self._handles: Dict[str, JobHandle] = {}
+        self._event_buffers: "OrderedDict[str, deque]" = OrderedDict()
+        self._events_lock = threading.Lock()
+        # Route pushed job_event frames before the handshake: an attach to
+        # a session with running jobs may push events with the welcome.
+        transport.on_event = self._route_event
+        welcome = self._handshake(client, attach_token)
         self.session_id = welcome.session_id
+        self.session_token = welcome.session_token
         self.server_name = welcome.server
         self.protocol = welcome.protocol
 
@@ -336,14 +525,38 @@ class RemoteClient:
         )
 
     @classmethod
+    def attach(
+        cls,
+        host: str,
+        port: int,
+        token: str,
+        client: str = "",
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        timeout: Optional[float] = None,
+    ) -> "RemoteClient":
+        """Resume an existing server-side session on a new connection."""
+        return cls(
+            SocketTransport(host, port, max_frame_bytes, timeout),
+            client=client,
+            attach_token=token,
+        )
+
+    @classmethod
     def loopback(
-        cls, service: ComponentService, client: str = ""
+        cls,
+        service: ComponentService,
+        client: str = "",
+        attach_token: Optional[str] = None,
     ) -> "RemoteClient":
         """An in-process client: same codec and dispatcher, no socket."""
-        return cls(LoopbackTransport(service), client=client)
+        return cls(LoopbackTransport(service), client=client, attach_token=attach_token)
 
-    def _handshake(self, client: str) -> Welcome:
-        reply = self.transport.send_payload(Hello(client=client).to_dict())
+    def _handshake(self, client: str, attach_token: Optional[str]) -> Welcome:
+        if attach_token:
+            opening = AttachSession(token=attach_token, client=client).to_dict()
+        else:
+            opening = Hello(client=client).to_dict()
+        reply = self.transport.send_payload(opening)
         self._raise_on_error(reply)
         if reply.get("type") != FRAME_WELCOME:
             raise ProtocolError(
@@ -432,6 +645,76 @@ class RemoteClient:
                 f"expected a meta_result frame, got {reply.get('type')!r}"
             )
         return reply.get("value")
+
+    # -------------------------------------------------------------------- jobs
+
+    def _route_event(self, event_dict: Dict[str, Any]) -> None:
+        """Deliver one pushed job event to its handle (or buffer it).
+
+        Events can outrun their handle: the server pushes ``queued`` while
+        the submit reply is still in flight, so unclaimed events are
+        buffered per job (bounded) until :meth:`_register_handle` drains
+        them.
+        """
+        event = JobEvent.from_dict(event_dict)
+        with self._events_lock:
+            handle = self._handles.get(event.job_id)
+            if handle is None:
+                buffer = self._event_buffers.get(event.job_id)
+                if buffer is None:
+                    buffer = self._event_buffers[event.job_id] = deque(maxlen=256)
+                    while len(self._event_buffers) > 64:
+                        self._event_buffers.popitem(last=False)
+                buffer.append(event)
+                return
+        handle._apply(event)
+
+    def _register_handle(self, handle: JobHandle) -> None:
+        with self._events_lock:
+            self._handles[handle.job_id] = handle
+            buffered = self._event_buffers.pop(handle.job_id, ())
+        for event in buffered:
+            handle._apply(event)
+
+    def submit(self, request: Request, label: str = "") -> JobHandle:
+        """Submit any typed request as an asynchronous server-side job."""
+        descriptor = self.execute(SubmitJob(request=request, label=label)).unwrap()
+        handle = JobHandle(self, descriptor)
+        self._register_handle(handle)
+        return handle
+
+    def submit_component(self, **kwargs: Any) -> JobHandle:
+        """Asynchronous ``request_component``; the handle's
+        :meth:`JobHandle.instance` waits and answers a
+        :class:`RemoteInstance`."""
+        return self.submit(_component_request_from_kwargs(kwargs))
+
+    def job_handle(self, job_id: str) -> JobHandle:
+        """A handle for an already-submitted job (e.g. after attach)."""
+        handle = JobHandle(self, self.job_status(job_id))
+        self._register_handle(handle)
+        return handle
+
+    def job_status(
+        self,
+        job_id: str,
+        wait: bool = False,
+        timeout_ms: Optional[float] = None,
+        include_events: bool = False,
+        events_since: int = 0,
+    ) -> Dict[str, Any]:
+        return self.execute(
+            JobStatus(
+                job_id=job_id,
+                wait=wait,
+                timeout_ms=timeout_ms,
+                include_events=include_events,
+                events_since=events_since,
+            )
+        ).unwrap()
+
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        return self.execute(CancelJob(job_id=job_id)).unwrap()
 
     # ------------------------------------------------------- session surface
 
@@ -615,4 +898,24 @@ def connect(
     """Connect to a running :class:`~repro.net.server.ICDBServer`."""
     return RemoteClient.connect(
         host, port, client=client, max_frame_bytes=max_frame_bytes, timeout=timeout
+    )
+
+
+def attach(
+    host: str,
+    port: int,
+    token: str,
+    client: str = "",
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    timeout: Optional[float] = None,
+) -> RemoteClient:
+    """Resume an existing session (by its welcome token) on a new
+    connection to a running :class:`~repro.net.server.ICDBServer`."""
+    return RemoteClient.attach(
+        host,
+        port,
+        token,
+        client=client,
+        max_frame_bytes=max_frame_bytes,
+        timeout=timeout,
     )

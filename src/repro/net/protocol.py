@@ -8,9 +8,15 @@ UTF-8 JSON object.  The JSON object always carries a ``type`` field:
 frame type      meaning
 ==============  ============================================================
 ``hello``       client opens the connection (protocol version, client label)
-``welcome``     server accepts: the per-connection session is live
+``attach``      client opens the connection by *resuming* an existing
+                session (``token`` from a previous ``welcome``)
+``welcome``     server accepts: the session is live (and carries the
+                ``session_token`` an ``attach`` can present later)
 ``request``     a typed request (``request`` holds its ``to_dict()`` form)
 ``response``    the :class:`~repro.api.messages.Response` envelope answer
+``job_event``   **server-pushed**: a progress event of one of the
+                session's jobs, interleaved between replies (``event``
+                holds a :class:`~repro.api.messages.JobEvent` dict)
 ``meta``        a lightweight server operation (``op`` + ``args``), e.g.
                 ``new_name`` -- the remote mirror of the shared
                 :class:`~repro.core.instances.InstanceManager` surface
@@ -48,9 +54,11 @@ HEADER = struct.Struct(">I")
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 FRAME_HELLO = "hello"
+FRAME_ATTACH = "attach"
 FRAME_WELCOME = "welcome"
 FRAME_REQUEST = "request"
 FRAME_RESPONSE = "response"
+FRAME_JOB_EVENT = "job_event"
 FRAME_META = "meta"
 FRAME_META_RESULT = "meta_result"
 FRAME_PING = "ping"

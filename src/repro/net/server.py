@@ -1,13 +1,23 @@
-"""The ICDB network server: sessions over TCP.
+"""The ICDB network server: sessions, jobs and server push over TCP.
 
 The paper's ICDB is a component server many synthesis tools talk to
 concurrently.  :class:`ICDBServer` is that server process: it listens on a
-TCP port, maps **one connection to one**
-:class:`~repro.api.service.Session` (created at the ``hello`` handshake)
-and dispatches the typed requests of :mod:`repro.api.messages` through the
-shared :class:`~repro.api.service.ComponentService`.  Pipelined
-:class:`~repro.api.messages.BatchRequest` envelopes execute server-side
-under a single service-lock acquisition.
+TCP port and dispatches the typed requests of :mod:`repro.api.messages`
+through the shared :class:`~repro.api.service.ComponentService`.
+
+Sessions are **decoupled from connections**: the ``hello`` / ``welcome``
+handshake creates a session in the server's :class:`SessionRegistry` and
+issues a resume token; a later connection can open with an ``attach``
+frame instead of ``hello`` to rebind to that session -- its design
+context and its jobs (queued, running or finished) survive the connection
+that created them.  Blocking requests execute as submit+wait over the
+service's :class:`~repro.api.service.JobManager` (so one session's
+traffic is FIFO-ordered with its asynchronous jobs), job-control requests
+(``submit_job`` / ``job_status`` / ``cancel_job``) run inline on the
+connection thread, and job progress events are **pushed** to the
+session's connections as ``job_event`` frames interleaved with replies.
+Pipelined :class:`~repro.api.messages.BatchRequest` envelopes still
+execute server-side under a single service-lock acquisition.
 
 :class:`FrameDispatcher` holds the per-connection protocol state machine
 and is transport-agnostic: the TCP handler and the in-process loopback
@@ -16,7 +26,8 @@ so tests exercise the exact byte-level contract without a socket.
 
 Run a standalone server with::
 
-    python -m repro.net.server --host 127.0.0.1 --port 7361
+    python -m repro.net.server --host 127.0.0.1 --port 7361 \
+        --workers 4 --max-sessions 256
 
 It announces ``icdb server listening on HOST:PORT`` on stdout and shuts
 down gracefully on SIGINT / SIGTERM (draining open connections).
@@ -25,20 +36,28 @@ down gracefully on SIGINT / SIGTERM (draining open connections).
 from __future__ import annotations
 
 import argparse
+import secrets
 import signal
 import socket
 import sys
 import threading
-from typing import Any, Dict, List, Optional, Set
+import time
+import weakref
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..api.errors import (
     E_BAD_REQUEST,
+    E_BUSY,
+    E_NOT_FOUND,
     E_PROTOCOL,
     IcdbErrorInfo,
     error_from_exception,
 )
 from ..api.messages import (
+    JOB_CONTROL_KINDS,
     PROTOCOL_VERSION,
+    AttachSession,
     Hello,
     Response,
     Welcome,
@@ -47,9 +66,11 @@ from ..api.messages import (
 from ..api.service import ComponentService, Session
 from ..core.icdb import IcdbError
 from .protocol import (
+    FRAME_ATTACH,
     FRAME_BYE,
     FRAME_ERROR,
     FRAME_HELLO,
+    FRAME_JOB_EVENT,
     FRAME_META,
     FRAME_META_RESULT,
     FRAME_PING,
@@ -67,20 +88,150 @@ from .protocol import (
 SERVER_NAME = "repro-icdb"
 
 
+class SessionRegistry:
+    """Token-addressed sessions of one service, decoupled from connections.
+
+    ``create`` makes a session and issues an unguessable resume token;
+    ``attach`` rebinds a (new) connection to it.  ``max_sessions`` bounds
+    the registry: at the cap, creating first evicts the oldest *detached*
+    session with no queued or running jobs, and answers ``E_BUSY`` when
+    every session is live.  ``max_sessions=0`` means no hard cap on
+    *live* sessions -- but detached idle sessions are still trimmed
+    beyond :data:`MAX_DETACHED_SESSIONS`, so a long-running server
+    handling many short-lived connections does not accumulate one
+    session per past connection forever.
+    """
+
+    #: Soft bound on resumable-but-detached sessions kept around when
+    #: ``max_sessions`` is unlimited (oldest detached idle evicted first).
+    MAX_DETACHED_SESSIONS = 1024
+
+    def __init__(self, service: ComponentService, max_sessions: int = 0):
+        if max_sessions < 0:
+            raise IcdbError(
+                f"max_sessions must be >= 0 (0 = unlimited), got {max_sessions}"
+            )
+        self.service = service
+        self.max_sessions = max_sessions
+        self._lock = threading.Lock()
+        #: token -> (session, attached-connection count); insertion order
+        #: doubles as the eviction order.
+        self._entries: "OrderedDict[str, List[Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def create(self, client: str = "") -> Tuple[Session, str]:
+        """A new attached session and its resume token."""
+        with self._lock:
+            if self.max_sessions and len(self._entries) >= self.max_sessions:
+                self._evict_locked()
+            if self.max_sessions and len(self._entries) >= self.max_sessions:
+                raise IcdbError(
+                    f"session limit reached ({self.max_sessions}); retry later",
+                    code=E_BUSY,
+                )
+            session = self.service.create_session(client=client)
+            token = secrets.token_hex(16)
+            self._entries[token] = [session, 1]
+            self._trim_locked()
+        return session, token
+
+    def attach(self, token: str) -> Session:
+        """Rebind a connection to the session behind ``token``."""
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is None:
+                raise IcdbError(
+                    "unknown or expired session token", code=E_NOT_FOUND
+                )
+            entry[1] += 1
+            self._entries.move_to_end(token)
+            return entry[0]
+
+    def detach(self, token: str) -> None:
+        """A connection bound to ``token`` closed; the session survives
+        (until trimmed: detached idle sessions beyond the retention bound
+        are evicted oldest-first)."""
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is not None and entry[1] > 0:
+                entry[1] -= 1
+            self._trim_locked()
+
+    def _evict_locked(self) -> None:
+        """Drop the oldest detached, idle session (if any)."""
+        for token, (session, attached) in list(self._entries.items()):
+            if attached <= 0 and not self.service.jobs.session_has_work(
+                session.session_id
+            ):
+                del self._entries[token]
+                return
+
+    def _trim_locked(self) -> None:
+        """Bound the detached-session backlog of an uncapped registry."""
+        detached = sum(1 for _, attached in self._entries.values() if attached <= 0)
+        while detached > self.MAX_DETACHED_SESSIONS:
+            before = len(self._entries)
+            self._evict_locked()
+            if len(self._entries) == before:
+                return  # nothing evictable (all busy with jobs)
+            detached -= 1
+
+
+#: Default registries for transports that are not fronted by an
+#: :class:`ICDBServer` (the in-process loopback): one per service, so two
+#: loopback connections to the same service can attach to each other's
+#: sessions exactly like two TCP connections can.
+_DEFAULT_REGISTRIES: "weakref.WeakKeyDictionary[ComponentService, SessionRegistry]" = (
+    weakref.WeakKeyDictionary()
+)
+_DEFAULT_REGISTRIES_LOCK = threading.Lock()
+
+
+def default_registry(service: ComponentService) -> SessionRegistry:
+    """The shared per-service registry used when no server owns one."""
+    with _DEFAULT_REGISTRIES_LOCK:
+        registry = _DEFAULT_REGISTRIES.get(service)
+        if registry is None:
+            registry = SessionRegistry(service)
+            _DEFAULT_REGISTRIES[service] = registry
+        return registry
+
+
 class FrameDispatcher:
     """Per-connection protocol state machine (transport-agnostic).
 
     Feed it decoded frame payloads; it answers with reply payloads.  The
-    first frame must be a ``hello``; the dispatcher then owns one service
+    first frame must be a ``hello`` (new session) or an ``attach``
+    (resume by token); the dispatcher is then bound to one service
     session for the rest of the connection.  ``closed`` turns true when
     the peer said ``bye`` or a fatal handshake error occurred.
+
+    ``push`` is the server-push channel: when set, the dispatcher
+    subscribes the connection to the session's job events, and every
+    event is handed to ``push`` (which must be safe to call from worker
+    threads and may interleave with replies).  Call :meth:`close` when
+    the connection ends -- it unsubscribes the push channel and detaches
+    (not destroys) the session.
     """
 
-    def __init__(self, service: ComponentService, client_label: str = ""):
+    def __init__(
+        self,
+        service: ComponentService,
+        client_label: str = "",
+        registry: Optional[SessionRegistry] = None,
+        push: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ):
         self.service = service
         self.client_label = client_label
+        self.registry = registry if registry is not None else default_registry(service)
+        self.push = push
         self.session: Optional[Session] = None
+        self.session_token: str = ""
         self.closed = False
+        self._subscription: Optional[int] = None
 
     # ----------------------------------------------------------------- frames
 
@@ -88,12 +239,17 @@ class FrameDispatcher:
         frame_type = payload.get("type")
         if frame_type == FRAME_HELLO:
             return self._hello(payload)
+        if frame_type == FRAME_ATTACH:
+            return self._attach(payload)
         if self.session is None:
             self.closed = True
             return error_payload(
                 IcdbErrorInfo(
                     code=E_PROTOCOL,
-                    message="the first frame of a connection must be 'hello'",
+                    message=(
+                        "the first frame of a connection must be "
+                        "'hello' or 'attach'"
+                    ),
                 )
             )
         if frame_type == FRAME_REQUEST:
@@ -112,6 +268,49 @@ class FrameDispatcher:
             )
         )
 
+    def close(self) -> None:
+        """The connection ended: stop pushes, detach (keep) the session."""
+        if self._subscription is not None:
+            self.service.jobs.unsubscribe(self._subscription)
+            self._subscription = None
+        if self.session is not None and self.session_token:
+            self.registry.detach(self.session_token)
+
+    # -------------------------------------------------------------- handshake
+
+    def _check_protocol(self, protocol: int) -> Optional[Dict[str, Any]]:
+        if protocol != PROTOCOL_VERSION:
+            self.closed = True
+            return error_payload(
+                IcdbErrorInfo(
+                    code=E_PROTOCOL,
+                    message=(
+                        f"unsupported protocol version {protocol}; "
+                        f"server speaks {PROTOCOL_VERSION}"
+                    ),
+                )
+            )
+        return None
+
+    def _bind(self, session: Session, token: str) -> Dict[str, Any]:
+        self.session = session
+        self.session_token = token
+        if self.push is not None:
+            self._subscription = self.service.jobs.subscribe(
+                session.session_id, self._push_event
+            )
+        return Welcome(
+            protocol=PROTOCOL_VERSION,
+            session_id=session.session_id,
+            server=SERVER_NAME,
+            session_token=token,
+        ).to_dict()
+
+    def _push_event(self, event: Dict[str, Any]) -> None:
+        push = self.push
+        if push is not None and not self.closed:
+            push({"type": FRAME_JOB_EVENT, "event": event})
+
     def _hello(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         if self.session is not None:
             return error_payload(
@@ -122,25 +321,42 @@ class FrameDispatcher:
         except IcdbError as exc:
             self.closed = True
             return error_payload(error_from_exception(exc))
-        if hello.protocol != PROTOCOL_VERSION:
-            self.closed = True
-            return error_payload(
-                IcdbErrorInfo(
-                    code=E_PROTOCOL,
-                    message=(
-                        f"unsupported protocol version {hello.protocol}; "
-                        f"server speaks {PROTOCOL_VERSION}"
-                    ),
-                )
+        rejection = self._check_protocol(hello.protocol)
+        if rejection is not None:
+            return rejection
+        try:
+            session, token = self.registry.create(
+                client=hello.client or self.client_label
             )
-        self.session = self.service.create_session(
-            client=hello.client or self.client_label
-        )
-        return Welcome(
-            protocol=PROTOCOL_VERSION,
-            session_id=self.session.session_id,
-            server=SERVER_NAME,
-        ).to_dict()
+        except IcdbError as exc:
+            # At the session cap the connection survives: the client may
+            # retry the handshake after a backoff or attach instead.
+            return error_payload(error_from_exception(exc))
+        return self._bind(session, token)
+
+    def _attach(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if self.session is not None:
+            return error_payload(
+                IcdbErrorInfo(code=E_PROTOCOL, message="duplicate handshake")
+            )
+        try:
+            attach = AttachSession.from_dict(payload)
+        except IcdbError as exc:
+            self.closed = True
+            return error_payload(error_from_exception(exc))
+        rejection = self._check_protocol(attach.protocol)
+        if rejection is not None:
+            return rejection
+        try:
+            session = self.registry.attach(attach.token)
+        except IcdbError as exc:
+            # A bad token is fatal for the handshake but informative: the
+            # client is told the session is gone before the close.
+            self.closed = True
+            return error_payload(error_from_exception(exc))
+        return self._bind(session, attach.token)
+
+    # ---------------------------------------------------------------- requests
 
     def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         assert self.session is not None
@@ -159,8 +375,37 @@ class FrameDispatcher:
                 else "",
             )
         else:
-            response = self.service.execute(request, self.session)
+            response = self._execute(request)
         return {"type": FRAME_RESPONSE, "response": response.to_dict()}
+
+    def _execute(self, request) -> Response:
+        assert self.session is not None
+        if request.kind in JOB_CONTROL_KINDS:
+            # Job control runs inline on the connection thread: a waiting
+            # job_status must never occupy (or queue behind) a job worker.
+            return self.service.execute(request, self.session)
+        if not self.service.jobs.session_has_work(self.session.session_id):
+            # The session has nothing queued or running, so "behind the
+            # session's jobs" is *now*: execute directly on the connection
+            # thread.  This keeps cheap queries off the worker pool (no
+            # cross-session head-of-line blocking behind slow generations)
+            # while producing the byte-identical envelope.  A concurrent
+            # submit on another connection of the same session can race
+            # this check, but ordering between concurrent connections is
+            # undefined anyway.
+            return self.service.execute(request, self.session)
+        try:
+            # The session has jobs in flight: go submit+wait over the job
+            # scheduler -- the same path its asynchronous jobs take, which
+            # is what keeps one session's traffic FIFO with its jobs.
+            return self.service.jobs.run_sync(request, self.session)
+        except Exception as exc:  # noqa: BLE001 - queue-full / shutdown
+            return Response(
+                ok=False,
+                error=error_from_exception(exc),
+                session_id=self.session.session_id,
+                request_kind=request.kind,
+            )
 
     # ------------------------------------------------------------------- meta
 
@@ -186,6 +431,10 @@ class FrameDispatcher:
             return str(args.get("name", "")) in instances
         if op == "cache_stats":
             return self.service.cache.stats()
+        if op == "job_stats":
+            return self.service.jobs.stats()
+        if op == "session_token":
+            return self.session_token
         if op == "summary":
             return self.service.summary()
         if op == "materialize":
@@ -212,11 +461,15 @@ class ICDBServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        max_sessions: int = 0,
     ):
         self.service = service or ComponentService()
         self.host = host
         self.port = port
         self.max_frame_bytes = max_frame_bytes
+        #: Sessions outlive connections; the registry owns them (bounded
+        #: by ``max_sessions``, 0 = unlimited) and resolves attach tokens.
+        self.sessions = SessionRegistry(self.service, max_sessions=max_sessions)
         self.connections_served = 0
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -256,9 +509,16 @@ class ICDBServer:
         self._stopped.wait()
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Graceful shutdown: stop accepting, close live connections."""
+        """Graceful shutdown: stop accepting, close live connections.
+
+        ``timeout`` is the *overall* drain budget, not per thread: a
+        handler blocked inside a long job wait (daemon thread; socket
+        closure cannot interrupt a condition wait) is abandoned once the
+        deadline passes instead of stalling the shutdown further.
+        """
         if self._listener is None:
             return
+        deadline = time.monotonic() + timeout
         self._stopping.set()
         try:
             self._listener.close()
@@ -276,12 +536,12 @@ class ICDBServer:
             except OSError:
                 pass
         if self._accept_thread is not None:
-            self._accept_thread.join(timeout)
+            self._accept_thread.join(max(0.0, deadline - time.monotonic()))
         with self._live_lock:
             handlers = list(self._threads)
             self._threads = []
         for thread in handlers:
-            thread.join(timeout)
+            thread.join(max(0.0, deadline - time.monotonic()))
         self._listener = None
         self._accept_thread = None
         self._stopped.set()
@@ -324,8 +584,26 @@ class ICDBServer:
             self._live.add(conn)
             self.connections_served += 1
         stream = FrameStream(conn, self.max_frame_bytes)
+        # Job workers push job_event frames between replies; one lock per
+        # connection keeps pushed frames and replies from interleaving
+        # mid-frame on the wire.
+        send_lock = threading.Lock()
+
+        def locked_send(payload: Dict[str, Any]) -> None:
+            with send_lock:
+                stream.send(payload)
+
+        def push(payload: Dict[str, Any]) -> None:
+            try:
+                locked_send(payload)
+            except (ProtocolError, OSError):
+                pass  # connection is going away; close() unsubscribes
+
         dispatcher = FrameDispatcher(
-            self.service, client_label=f"{addr[0]}:{addr[1]}"
+            self.service,
+            client_label=f"{addr[0]}:{addr[1]}",
+            registry=self.sessions,
+            push=push,
         )
         try:
             while not self._stopping.is_set():
@@ -336,7 +614,7 @@ class ICDBServer:
                     # after a malformed or oversized frame the stream
                     # position is unreliable.
                     try:
-                        stream.send(error_payload(error_from_exception(exc)))
+                        locked_send(error_payload(error_from_exception(exc)))
                     except OSError:
                         pass
                     break
@@ -346,13 +624,13 @@ class ICDBServer:
                     break  # clean disconnect
                 reply = dispatcher.dispatch(payload)
                 try:
-                    stream.send(reply)
+                    locked_send(reply)
                 except ProtocolError as exc:
                     # The reply itself did not fit the frame limit.  Nothing
                     # was written (encoding fails before any bytes go out),
                     # so the stream is intact: report and keep serving.
                     try:
-                        stream.send(error_payload(error_from_exception(exc)))
+                        locked_send(error_payload(error_from_exception(exc)))
                     except OSError:
                         break
                 except OSError:
@@ -360,6 +638,7 @@ class ICDBServer:
                 if dispatcher.closed:
                     break
         finally:
+            dispatcher.close()  # stop pushes, detach (not destroy) the session
             with self._live_lock:
                 self._live.discard(conn)
             stream.close()
@@ -370,11 +649,38 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     max_frame_bytes: int = MAX_FRAME_BYTES,
+    max_sessions: int = 0,
 ) -> ICDBServer:
     """Start an :class:`ICDBServer` and return it (already listening)."""
     return ICDBServer(
-        service=service, host=host, port=port, max_frame_bytes=max_frame_bytes
+        service=service,
+        host=host,
+        port=port,
+        max_frame_bytes=max_frame_bytes,
+        max_sessions=max_sessions,
     ).start()
+
+
+def _positive_int(value: str) -> int:
+    """argparse type: an integer >= 1."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"expected a value >= 1, got {parsed}")
+    return parsed
+
+
+def _non_negative_int(value: str) -> int:
+    """argparse type: an integer >= 0 (0 = unlimited)."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"expected a value >= 0, got {parsed}")
+    return parsed
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -396,14 +702,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=MAX_FRAME_BYTES,
         help="per-frame payload size limit",
     )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="job worker pool size (>= 1; default 4)",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=_non_negative_int,
+        default=0,
+        help="ceiling on live sessions (>= 0; 0 = unlimited)",
+    )
     args = parser.parse_args(argv)
 
-    service = ComponentService(store_root=args.store_root)
+    service = ComponentService(store_root=args.store_root, job_workers=args.workers)
     server = serve(
         service=service,
         host=args.host,
         port=args.port,
         max_frame_bytes=args.max_frame_bytes,
+        max_sessions=args.max_sessions,
     )
     print(f"icdb server listening on {server.host}:{server.port}", flush=True)
 

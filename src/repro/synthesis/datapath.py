@@ -42,6 +42,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 IcdbClient = Union[ICDB, Session, "RemoteClient"]
 
 
+def _generate_components(
+    icdb: IcdbClient,
+    specs: Sequence[Tuple[str, Dict[str, object]]],
+    parallel: bool = False,
+) -> Dict[str, ComponentInstance]:
+    """Generate the named component specs, optionally as concurrent jobs.
+
+    ``specs`` is an ordered ``(key, request_component kwargs)`` list; every
+    spec must carry an explicit ``instance_name`` so the result is
+    identical whichever path runs.  With ``parallel`` and a client that
+    exposes ``submit_component`` (sessions and remote clients -- the
+    legacy facade falls back to sequential calls), all specs are submitted
+    to the job scheduler first and collected in order afterwards, so
+    independent generations overlap while the answer dict keeps the spec
+    order.
+    """
+    submit = getattr(icdb, "submit_component", None) if parallel else None
+    if submit is None:
+        return {key: icdb.request_component(**kwargs) for key, kwargs in specs}
+    handles = [(key, submit(**kwargs)) for key, kwargs in specs]
+    return {key: handle.instance() for key, handle in handles}
+
+
 class DatapathError(RuntimeError):
     """Raised when a microarchitecture cannot be assembled."""
 
@@ -150,8 +173,14 @@ def build_datapath(
     width: int = 8,
     name: Optional[str] = None,
     constraints: Optional[Constraints] = None,
+    parallel: bool = False,
 ) -> Datapath:
-    """Assemble the microarchitecture for a scheduled, allocated DFG."""
+    """Assemble the microarchitecture for a scheduled, allocated DFG.
+
+    With ``parallel`` (and a job-capable client) the independent register
+    and multiplexer generations are submitted as concurrent jobs and
+    collected in order -- same instances, overlapped generation time.
+    """
     dfg = schedule.dfg
     datapath_name = name or f"{dfg.name}_datapath"
     structure = StructuralNetlist(
@@ -168,35 +197,55 @@ def build_datapath(
         }
         structure.add(unit.name, unit.instance.name, {**operand_nets, "O0": f"{unit.name}_out"})
 
-    # Registers for values that live across control steps (and the outputs).
+    # Registers for values that live across control steps (and the
+    # outputs), plus a multiplexer in front of every functional unit that
+    # serves more than one operation (operand steering).  All of these
+    # generations are independent, so they fan out as concurrent jobs on
+    # the parallel path; names are allocated up front either way, keeping
+    # the result identical.
     lifetimes = storage_requirements(schedule)
+    specs: List[Tuple[str, Dict[str, object]]] = []
     for value, (produced, last_use) in sorted(lifetimes.items()):
-        register = icdb.request_component(
-            component_name="Register",
-            functions=["STORAGE"],
-            attributes={"size": width},
-            constraints=constraints,
-            instance_name=icdb.instances.new_name(f"reg_{value}"),
+        specs.append(
+            (
+                f"reg_{value}",
+                dict(
+                    component_name="Register",
+                    functions=["STORAGE"],
+                    attributes={"size": width},
+                    constraints=constraints,
+                    instance_name=icdb.instances.new_name(f"reg_{value}"),
+                ),
+            )
         )
+    shared_units = [
+        unit for unit in allocation.units if len(unit.bound_operations) > 1
+    ]
+    for unit in shared_units:
+        specs.append(
+            (
+                f"mux_{unit.name}",
+                dict(
+                    component_name="Mux_scl",
+                    functions=["MUX_SCL"],
+                    attributes={"size": width},
+                    constraints=constraints,
+                    instance_name=icdb.instances.new_name(f"mux_{unit.name}"),
+                ),
+            )
+        )
+    generated = _generate_components(icdb, specs, parallel=parallel)
+
+    for value, (produced, last_use) in sorted(lifetimes.items()):
+        register = generated[f"reg_{value}"]
         datapath.registers.append(register)
         structure.add(
             f"reg_{value}",
             register.name,
             {"I": value, "Q": f"{value}_q", "CLK": "CLK", "LOAD": f"load_{value}"},
         )
-
-    # A multiplexer in front of every functional unit that serves more than
-    # one operation (operand steering).
-    for unit in allocation.units:
-        if len(unit.bound_operations) <= 1:
-            continue
-        mux = icdb.request_component(
-            component_name="Mux_scl",
-            functions=["MUX_SCL"],
-            attributes={"size": width},
-            constraints=constraints,
-            instance_name=icdb.instances.new_name(f"mux_{unit.name}"),
-        )
+    for unit in shared_units:
+        mux = generated[f"mux_{unit.name}"]
         datapath.multiplexers.append(mux)
         structure.add(
             f"mux_{unit.name}",
@@ -265,33 +314,61 @@ def build_simple_computer(
     icdb: IcdbClient,
     width: int = 8,
     constraints: Optional[Constraints] = None,
+    parallel: bool = False,
 ) -> SimpleComputer:
-    """Generate the components of the Figure 13 simple computer."""
+    """Generate the components of the Figure 13 simple computer.
+
+    With ``parallel`` (and a job-capable client) the five datapath parts
+    are submitted as concurrent jobs; instance names are pre-allocated, so
+    the resulting computer is identical to the sequential build.
+    """
     constraints = constraints or Constraints()
-    parts: Dict[str, ComponentInstance] = {}
-    parts["alu"] = icdb.request_component(
-        implementation="alu", attributes={"size": width}, constraints=constraints,
-        instance_name=icdb.instances.new_name("cpu_alu"),
-    )
-    parts["accumulator"] = icdb.request_component(
-        implementation="register", attributes={"size": width}, constraints=constraints,
-        instance_name=icdb.instances.new_name("cpu_acc"),
-    )
-    parts["operand_register"] = icdb.request_component(
-        implementation="register", attributes={"size": width}, constraints=constraints,
-        instance_name=icdb.instances.new_name("cpu_opreg"),
-    )
-    parts["program_counter"] = icdb.request_component(
-        implementation="counter",
-        parameters=counter_parameters(size=width, style=TYPE_SYNCHRONOUS, load=True,
-                                      enable=True, up_or_down=UP_ONLY),
-        constraints=constraints,
-        instance_name=icdb.instances.new_name("cpu_pc"),
-    )
-    parts["operand_mux"] = icdb.request_component(
-        implementation="mux2", attributes={"size": width}, constraints=constraints,
-        instance_name=icdb.instances.new_name("cpu_mux"),
-    )
+    specs = [
+        (
+            "alu",
+            dict(
+                implementation="alu", attributes={"size": width},
+                constraints=constraints,
+                instance_name=icdb.instances.new_name("cpu_alu"),
+            ),
+        ),
+        (
+            "accumulator",
+            dict(
+                implementation="register", attributes={"size": width},
+                constraints=constraints,
+                instance_name=icdb.instances.new_name("cpu_acc"),
+            ),
+        ),
+        (
+            "operand_register",
+            dict(
+                implementation="register", attributes={"size": width},
+                constraints=constraints,
+                instance_name=icdb.instances.new_name("cpu_opreg"),
+            ),
+        ),
+        (
+            "program_counter",
+            dict(
+                implementation="counter",
+                parameters=counter_parameters(size=width, style=TYPE_SYNCHRONOUS,
+                                              load=True, enable=True,
+                                              up_or_down=UP_ONLY),
+                constraints=constraints,
+                instance_name=icdb.instances.new_name("cpu_pc"),
+            ),
+        ),
+        (
+            "operand_mux",
+            dict(
+                implementation="mux2", attributes={"size": width},
+                constraints=constraints,
+                instance_name=icdb.instances.new_name("cpu_mux"),
+            ),
+        ),
+    ]
+    parts = _generate_components(icdb, specs, parallel=parallel)
     control = generate_control_logic(
         icdb, "cpu_control", steps=8, command_bits=12, constraints=constraints
     )

@@ -1,0 +1,48 @@
+"""Slow-generator helpers for the job scheduler / cancellation tests.
+
+Lives outside ``conftest.py`` under a unique module name: both ``tests/``
+and ``benchmarks/`` carry a ``conftest`` and a bare ``import conftest``
+resolves to whichever was loaded first in a whole-repo pytest run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import ComponentService
+from repro.components import standard_catalog
+from repro.core.generation import EmbeddedGenerator
+from repro.core.progress import checkpoint
+
+
+def make_slow_generator(cell_library=None, delay=0.3, slices=6):
+    """An :class:`EmbeddedGenerator` that simulates the paper's *external*
+    generator tools: before the real flow it sleeps in slices, hitting a
+    cooperative checkpoint between every slice.
+
+    The sleep releases the GIL (exactly like waiting on an external MILO /
+    LES process would), so concurrent jobs genuinely overlap on one core,
+    and cancellation tests get a wide, responsive window.
+    """
+
+    class SlowToolGenerator(EmbeddedGenerator):
+        def run_flow(self, flat, constraints, target):
+            for index in range(slices):
+                checkpoint("external_tool", 0.05 + 0.5 * index / slices)
+                time.sleep(delay / slices)
+            return super().run_flow(flat, constraints, target)
+
+    return SlowToolGenerator(cell_library)
+
+
+def make_slow_service(store_root, delay=0.3, slices=6, job_workers=None):
+    """A fresh service whose generator sleeps like an external tool."""
+    service = ComponentService(
+        catalog=standard_catalog(fresh=True),
+        store_root=store_root,
+        job_workers=job_workers,
+    )
+    service.generator = make_slow_generator(
+        service.cell_library, delay=delay, slices=slices
+    )
+    return service

@@ -18,17 +18,24 @@ import pytest
 
 from repro.api import (
     BatchRequest,
+    CancelJob,
     ComponentQuery,
     ComponentRequest,
     ComponentService,
     DESIGN_OPS,
     DesignOp,
+    ERROR_CODES,
     FunctionQuery,
     IcdbErrorInfo,
     InstanceQuery,
+    JOB_CONTROL_KINDS,
+    JOB_STATES,
+    JobEvent,
+    JobStatus,
     LayoutRequest,
     REQUEST_TYPES,
     Response,
+    SubmitJob,
     request_from_dict,
 )
 from repro.components import standard_catalog
@@ -166,16 +173,52 @@ GENERATORS = {
     "design_op": _design_op,
 }
 
+#: Kinds a batch (and a submitted job) may wrap: everything but batches
+#: themselves and the job-control requests.
+_WRAPPABLE_KINDS = tuple(GENERATORS)
+
 
 def _batch(rng: random.Random) -> BatchRequest:
-    inner_kinds = [kind for kind in GENERATORS if kind != "batch"]
     members = tuple(
-        GENERATORS[rng.choice(inner_kinds)](rng) for _ in range(rng.randint(0, 4))
+        GENERATORS[rng.choice(_WRAPPABLE_KINDS)](rng)
+        for _ in range(rng.randint(0, 4))
     )
     return BatchRequest(requests=members, repeat=rng.randint(1, 4))
 
 
 GENERATORS["batch"] = _batch
+
+
+def _submit_job(rng: random.Random) -> SubmitJob:
+    inner_kind = rng.choice(_WRAPPABLE_KINDS + ("batch",))
+    return SubmitJob(
+        request=GENERATORS[inner_kind](rng),
+        label=_maybe(rng, lambda: _name(rng, "job_")) or "",
+    )
+
+
+def _job_status(rng: random.Random) -> JobStatus:
+    # wait=True only ever pairs with a short timeout so the live-service
+    # fuzz below can execute any generated request without hanging.
+    wait = rng.random() < 0.3
+    return JobStatus(
+        job_id=_name(rng, "job-"),
+        wait=wait,
+        timeout_ms=round(rng.uniform(1, 50), 2) if wait else _maybe(
+            rng, lambda: round(rng.uniform(1, 1000), 2)
+        ),
+        include_events=rng.random() < 0.5,
+        events_since=rng.randint(0, 20),
+    )
+
+
+def _cancel_job(rng: random.Random) -> CancelJob:
+    return CancelJob(job_id=_name(rng, "job-"))
+
+
+GENERATORS["submit_job"] = _submit_job
+GENERATORS["job_status"] = _job_status
+GENERATORS["cancel_job"] = _cancel_job
 
 
 def test_generators_cover_every_registered_kind():
@@ -205,8 +248,10 @@ def test_randomized_responses_survive_json_round_trip():
             ),
             error=_maybe(
                 rng,
+                # Every structured code -- including the job-era CANCELLED,
+                # TIMEOUT and BUSY -- must survive the wire round trip.
                 lambda: IcdbErrorInfo(
-                    code=rng.choice(["BAD_REQUEST", "NOT_FOUND", "INTERNAL"]),
+                    code=rng.choice(ERROR_CODES),
                     message=_name(rng),
                     exception_type=_name(rng),
                 ),
@@ -218,6 +263,41 @@ def test_randomized_responses_survive_json_round_trip():
         )
         rebuilt = Response.from_dict(json.loads(json.dumps(response.to_dict())))
         assert rebuilt == response
+
+
+def test_randomized_job_events_survive_json_round_trip():
+    rng = random.Random(SEED ^ 0xE7E)
+    for _ in range(ROUNDS):
+        event = JobEvent(
+            job_id=_name(rng, "job-"),
+            seq=rng.randint(1, 500),
+            state=rng.choice(JOB_STATES),
+            stage=rng.choice(["", "synthesize", "size", "estimate", "layout"]),
+            progress=round(rng.uniform(0.0, 1.0), 4),
+            message=_name(rng),
+            timestamp=round(rng.uniform(1e9, 2e9), 3),
+        )
+        rebuilt = JobEvent.from_dict(json.loads(json.dumps(event.to_dict())))
+        assert rebuilt == event
+
+
+def test_new_error_codes_round_trip_and_are_registered():
+    for code in ("CANCELLED", "TIMEOUT", "BUSY"):
+        assert code in ERROR_CODES
+        info = IcdbErrorInfo(code=code, message="m", exception_type="IcdbError")
+        assert IcdbErrorInfo.from_dict(json.loads(json.dumps(info.to_dict()))) == info
+
+
+def test_job_control_is_rejected_inside_batches_and_jobs():
+    with pytest.raises(IcdbError) as excinfo:
+        BatchRequest(requests=(JobStatus(job_id="job-1"),))
+    assert excinfo.value.code == "BAD_REQUEST"
+    with pytest.raises(IcdbError):
+        SubmitJob(request=CancelJob(job_id="job-1"))
+    with pytest.raises(IcdbError):
+        SubmitJob(request=None)
+    with pytest.raises(IcdbError):
+        request_from_dict({"kind": "submit_job", "label": "no inner request"})
 
 
 def test_unknown_fields_are_ignored_not_fatal():
@@ -263,7 +343,10 @@ def test_random_request_dicts_never_crash_the_dispatcher(fuzz_service):
     be a response or error frame, never an exception."""
     rng = random.Random(SEED + 1)
     dispatcher = FrameDispatcher(fuzz_service, client_label="fuzz")
-    assert dispatcher.dispatch({"type": "hello", "protocol": 1})["type"] == "welcome"
+    from repro.api import PROTOCOL_VERSION
+
+    hello = dispatcher.dispatch({"type": "hello", "protocol": PROTOCOL_VERSION})
+    assert hello["type"] == "welcome" and hello["session_token"]
 
     def random_value(depth=0):
         choices = [
@@ -303,7 +386,8 @@ def test_executing_random_valid_requests_never_raises(fuzz_service):
     session = fuzz_service.create_session()
     for _ in range(80):
         kind = rng.choice(["component_query", "function_query", "instance_query",
-                           "request_layout", "design_op"])
+                           "request_layout", "design_op",
+                           "job_status", "cancel_job"])
         request = GENERATORS[kind](rng)
         response = fuzz_service.execute(request, session)
         assert response.ok or response.error is not None

@@ -79,6 +79,9 @@ def test_registry_covers_every_cql_operation():
         "request_layout",
         "design_op",
         "batch",
+        "submit_job",
+        "job_status",
+        "cancel_job",
     }
 
 

@@ -16,6 +16,7 @@ properties the shared-state design guarantees:
 from __future__ import annotations
 
 import threading
+import time
 from collections import Counter
 
 import pytest
@@ -129,6 +130,8 @@ def test_sixteen_clients_mixed_traffic(stress_server):
     # --- cache-hit accounting is consistent under races --------------------
     stats = service.cache.stats()
     assert stats["hits"] + stats["misses"] == stats["lookups"]
+    assert stats["entries"] <= stats["stores"]
+    assert stats["entries"] == stats["stores"] - stats["evictions"]
     cached_responses = sum(1 for cached, _ in all_records if cached)
     assert stats["hits"] == cached_responses
     # Per signature lane at least one generation ran uncached-by-miss; the
@@ -169,3 +172,106 @@ def test_materialize_races_with_deletion(tmp_path):
     assert not service._pending_artifacts or set(
         service._pending_artifacts
     ) <= {template.name}
+
+
+# ---------------------------------------------------------------------------
+# Jobs under adversity: disconnects and cancellations
+# ---------------------------------------------------------------------------
+
+
+def _assert_store_and_db_consistent(service, store_baseline=()):
+    """Registry, database and file store agree; accounting invariants hold.
+
+    ``store_baseline`` names store entries that predate the scenario (the
+    knowledge server persists catalog descriptions at startup).
+    """
+    registered = set(service.instances.names())
+    instances_table = service.database.table("instances")
+    assert {row["name"] for row in instances_table.select()} == registered
+    # Every artifact directory added by the scenario belongs to a
+    # registered instance or to a lazily pending one -- never to a deleted
+    # or cancelled job.
+    pending = set(service._pending_artifacts)
+    for name in set(service.store.instances()) - set(store_baseline):
+        assert name in registered or name in pending, f"orphan artifacts: {name}"
+    # DESIGN_FILES rows only reference registered instances.
+    for row in service.database.table("design_files").select():
+        assert row["instance"] in registered
+    stats = service.cache.stats()
+    assert stats["hits"] + stats["misses"] == stats["lookups"]
+    assert stats["entries"] == stats["stores"] - stats["evictions"]
+
+
+def test_disconnect_mid_job_leaves_no_orphans_and_results_survive(tmp_path):
+    """A connection killed with a job in flight must neither corrupt the
+    store nor lose the job: the session is resumable and the result is
+    intact, with all accounting invariants holding."""
+    from jobs_testlib import make_slow_service
+
+    from repro.net.client import attach
+
+    service = make_slow_service(tmp_path / "dmj", delay=0.5)
+    store_baseline = set(service.store.instances())
+    server = serve(service=service, port=0)
+    try:
+        client = connect(server.host, server.port, client="victim")
+        token = client.session_token
+        handle = client.submit_component(
+            implementation="register", attributes={"size": 6}, use_cache=False
+        )
+        # Kill the socket while the job is queued or running -- no bye.
+        client.transport.close()
+
+        resumed = attach(server.host, server.port, token)
+        summary = resumed.job_handle(handle.job_id).result(timeout=60)
+        name = summary["instance"]
+        assert name in service.instances
+        _assert_store_and_db_consistent(service, store_baseline)
+        resumed.close()
+    finally:
+        server.stop()
+        service.jobs.shutdown()
+
+
+def test_cancel_mid_generation_leaves_no_orphans(tmp_path):
+    """Cancelling a running generation frees the worker and leaves nothing:
+    no registered instance, no database rows, no files, no cache entry."""
+    from jobs_testlib import make_slow_service
+
+    service = make_slow_service(tmp_path / "cmg", delay=1.5, job_workers=1)
+    session = service.create_session()
+    before_cache = service.cache.stats()
+    before_names = set(service.instances.names())
+    store_baseline = set(service.store.instances())
+
+    handle = session.submit(
+        ComponentRequest(
+            implementation="alu", attributes={"size": 6}, use_cache=False
+        )
+    )
+    deadline = time.time() + 30
+    while handle.status()["state"] == "queued":
+        assert time.time() < deadline
+        time.sleep(0.005)
+    handle.cancel()
+    final = handle.wait(60)
+    assert final["state"] == "cancelled"
+    response = handle.response()
+    assert not response.ok and response.error.code == "CANCELLED"
+
+    # No orphan state anywhere: the generation unwound before registration.
+    assert set(service.instances.names()) == before_names
+    assert service.database.table("instances").select() == []
+    assert service.database.table("design_files").select() == []
+    assert set(service.store.instances()) == store_baseline
+    after_cache = service.cache.stats()
+    assert after_cache["stores"] == before_cache["stores"]
+    assert after_cache["entries"] == before_cache["entries"]
+    _assert_store_and_db_consistent(service, store_baseline)
+
+    # The worker slot is free: the next job completes promptly.
+    follow_up = session.submit(
+        ComponentRequest(implementation="mux2", attributes={"size": 2})
+    )
+    assert follow_up.result(timeout=60)["instance"]
+    service.jobs.shutdown()
