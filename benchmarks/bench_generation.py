@@ -1,0 +1,236 @@
+"""Cold-path generation throughput: the uncached ``request_component`` flow.
+
+PRs 1-3 made *cached* requests fast; this PR rebuilt the generation core
+itself -- hash-consed expression IR, integer Quine-McCluskey, stage-level
+memoization (``GenerationCache``) and common-slice reuse -- so the path
+that actually runs the paper's Figure-8 flow keeps up with heavy traffic.
+Three workloads are measured, all with ``use_cache=False`` (the instance
+result cache bypassed, exactly how the seed's 7.6 req/s baseline in
+``BENCH_net_throughput.json`` was taken):
+
+* **cold.single_rps** -- a fresh :class:`GenerationCache` is installed
+  before every request: the true first-ever-request rate, sped up only by
+  the IR / minimizer / estimator work (plus intra-component slice reuse);
+* **uncached.single_rps** -- one TCP client repeating the request with the
+  generation cache warm: every request still builds, registers and
+  persists a full new instance, but shares the expansion / synthesis /
+  estimate stages.  Asserted >= 5x the seed baseline;
+* **uncached.pipelined_rps** -- 8 pipelined TCP clients, one batch frame
+  per round: cold requests now share stage work *across sessions*, so the
+  pipelined aggregate holds the same floor (per-request registration and
+  persistence still serialize under the service lock, so the ratio over
+  the single client is amortization, not scaling).
+
+Byte-identity is asserted alongside the numbers: a memo-served instance's
+full wire summary and VHDL netlist match a cold generation's exactly.
+
+``BENCH_GENERATION_SMOKE=1`` shrinks the request counts for CI smoke runs
+but keeps the uncached floor assertion: that floor is this benchmark's
+regression gate.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+
+from conftest import record_bench_results, run_once
+
+from repro.api import ComponentRequest, ComponentService
+from repro.api.service import instance_summary
+from repro.components import standard_catalog
+from repro.core.gencache import GenerationCache
+from repro.net import connect, serve
+
+SMOKE = os.environ.get("BENCH_GENERATION_SMOKE", "") not in ("", "0")
+
+#: The seed's uncached single-client rate (BENCH_net_throughput.json at
+#: PR 3: one full logic synthesis + sizing + estimation per request).
+SEED_UNCACHED_RPS = 7.6
+#: Acceptance floor: memo-warm uncached throughput must beat 5x the seed.
+MIN_UNCACHED_RPS = 5.0 * SEED_UNCACHED_RPS
+#: Regression guard for the true-cold path (no memo at all): the IR and
+#: minimizer work alone must keep a healthy multiple of the seed.
+MIN_COLD_RPS = 2.0 * SEED_UNCACHED_RPS
+
+CLIENTS = 8
+COLD_REQUESTS = 3 if SMOKE else 12
+SINGLE_UNCACHED = 20 if SMOKE else 150
+PIPE_REPEAT = 4 if SMOKE else 24
+PIPE_ROUNDS = 1 if SMOKE else 3
+BEST_OF = 1 if SMOKE else 3
+
+
+def _request(detail: str = "full") -> ComponentRequest:
+    return ComponentRequest(
+        implementation="alu", attributes={"size": 8}, use_cache=False, detail=detail
+    )
+
+
+def _fresh_service(tmp_path, tag: str) -> ComponentService:
+    return ComponentService(
+        catalog=standard_catalog(fresh=True), store_root=tmp_path / tag
+    )
+
+
+def _best_of(measure, rounds: int) -> float:
+    best = 0.0
+    for _ in range(rounds):
+        gc.collect()
+        gc.disable()
+        try:
+            best = max(best, measure())
+        finally:
+            gc.enable()
+    return best
+
+
+def test_bench_cold_generation(benchmark, tmp_path):
+    """True-cold generations: a fresh stage memo before every request."""
+    service = _fresh_service(tmp_path, "cold")
+    session = service.create_session()
+
+    def measure() -> float:
+        start = time.perf_counter()
+        for _ in range(COLD_REQUESTS):
+            service.generator.generation_cache = GenerationCache()
+            response = session.execute(_request())
+            assert response.ok and not response.cached
+        return COLD_REQUESTS / (time.perf_counter() - start)
+
+    rps = run_once(benchmark, lambda: _best_of(measure, BEST_OF))
+    print()
+    print(f"cold generation, single requester:   {rps:>8.1f} req/s "
+          f"({rps / SEED_UNCACHED_RPS:.1f}x seed)")
+    payload = {"single_rps": round(rps, 1), "speedup_vs_seed": round(rps / SEED_UNCACHED_RPS, 2)}
+    benchmark.extra_info["measured"] = payload
+    # Smoke runs record to a side file (uncommitted) so CI artifacts carry
+    # the run's own numbers instead of the checked-in full-mode results.
+    record_bench_results("generation_smoke" if SMOKE else "generation", "cold", payload)
+    assert rps >= MIN_COLD_RPS
+
+
+def test_bench_uncached_throughput(benchmark, tmp_path):
+    """Memo-warm uncached traffic, single and pipelined, over real TCP."""
+    service = _fresh_service(tmp_path, "uncached")
+    server = serve(service=service, port=0)
+    try:
+        # One cold request warms the stage memo (and checks identity below).
+        warm_client = connect(server.host, server.port, client="bench-warm")
+        warm_client.execute(_request())
+        warm_client.close()
+
+        def measure_single() -> float:
+            client = connect(server.host, server.port, client="bench-single")
+            try:
+                start = time.perf_counter()
+                for _ in range(SINGLE_UNCACHED):
+                    response = client.execute(_request())
+                    assert response.ok
+                return SINGLE_UNCACHED / (time.perf_counter() - start)
+            finally:
+                client.close()
+
+        def measure_pipelined() -> float:
+            clients = [
+                connect(server.host, server.port, client=f"bench-pipe-{i}")
+                for i in range(CLIENTS)
+            ]
+            counts = [0] * CLIENTS
+
+            def worker(index: int) -> None:
+                done = 0
+                for _ in range(PIPE_ROUNDS):
+                    responses = clients[index].execute_batch(
+                        [_request("summary")], repeat=PIPE_REPEAT
+                    )
+                    done += sum(1 for r in responses if r.ok)
+                counts[index] = done
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(CLIENTS)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            for client in clients:
+                client.close()
+            total = sum(counts)
+            assert total == CLIENTS * PIPE_ROUNDS * PIPE_REPEAT
+            return total / elapsed
+
+        def measure():
+            return {
+                "single_rps": _best_of(measure_single, BEST_OF),
+                "pipelined_rps": _best_of(measure_pipelined, BEST_OF),
+            }
+
+        rates = run_once(benchmark, measure)
+    finally:
+        server.stop()
+
+    single, pipelined = rates["single_rps"], rates["pipelined_rps"]
+    speedup = pipelined / single
+    print()
+    print(f"uncached, single client:        {single:>10,.0f} req/s "
+          f"({single / SEED_UNCACHED_RPS:.0f}x seed)")
+    print(f"uncached, {CLIENTS} pipelined clients: {pipelined:>10,.0f} req/s")
+    print(f"uncached pipelining speedup:    {speedup:>10.1f}x")
+    stats = service.generation_stats()
+    payload = {
+        "single_rps": round(single, 1),
+        "pipelined_rps": round(pipelined, 1),
+        "speedup": round(speedup, 2),
+        "speedup_vs_seed": round(single / SEED_UNCACHED_RPS, 2),
+        "stage_hits": {
+            stage: stats[stage]["hits"] for stage in ("expand", "synth", "flows")
+        },
+    }
+    benchmark.extra_info["measured"] = payload
+    record_bench_results("generation_smoke" if SMOKE else "generation", "uncached", payload)
+    # The regression gate of this benchmark (kept in smoke mode: CI fails
+    # when the uncached floor is lost).
+    assert single >= MIN_UNCACHED_RPS
+    # Cold requests share stage work across sessions now: the pipelined
+    # aggregate must hold the same floor and batching must not hurt.
+    assert pipelined >= MIN_UNCACHED_RPS
+    if not SMOKE:
+        assert speedup >= 0.9
+
+
+def test_memoized_generation_is_byte_identical(tmp_path):
+    """A memo-served generation must match a true-cold one exactly."""
+    cold_session = _fresh_service(tmp_path, "identity-cold").create_session()
+    warm_service = _fresh_service(tmp_path, "identity-warm")
+    warm_session = warm_service.create_session()
+
+    cold = cold_session.request_component(
+        implementation="alu", attributes={"size": 8}, use_cache=False
+    )
+    warm_session.request_component(
+        implementation="alu", attributes={"size": 8}, use_cache=False
+    )
+    assert warm_service.generation_stats()["flows"]["hits"] == 0
+    memoized = warm_session.request_component(
+        implementation="alu", attributes={"size": 8}, use_cache=False
+    )
+    assert warm_service.generation_stats()["flows"]["hits"] == 1
+
+    cold_summary = instance_summary(cold)
+    memo_summary = instance_summary(memoized)
+    for key in cold_summary:
+        if key in ("instance", "files"):
+            continue
+        assert cold_summary[key] == memo_summary[key], key
+    # The netlists render identically (entity header aside, same bytes).
+    assert (
+        cold.vhdl_netlist().replace(cold.name, "X")
+        == memoized.vhdl_netlist().replace(memoized.name, "X")
+    )
+    assert cold.render_delay() == memoized.render_delay()
+    assert cold.render_shape() == memoized.render_shape()

@@ -57,11 +57,11 @@ def _slow_generator(cell_library):
     class ExternalToolGenerator(EmbeddedGenerator):
         """Sleeps like a subprocess wait, checkpointing between slices."""
 
-        def run_flow(self, flat, constraints, target):
+        def run_flow(self, flat, constraints, target, **kwargs):
             for index in range(TOOL_SLICES):
                 checkpoint("external_tool", 0.05 + 0.5 * index / TOOL_SLICES)
                 time.sleep(TOOL_DELAY / TOOL_SLICES)
-            return super().run_flow(flat, constraints, target)
+            return super().run_flow(flat, constraints, target, **kwargs)
 
     return ExternalToolGenerator(cell_library)
 

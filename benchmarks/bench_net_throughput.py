@@ -46,13 +46,20 @@ CLIENTS = 8
 REPEAT = 48
 #: Acceptance floor for cached pipelined speedup over the naive client.
 MIN_CACHED_SPEEDUP = 4.0
+#: Acceptance floor for *uncached* pipelined speedup.  The absolute
+#: uncached rate is bench_generation.py's gate; here the ratio is
+#: recorded so BENCH_net_throughput.json makes pipelining regressions
+#: visible, and asserted not to collapse below parity (uncached requests
+#: still register + persist a fresh instance under the service lock, so
+#: unlike the cached path the batch ratio is amortization, not scaling).
+MIN_UNCACHED_SPEEDUP = 0.9
 
 # Request counts (full mode / smoke mode).
 SINGLE_CACHED = 200 if SMOKE else 700
 PIPE_ROUNDS = 2 if SMOKE else 9
 BEST_OF = 2 if SMOKE else 4
-SINGLE_UNCACHED = 2 if SMOKE else 4
-PIPE_UNCACHED_REPEAT = 1 if SMOKE else 2
+SINGLE_UNCACHED = 8 if SMOKE else 60
+PIPE_UNCACHED_REPEAT = 2 if SMOKE else 12
 
 
 def _cached_request(detail: str = "full") -> ComponentRequest:
@@ -184,22 +191,32 @@ def test_bench_cached_throughput(benchmark, tmp_path):
         "pipelined_rps": round(rates["pipelined_rps"]),
         "speedup": round(speedup, 2),
     }
-    if not SMOKE:
-        record_bench_results(
-            "net_throughput", "cached", benchmark.extra_info["measured"]
-        )
+    record_bench_results(
+        "net_throughput_smoke" if SMOKE else "net_throughput",
+        "cached",
+        benchmark.extra_info["measured"],
+    )
     # Acceptance: pipelined batching multiplies cached aggregate throughput.
     if not SMOKE:
         assert speedup >= MIN_CACHED_SPEEDUP
 
 
 def test_bench_uncached_throughput(benchmark, tmp_path):
-    """The uncached path is bounded by the generator (one full logic
-    synthesis + sizing + estimation per request, ~100 ms of pure Python),
-    so pipelining amortizes nothing; this records the baseline the cache
-    and the wire protocol are measured against."""
+    """Uncached traffic bypasses the instance result cache, so every
+    request builds, registers and persists a fresh instance.  Since the
+    generation cache landed, the underlying flow stages (expansion,
+    synthesis, estimates) are shared across requests *and sessions*, so
+    this path both got much faster in absolute terms and finally scales
+    with pipelining -- ``speedup`` records the ratio so a regression to
+    the old flat profile is visible in BENCH_net_throughput.json."""
     server = _fresh_server(tmp_path, "uncached")
     try:
+        # One cold request up front: the stage memo is part of the steady
+        # state this benchmark characterizes (the true-cold rate is
+        # bench_generation.py's subject).
+        warm = connect(server.host, server.port, client="bench-warm-uncached")
+        warm.execute(_uncached_request())
+        warm.close()
 
         def measure():
             single = _single_client_rps(
@@ -214,16 +231,20 @@ def test_bench_uncached_throughput(benchmark, tmp_path):
     finally:
         server.stop()
 
+    speedup = rates["pipelined_rps"] / rates["single_rps"]
     print()
     print(f"uncached, single client:        {rates['single_rps']:>8.1f} req/s")
     print(f"uncached, {CLIENTS} pipelined clients: {rates['pipelined_rps']:>8.1f} req/s")
+    print(f"uncached pipelining speedup:    {speedup:>8.1f}x")
     benchmark.extra_info["measured"] = {
         "single_rps": round(rates["single_rps"], 1),
         "pipelined_rps": round(rates["pipelined_rps"], 1),
+        "speedup": round(speedup, 2),
     }
+    record_bench_results(
+        "net_throughput_smoke" if SMOKE else "net_throughput",
+        "uncached",
+        benchmark.extra_info["measured"],
+    )
     if not SMOKE:
-        record_bench_results(
-            "net_throughput", "uncached", benchmark.extra_info["measured"]
-        )
-    # Every response still came from a full generator run.
-    assert rates["single_rps"] < 100
+        assert speedup >= MIN_UNCACHED_SPEEDUP

@@ -33,11 +33,11 @@ TOOL_DELAY = 0.8
 class ExternalToolGenerator(EmbeddedGenerator):
     """Sleeps in slices between cooperative checkpoints, like a tool run."""
 
-    def run_flow(self, flat, constraints, target):
+    def run_flow(self, flat, constraints, target, **kwargs):
         for index in range(8):
             checkpoint("external_tool", 0.05 + 0.5 * index / 8)
             time.sleep(TOOL_DELAY / 8)
-        return super().run_flow(flat, constraints, target)
+        return super().run_flow(flat, constraints, target, **kwargs)
 
 
 def main() -> None:

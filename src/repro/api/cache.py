@@ -20,22 +20,17 @@ of one service share a single cache concurrently.
 from __future__ import annotations
 
 import copy
-import json
-import threading
-from collections import OrderedDict
-from typing import Dict, Hashable, Mapping, Optional, Tuple
+from typing import Hashable, Mapping, Tuple
 
-from ..constraints import Constraints
+from ..constraints import (
+    Constraints,
+    DEFAULT_CONSTRAINTS,
+    canonical_constraints_json,
+)
+from ..core.gencache import CountedLruCache
 from ..core.instances import ComponentInstance
 
-#: The shared default-constraints object (treated as immutable, like every
-#: :class:`Constraints` in the pipeline) and its pre-serialized canonical
-#: form: the overwhelmingly common bulk request carries no constraints, and
-#: re-serializing them dominated the signature cost on the cached hot path.
-DEFAULT_CONSTRAINTS = Constraints()
-_DEFAULT_CONSTRAINTS_JSON = json.dumps(
-    DEFAULT_CONSTRAINTS.to_dict(), sort_keys=True
-)
+__all__ = ["DEFAULT_CONSTRAINTS", "ResultCache", "clone_instance"]
 
 
 def clone_instance(
@@ -60,18 +55,16 @@ def clone_instance(
     return clone
 
 
-class ResultCache:
-    """LRU cache from canonical request signatures to snapshot instances."""
+class ResultCache(CountedLruCache):
+    """LRU cache from canonical request signatures to snapshot instances.
 
-    def __init__(self, max_entries: int = 256):
-        self.max_entries = max_entries
-        self._entries: "OrderedDict[Hashable, ComponentInstance]" = OrderedDict()
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.lookups = 0
-        self.stores = 0
-        self.evictions = 0
+    The LRU behaviour and the counter accounting (``hits + misses ==
+    lookups``, ``entries == stores - evictions``; a generation cancelled
+    before its store leaves no counter or entry behind) live in the shared
+    :class:`~repro.core.gencache.CountedLruCache` base, which the
+    generation cache's stage caches use too.  This subclass adds the
+    canonical request signature and snapshot-on-store semantics.
+    """
 
     @staticmethod
     def signature(
@@ -81,76 +74,13 @@ class ResultCache:
         target: str,
     ) -> Tuple[str, Tuple[Tuple[str, int], ...], str, str]:
         """Canonical signature of a catalog-based generation request."""
-        if constraints is DEFAULT_CONSTRAINTS or constraints == DEFAULT_CONSTRAINTS:
-            constraints_json = _DEFAULT_CONSTRAINTS_JSON
-        else:
-            constraints_json = json.dumps(constraints.to_dict(), sort_keys=True)
         return (
             implementation,
             tuple(sorted((key, int(value)) for key, value in parameters.items())),
-            constraints_json,
+            canonical_constraints_json(constraints),
             target,
         )
 
-    def lookup(self, key: Hashable) -> Optional[ComponentInstance]:
-        """The snapshot for ``key``, or None; updates hit/miss statistics.
-
-        The three counters move together under the cache lock, so at any
-        instant ``hits + misses == lookups`` -- the invariant the
-        concurrency stress test asserts.
-        """
-        with self._lock:
-            template = self._entries.get(key)
-            self.lookups += 1
-            if template is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return template
-
     def store(self, key: Hashable, instance: ComponentInstance) -> None:
-        """Snapshot ``instance`` as the template for ``key``.
-
-        ``stores`` and ``evictions`` move together with the entry map
-        under the lock, so ``entries == stores - evictions - replaced``
-        holds at any instant (``replaced`` being same-key overwrites) --
-        the accounting invariant the cancellation stress tests rely on: a
-        generation cancelled before this point has left *no* counter or
-        entry behind.
-        """
-        snapshot = clone_instance(instance, instance.name)
-        with self._lock:
-            if key in self._entries:
-                self.evictions += 1  # same-key overwrite replaces a snapshot
-            self._entries[key] = snapshot
-            self._entries.move_to_end(key)
-            self.stores += 1
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-
-    def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
-            self.hits = 0
-            self.misses = 0
-            self.lookups = 0
-            self.stores = 0
-            self.evictions = 0
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def stats(self) -> Dict[str, int]:
-        """A consistent snapshot of the counters (taken under the lock)."""
-        with self._lock:
-            return {
-                "entries": len(self._entries),
-                "hits": self.hits,
-                "misses": self.misses,
-                "lookups": self.lookups,
-                "stores": self.stores,
-                "evictions": self.evictions,
-            }
+        """Snapshot ``instance`` (a detached clone) as the template for ``key``."""
+        super().store(key, clone_instance(instance, instance.name))

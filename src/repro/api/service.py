@@ -36,6 +36,7 @@ from ..components.catalog import (
     standard_catalog,
 )
 from ..constraints import Constraints, PortPosition
+from ..core.gencache import GenerationCache
 from ..core.generation import EmbeddedGenerator, ToolManager, default_tool_manager
 from ..core.icdb import IcdbError
 from ..core.instances import (
@@ -441,6 +442,10 @@ class Session:
             instance.netlist,
             strips=strips,
             port_positions=port_positions,
+            # The netlist may be a shared template (a result-cache clone or
+            # a generation-cache flow hit); the layout and its CIF must
+            # carry *this* instance's name.
+            name=name,
         )
         instance.layout = layout
         instance.target = TARGET_LAYOUT
@@ -626,6 +631,7 @@ class ComponentService:
         clone_artifacts: str = "lazy",
         job_workers: Optional[int] = None,
         job_queue_limit: int = 1024,
+        generation_cache: Optional["GenerationCache"] = None,
     ):
         if clone_artifacts not in ("lazy", "eager"):
             raise IcdbError(
@@ -637,7 +643,9 @@ class ComponentService:
         self.store = store or DesignDataStore(store_root)
         self.instances = InstanceManager()
         self.tool_manager: ToolManager = default_tool_manager()
-        self.generator = EmbeddedGenerator(self.cell_library)
+        self.generator = EmbeddedGenerator(
+            self.cell_library, generation_cache=generation_cache
+        )
         self.knowledge = KnowledgeServer(
             self.catalog, self.database, self.store, self.tool_manager
         )
@@ -1024,6 +1032,25 @@ class ComponentService:
         self.store.remove_instance(name)
 
     # ----------------------------------------------------------------- report
+
+    @property
+    def generation_cache(self) -> GenerationCache:
+        """The generator's stage-level memo (shared by all sessions)."""
+        return self.generator.generation_cache
+
+    def generation_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-stage generation cache counters plus a ``total`` aggregate.
+
+        Mirrors :meth:`~repro.core.gencache.CountedLruCache.stats`: each
+        stage holds ``hits + misses == lookups`` and
+        ``entries == stores - evictions`` at any instant.  Empty when the
+        cache has been explicitly disabled (``generation_cache = None`` on
+        the generator -- the switch ``run_flow`` honors).
+        """
+        cache = self.generation_cache
+        if cache is None:
+            return {}
+        return cache.stats()
 
     def summary(self) -> str:
         return (

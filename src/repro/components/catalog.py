@@ -91,7 +91,30 @@ class ComponentImplementation:
     def __post_init__(self) -> None:
         self._module: Optional[IifModule] = None
         self._subfunctions: Optional[Dict[str, IifModule]] = None
+        self._fingerprint: Optional[int] = None
         self.functions = tuple(genus.normalize_function(f) for f in self.functions)
+
+    def fingerprint(self) -> int:
+        """A stable identity of everything expansion reads.
+
+        Two implementations that share a name but differ in source (two
+        services with different catalogs sharing one generation cache)
+        must never serve each other's expansions; the fingerprint covers
+        the IIF source, the sub-function sources, the functions list and
+        the defaults.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = hash(
+                (
+                    self.name,
+                    self.component_type,
+                    self.functions,
+                    self.iif_source,
+                    self.subfunction_sources,
+                    tuple(sorted(self.default_parameters.items())),
+                )
+            )
+        return self._fingerprint
 
     # ---------------------------------------------------------------- parsing
 

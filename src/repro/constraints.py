@@ -14,6 +14,7 @@ assignments such as ``CLK left s1.0``).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -242,3 +243,20 @@ def parse_port_positions(text: str) -> Tuple[PortPosition, ...]:
 def render_port_positions(positions: Sequence[PortPosition]) -> str:
     """Render port positions back to the paper's textual form."""
     return "\n".join(f"{p.port} {p.side} {p.order:g}" for p in positions)
+
+
+#: The shared default-constraints object (treated as immutable, like every
+#: :class:`Constraints` in the pipeline) and its pre-serialized canonical
+#: JSON: the overwhelmingly common request carries no constraints, and both
+#: the result cache and the generation cache key on this serialization --
+#: re-computing it dominated signature cost on hot paths.
+DEFAULT_CONSTRAINTS = Constraints()
+DEFAULT_CONSTRAINTS_JSON = json.dumps(DEFAULT_CONSTRAINTS.to_dict(), sort_keys=True)
+
+
+def canonical_constraints_json(constraints: Constraints) -> str:
+    """Canonical (sorted-keys) JSON of a constraints object, with the
+    default-constraints serialization computed once."""
+    if constraints is DEFAULT_CONSTRAINTS or constraints == DEFAULT_CONSTRAINTS:
+        return DEFAULT_CONSTRAINTS_JSON
+    return json.dumps(constraints.to_dict(), sort_keys=True)

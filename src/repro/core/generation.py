@@ -12,11 +12,11 @@ scripts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import astuple, dataclass, field
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from ..components.catalog import ComponentImplementation, FunctionBinding
-from ..constraints import Constraints
+from ..constraints import Constraints, canonical_constraints_json
 from ..estimation.area import AreaEstimator
 from ..estimation.delay import estimate_delay
 from ..estimation.shape import ShapeFunction, shape_function
@@ -27,6 +27,7 @@ from ..netlist.gates import GateNetlist
 from ..netlist.structural import StructuralNetlist, flatten_to_gates
 from ..sizing import SizingOptions, size_for_constraints
 from ..techlib import CellLibrary, standard_cells
+from .gencache import GenerationCache
 from .instances import ComponentInstance, TARGET_LAYOUT, TARGET_LOGIC
 from .progress import checkpoint
 
@@ -114,8 +115,35 @@ class ToolManager:
         return [name for name in self._tools if name not in used]
 
 
+def _flat_with_name(template: FlatComponent, name: str) -> FlatComponent:
+    """A light per-instance view of a cached flat-component template.
+
+    The assignment objects (and their interned expressions) are shared;
+    only the name and the mutable top-level lists are private.
+    """
+    if template.name == name:
+        return template
+    return FlatComponent(
+        name=name,
+        inputs=list(template.inputs),
+        outputs=list(template.outputs),
+        internals=list(template.internals),
+        assigns=list(template.assigns),
+        functions=list(template.functions),
+        parameters=dict(template.parameters),
+    )
+
+
 class EmbeddedGenerator:
-    """ICDB's built-in component generator (Figure 8)."""
+    """ICDB's built-in component generator (Figure 8).
+
+    The generator owns a :class:`~repro.core.gencache.GenerationCache`:
+    expansion, synthesis, per-equation optimization and the full estimate
+    bundle are memoized on canonical signatures, so cold requests --
+    cache-miss traffic, ``use_cache=False``, parameter sweeps, parallel
+    jobs -- reuse every stage they have in common with earlier work while
+    producing byte-identical artifacts.
+    """
 
     name = "icdb_embedded_generator"
 
@@ -124,10 +152,39 @@ class EmbeddedGenerator:
         cell_library: Optional[CellLibrary] = None,
         synthesis_options: Optional[SynthesisOptions] = None,
         sizing_options: Optional[SizingOptions] = None,
+        generation_cache: Optional[GenerationCache] = None,
     ):
         self.cell_library = cell_library or standard_cells()
         self.synthesis_options = synthesis_options or SynthesisOptions()
         self.sizing_options = sizing_options or SizingOptions()
+        #: Stage-level memo shared by every request through this generator
+        #: (and hence by all sessions of a service).  Pass an explicit
+        #: cache to share one across generators; benchmarks install a
+        #: fresh cache per round to measure the true-cold path.
+        self.generation_cache = (
+            generation_cache if generation_cache is not None else GenerationCache()
+        )
+
+    # ------------------------------------------------------------ signatures
+
+    def _synthesis_signature(self) -> Tuple:
+        """Everything besides the flat component that synthesis reads.
+
+        Derived from the options dataclass itself, so a future
+        ``SynthesisOptions`` field is part of the key automatically
+        instead of silently poisoning the cache.
+        """
+        return (
+            astuple(self.synthesis_options),
+            self.cell_library.fingerprint(),
+        )
+
+    def _sizing_signature(self) -> Tuple:
+        return astuple(self.sizing_options)
+
+    @staticmethod
+    def _constraints_signature(constraints: Constraints) -> str:
+        return canonical_constraints_json(constraints)
 
     # --------------------------------------------------------------- pipeline
 
@@ -136,17 +193,68 @@ class EmbeddedGenerator:
         flat: FlatComponent,
         constraints: Constraints,
         target: str = TARGET_LOGIC,
-    ) -> Tuple[GateNetlist, object, ShapeFunction, object, Optional[ComponentLayout], int, List[str]]:
+        cache_context: Hashable = (),
+    ) -> Tuple[GateNetlist, object, ShapeFunction, object, Optional[ComponentLayout], int, List[str], Dict[str, object]]:
         """Run synthesis, sizing, estimation and optional layout on a flat
-        component; returns the artifacts needed to build an instance.
+        component; returns the artifacts needed to build an instance, plus
+        the render cache shared by every instance of the same flow entry.
 
         Every stage boundary is a cooperative
         :func:`~repro.core.progress.checkpoint`: a job scheduler observes
         them for progress events, and a cancelled job unwinds here --
-        before anything is registered or written -- leaving no state.
+        before anything is registered or written -- leaving no state (a
+        stage memo entry recorded before the cancellation point is pure
+        recomputable work, not client-visible state).
+
+        ``cache_context`` disambiguates flow entries whose *presentation*
+        differs even though the flat structure matches (the implementation
+        name and component type end up in shared summary fragments).
         """
+        cache = self.generation_cache
         checkpoint("synthesize", 0.10)
-        netlist = synthesize(flat, self.cell_library, self.synthesis_options)
+        synth_key = flow_key = None
+        if cache is not None:
+            synth_key = (flat.signature(), self._synthesis_signature())
+            flow_key = (
+                synth_key,
+                self._constraints_signature(constraints),
+                self._sizing_signature(),
+                cache_context,
+            )
+            flow = cache.flows.lookup(flow_key)
+            if flow is not None:
+                netlist, report, shape, area_record, iterations, violations, renders = flow
+                checkpoint("size", 0.45)
+                checkpoint("estimate", 0.70)
+                layout = self._layout_for_target(
+                    netlist, constraints, area_record, target, name=flat.name
+                )
+                return (
+                    netlist,
+                    report,
+                    shape,
+                    area_record,
+                    layout,
+                    iterations,
+                    list(violations),
+                    renders,
+                )
+        netlist = None
+        if cache is not None:
+            template = cache.synth.lookup(synth_key)
+            if template is not None:
+                netlist = template.clone(name=flat.name)
+        if netlist is None:
+            netlist = synthesize(
+                flat,
+                self.cell_library,
+                self.synthesis_options,
+                optimize_cache=cache.optimize if cache is not None else None,
+            )
+            if cache is not None:
+                # A pristine (pre-sizing) clone becomes the template other
+                # constraint signatures size independently.
+                cache.synth.store(synth_key, netlist.clone())
         checkpoint("size", 0.45)
         sizing = size_for_constraints(netlist, constraints, self.sizing_options)
         report = sizing.report
@@ -158,15 +266,110 @@ class EmbeddedGenerator:
             area_record = shape.best_for_aspect_ratio(constraints.aspect_ratio)
         else:
             area_record = shape.min_area()
-        layout = None
-        if target == TARGET_LAYOUT:
-            layout = generate_layout(
-                netlist,
-                strips=constraints.strips or area_record.strips,
-                port_positions=constraints.port_positions,
-            )
         violations = report.violations(constraints)
-        return netlist, report, shape, area_record, layout, sizing.iterations, violations
+        renders: Dict[str, object] = {}
+        if cache is not None:
+            cache.flows.store(
+                flow_key,
+                (
+                    netlist,
+                    report,
+                    shape,
+                    area_record,
+                    sizing.iterations,
+                    tuple(violations),
+                    renders,
+                ),
+            )
+        layout = self._layout_for_target(
+            netlist, constraints, area_record, target, name=flat.name
+        )
+        return netlist, report, shape, area_record, layout, sizing.iterations, violations, renders
+
+    def _layout_for_target(
+        self,
+        netlist: GateNetlist,
+        constraints: Constraints,
+        area_record,
+        target: str,
+        name: Optional[str] = None,
+    ) -> Optional[ComponentLayout]:
+        """Layouts are per-instance (never memoized): generated on demand,
+        labelled with the owning instance's name even when the netlist
+        object is a shared flow-cache template."""
+        if target != TARGET_LAYOUT:
+            return None
+        return generate_layout(
+            netlist,
+            strips=constraints.strips or area_record.strips,
+            port_positions=constraints.port_positions,
+            name=name,
+        )
+
+    # ----------------------------------------------------------- front doors
+
+    def _expand_implementation(
+        self,
+        implementation: ComponentImplementation,
+        parameters: Optional[Mapping[str, int]],
+        name: str,
+    ) -> FlatComponent:
+        """Catalog expansion, memoized per (implementation, resolved values)."""
+        cache = self.generation_cache
+        if cache is None:
+            return implementation.expand(parameters, name=name)
+        # The key uses the *resolved* values (defaults applied) so requests
+        # spelling the same elaboration differently share one entry; the
+        # expansion itself gets the caller's overrides untouched --
+        # resolve_parameters validates overrides strictly, and re-feeding
+        # it its own output would reject implementations whose defaults
+        # carry keys the top module does not declare.
+        values = implementation.resolve_parameters(parameters)
+        key = (
+            "impl",
+            implementation.name,
+            implementation.fingerprint(),
+            tuple(sorted(values.items())),
+        )
+        template = cache.expand.lookup(key)
+        if template is None:
+            template = implementation.expand(parameters, name=name)
+            cache.expand.store(key, template)
+        return _flat_with_name(template, name)
+
+    def _expand_iif(
+        self,
+        iif_source: str,
+        parameters: Optional[Mapping[str, int]],
+        name: str,
+        subfunction_library: Optional[Mapping[str, IifModule]],
+    ) -> Tuple[IifModule, FlatComponent]:
+        """IIF-source expansion, memoized per (source text, parameters).
+
+        Requests carrying an ad-hoc sub-function library are not memoized:
+        the library is part of the expansion's meaning but has no stable
+        identity to key on.
+        """
+        from ..iif import Expander
+
+        cache = self.generation_cache
+        key = None
+        if cache is not None and not subfunction_library:
+            key = (
+                "iif",
+                iif_source,
+                tuple(sorted((k, int(v)) for k, v in (parameters or {}).items())),
+            )
+            cached = cache.expand.lookup(key)
+            if cached is not None:
+                module, template = cached
+                return module, _flat_with_name(template, name)
+        module = parse_module(iif_source)
+        expander = Expander(subfunction_library)
+        flat = expander.expand(module, parameters or {}, name=name)
+        if key is not None:
+            cache.expand.store(key, (module, flat))
+        return module, flat
 
     # ------------------------------------------------------------- front ends
 
@@ -179,9 +382,12 @@ class EmbeddedGenerator:
         target: str = TARGET_LOGIC,
     ) -> ComponentInstance:
         """Generate an instance from a catalog implementation."""
-        flat = implementation.expand(parameters, name=instance_name)
-        netlist, report, shape, area_record, layout, iterations, violations = self.run_flow(
-            flat, constraints, target
+        flat = self._expand_implementation(implementation, parameters, instance_name)
+        netlist, report, shape, area_record, layout, iterations, violations, renders = self.run_flow(
+            flat,
+            constraints,
+            target,
+            cache_context=(implementation.name, implementation.component_type),
         )
         return ComponentInstance(
             name=instance_name,
@@ -200,6 +406,7 @@ class EmbeddedGenerator:
             layout=layout,
             constraint_violations=violations,
             sizing_iterations=iterations,
+            render_cache=renders,
         )
 
     def generate_from_iif(
@@ -218,13 +425,14 @@ class EmbeddedGenerator:
         control synthesis tool emits boolean equations and registers in IIF
         and asks ICDB for the component.
         """
-        from ..iif import Expander
-
-        module = parse_module(iif_source)
-        expander = Expander(subfunction_library)
-        flat = expander.expand(module, parameters or {}, name=instance_name)
-        netlist, report, shape, area_record, layout, iterations, violations = self.run_flow(
-            flat, constraints, target
+        module, flat = self._expand_iif(
+            iif_source, parameters, instance_name, subfunction_library
+        )
+        netlist, report, shape, area_record, layout, iterations, violations, renders = self.run_flow(
+            flat,
+            constraints,
+            target,
+            cache_context=(module.name, "Custom"),
         )
         return ComponentInstance(
             name=instance_name,
@@ -243,6 +451,7 @@ class EmbeddedGenerator:
             layout=layout,
             constraint_violations=violations,
             sizing_iterations=iterations,
+            render_cache=renders,
         )
 
     def generate_from_structure(

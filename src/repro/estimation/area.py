@@ -87,19 +87,34 @@ class AreaEstimator:
         self.netlist = netlist
         self.strip_height = strip_height
         self.track_pitch = track_pitch
-        self._widths = [inst.width_um() for inst in netlist.all_instances()]
-        self._cell_tracks = [inst.cell.tracks for inst in netlist.all_instances()]
+        instances = netlist.all_instances()
+        self._widths = [inst.width_um() for inst in instances]
+        self._cell_tracks = [inst.cell.tracks for inst in instances]
+        #: Widths pre-sorted for the width-balanced (LPT) placement, the
+        #: per-strip width estimates, and the multi-pin net counts: every
+        #: shape alternative re-uses them, so they are computed once per
+        #: estimator instead of once per strip count.
+        self._widths_sorted = sorted(self._widths, reverse=True)
+        self._strip_width_cache: Dict[int, float] = {}
+        self._net_pin_counts: Optional[List[int]] = None
 
     # ----------------------------------------------------------------- width
 
     def strip_width(self, strips: int) -> float:
-        """The paper's ``(X + Y) / 2`` strip-width estimate."""
+        """The paper's ``(X + Y) / 2`` strip-width estimate (memoized)."""
         if not self._widths:
             return 0.0
         strips = max(1, strips)
+        cached = self._strip_width_cache.get(strips)
+        if cached is not None:
+            return cached
         x_width = max(_strip_widths_round_robin(self._widths, strips))
-        y_width = max(_strip_widths_balanced(self._widths, strips))
-        return (x_width + y_width) / 2.0
+        # _strip_widths_balanced sorts internally; feed it the pre-sorted
+        # list (sorting an already-sorted list is O(n) in timsort).
+        y_width = max(_strip_widths_balanced(self._widths_sorted, strips))
+        width = (x_width + y_width) / 2.0
+        self._strip_width_cache[strips] = width
+        return width
 
     def random_width(self, strips: int) -> float:
         """The X term alone (count-balanced placement), used by ablations."""
@@ -115,18 +130,26 @@ class AreaEstimator:
 
     # ---------------------------------------------------------------- height
 
+    def _multi_pin_counts(self) -> List[int]:
+        """Pin counts of the nets with two or more connection points
+        (computed once: the net table does not change under estimation)."""
+        if self._net_pin_counts is None:
+            counts: List[int] = []
+            for info in self.netlist.nets().values():
+                pins = info.fanout + (0 if info.driver_instance is None else 1)
+                if pins >= 2:
+                    counts.append(pins)
+            self._net_pin_counts = counts
+        return self._net_pin_counts
+
     def wire_length(self, strips: int) -> float:
         """Total estimated horizontal wire length for a ``strips``-strip layout."""
         width = self.strip_width(strips)
-        total = 0.0
-        for net, info in self.netlist.nets().items():
-            pins = info.fanout + (0 if info.driver_instance is None else 1)
-            if pins < 2:
-                continue
-            # Expected span of `pins` connection points spread over the strip
-            # width; nets with more pins stretch across more of the strip.
-            total += width * (pins - 1) / (pins + 1)
-        return total
+        # Expected span of `pins` connection points spread over the strip
+        # width; nets with more pins stretch across more of the strip.
+        return width * sum(
+            (pins - 1) / (pins + 1) for pins in self._multi_pin_counts()
+        )
 
     def routing_tracks(self, strips: int) -> int:
         """Routing tracks needed per strip."""

@@ -244,28 +244,9 @@ class DelayAnalysis:
             self._predecessor[out_net] = (best_in_src, best_reg_src)
         self.arrival_from_inputs = a_in
         self.arrival_from_registers = a_reg
-
-        # Backward pass: worst delay from a net to any register data pin.
-        back = self.required_to_register
-        data_pins: Dict[str, float] = {}
-        for instance in self.netlist.sequential_instances():
-            for pin in ("D", "S", "R"):
-                if pin in instance.pins and pin in instance.cell.inputs:
-                    net = instance.pins[pin]
-                    requirement = instance.cell.setup_time if pin == "D" else instance.cell.setup_time * 0.5
-                    data_pins[net] = max(data_pins.get(net, _NEG_INF), requirement)
-        for net, value in data_pins.items():
-            back[net] = value
-        for instance in reversed(self.order):
-            delay_here = self.gate_delay(instance)
-            out_net = instance.output_net()
-            downstream = back.get(out_net, _NEG_INF)
-            if downstream <= _NEG_INF:
-                continue
-            for net in instance.input_nets():
-                candidate = delay_here + downstream
-                if candidate > back.get(net, _NEG_INF):
-                    back[net] = candidate
+        # The backward (register set-up) pass runs once in _run: gate delays
+        # depend only on loads and fanout, never on launch times, so
+        # recomputing it per forward pass repeated identical work.
 
     # ------------------------------------------------------------------ query
 

@@ -153,6 +153,41 @@ class FlatComponent:
                 frontier.extend(seq[name].data.variables())
         return found
 
+    # ------------------------------------------------------------- signature
+
+    def signature(self) -> Tuple:
+        """Name-independent structural identity of the component.
+
+        Two flat components with equal signatures have identical ports and
+        identical assignments, so they synthesize to identical netlists
+        under the same options and cell library -- the key the generation
+        cache memoizes synthesis on.  The component *name* is deliberately
+        excluded (it differs per instance); ``functions`` / ``parameters``
+        are excluded because synthesis never reads them.  Expressions are
+        hash-consed, so the tuple is cheap to hash and compare.
+        """
+        assigns: List[Tuple] = []
+        for assign in self.assigns:
+            if isinstance(assign, CombAssign):
+                assigns.append(("c", assign.target, assign.expr))
+            else:
+                assigns.append(
+                    (
+                        "s",
+                        assign.target,
+                        assign.data,
+                        assign.clock,
+                        assign.edge,
+                        tuple((term.value, term.condition) for term in assign.asyncs),
+                    )
+                )
+        return (
+            tuple(self.inputs),
+            tuple(self.outputs),
+            tuple(self.internals),
+            tuple(assigns),
+        )
+
     # --------------------------------------------------------------- analysis
 
     def validate(self) -> None:

@@ -173,12 +173,17 @@ def generate_layout(
     port_positions: Sequence[PortPosition] = (),
     strip_height: float = BASE_STRIP_HEIGHT_UM,
     track_pitch: float = TRACK_PITCH_UM,
+    name: Optional[str] = None,
 ) -> ComponentLayout:
     """Generate a strip layout of a mapped netlist.
 
     ``strips`` defaults to the minimum-area alternative of the area
     estimator.  ``port_positions`` follows the Section 3.3 assignment format
-    (see :func:`repro.constraints.parse_port_positions`).
+    (see :func:`repro.constraints.parse_port_positions`).  ``name`` labels
+    the layout (and the CIF it renders to); it defaults to the netlist's
+    name, but callers laying out a *shared* netlist -- result-cache clones,
+    generation-cache flow hits -- pass the owning instance's name so the
+    emitted artifact carries the right identity.
     """
     if strips is None:
         from ..estimation.area import AreaEstimator
@@ -198,7 +203,7 @@ def generate_layout(
     height = sum(strip_heights)
     ports = _assign_ports(netlist, width, height, port_positions)
     return ComponentLayout(
-        name=netlist.name,
+        name=name if name is not None else netlist.name,
         strips=placement.strips,
         width=width,
         height=height,

@@ -11,31 +11,60 @@ the interface operators of IIF (tri-state, wire-or, delay, schmitt trigger)
 that map one-to-one onto library cells and are never restructured by the
 optimizer.
 
-Expressions are immutable and hashable, so they can be shared freely and
-used as dictionary keys during common-subexpression extraction.
+Expressions are immutable, *hash-consed* and structurally shared: one
+canonical node exists per structurally-distinct expression, so equality is
+identity, ``variables()`` / ``hash`` / ``depth`` / literal counts are
+cached O(1) lookups, and expressions can be used directly as memoization
+keys by the generation cache.  The intern table holds nodes weakly, so
+expressions no stage references any more are garbage-collected; interning
+is thread-safe (the PR-3 job workers synthesize concurrently).
+
+Truth tables are computed over the shared subgraph with one big-integer
+bitmask per node (a cofactor-free evaluation of all ``2**n`` rows at
+once) instead of re-walking the tree once per input row.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+import threading
+import weakref
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Sequence, Tuple
 
 
 class ExprError(ValueError):
     """Raised for malformed boolean expressions."""
 
 
-class BExpr:
-    """Base class for boolean expressions."""
+# ---------------------------------------------------------------------------
+# Interning machinery
+# ---------------------------------------------------------------------------
 
-    __slots__ = ()
+#: One canonical node per structurally-distinct expression.  Values are held
+#: weakly: an expression nothing references dies, and its table entry (whose
+#: key holds the only remaining strong references to its children) follows.
+_INTERN: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+_INTERN_LOCK = threading.Lock()
+
+# Class tags used in intern keys (cheaper to hash than class objects).
+_T_CONST, _T_VAR, _T_NOT, _T_BUF, _T_AND, _T_OR, _T_XOR, _T_XNOR, _T_SPECIAL = range(9)
+
+
+def interned_count() -> int:
+    """Number of live interned nodes (diagnostics / tests)."""
+    return len(_INTERN)
+
+
+class BExpr:
+    """Base class for boolean expressions (interned, immutable)."""
+
+    __slots__ = ("_vars", "_hash", "_depth", "_lits", "_nodes", "_opaque", "__weakref__")
 
     # -- structural queries -------------------------------------------------
 
     def variables(self) -> FrozenSet[str]:
-        """Return the set of variable names appearing in the expression."""
-        raise NotImplementedError
+        """The set of variable names appearing in the expression (cached)."""
+        return self._vars
 
     def children(self) -> Tuple["BExpr", ...]:
         """Return direct sub-expressions."""
@@ -46,6 +75,20 @@ class BExpr:
     def evaluate(self, env: Mapping[str, int]) -> int:
         """Evaluate under a 0/1 assignment.  Missing variables raise KeyError."""
         raise NotImplementedError
+
+    # -- identity ------------------------------------------------------------
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Equality is identity: interning guarantees one node per structure.
+    # (object.__eq__ already compares by identity; stated here for clarity.)
+
+    def __copy__(self) -> "BExpr":
+        return self
+
+    def __deepcopy__(self, memo) -> "BExpr":
+        return self
 
     # -- convenience operators ------------------------------------------------
 
@@ -62,21 +105,47 @@ class BExpr:
         return not_(self)
 
 
-@dataclass(frozen=True)
+def _lookup(key):
+    # Unlocked fast path: dict operations are atomic under the GIL and a
+    # ref that died mid-read simply falls through to the locked slow path.
+    return _INTERN.get(key)
+
+
+def _finish(node: BExpr, key, vars_, depth, lits, nodes, opaque) -> None:
+    node._vars = vars_
+    node._hash = hash(key)
+    node._depth = depth
+    node._lits = lits
+    node._nodes = nodes
+    node._opaque = opaque
+
+
 class Const(BExpr):
     """The constant 0 or 1."""
 
-    value: int
+    __slots__ = ("value",)
 
-    def __post_init__(self) -> None:
-        if self.value not in (0, 1):
-            raise ExprError(f"constant must be 0 or 1, got {self.value!r}")
-
-    def variables(self) -> FrozenSet[str]:
-        return frozenset()
+    def __new__(cls, value: int):
+        if value not in (0, 1):
+            raise ExprError(f"constant must be 0 or 1, got {value!r}")
+        key = (_T_CONST, value)
+        self = _lookup(key)
+        if self is not None:
+            return self
+        with _INTERN_LOCK:
+            self = _INTERN.get(key)
+            if self is None:
+                self = object.__new__(cls)
+                self.value = value
+                _finish(self, key, frozenset(), 0, 0, 0, False)
+                _INTERN[key] = self
+            return self
 
     def evaluate(self, env: Mapping[str, int]) -> int:
         return self.value
+
+    def __reduce__(self):
+        return (Const, (self.value,))
 
     def __repr__(self) -> str:
         return f"Const({self.value})"
@@ -85,29 +154,68 @@ class Const(BExpr):
 TRUE = Const(1)
 FALSE = Const(0)
 
+# Keep the two constants alive for the lifetime of the module even if user
+# code rebinds TRUE/FALSE (the intern table alone holds them weakly).
+_CONST_ANCHOR = (TRUE, FALSE)
 
-@dataclass(frozen=True)
+
 class Var(BExpr):
     """A named signal."""
 
-    name: str
+    __slots__ = ("name",)
 
-    def variables(self) -> FrozenSet[str]:
-        return frozenset((self.name,))
+    def __new__(cls, name: str):
+        key = (_T_VAR, name)
+        self = _lookup(key)
+        if self is not None:
+            return self
+        with _INTERN_LOCK:
+            self = _INTERN.get(key)
+            if self is None:
+                self = object.__new__(cls)
+                self.name = name
+                _finish(self, key, frozenset((name,)), 0, 1, 0, False)
+                _INTERN[key] = self
+            return self
 
     def evaluate(self, env: Mapping[str, int]) -> int:
         return 1 if env[self.name] else 0
+
+    def __reduce__(self):
+        return (Var, (self.name,))
 
     def __repr__(self) -> str:
         return f"Var({self.name!r})"
 
 
-@dataclass(frozen=True)
-class Not(BExpr):
-    operand: BExpr
+def _unary_new(cls, tag, operand: BExpr):
+    key = (tag, operand)
+    self = _lookup(key)
+    if self is not None:
+        return self
+    with _INTERN_LOCK:
+        self = _INTERN.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.operand = operand
+            _finish(
+                self,
+                key,
+                operand._vars,
+                operand._depth + 1,
+                operand._lits,
+                operand._nodes + 1,
+                tag == _T_BUF or operand._opaque,
+            )
+            _INTERN[key] = self
+        return self
 
-    def variables(self) -> FrozenSet[str]:
-        return self.operand.variables()
+
+class Not(BExpr):
+    __slots__ = ("operand",)
+
+    def __new__(cls, operand: BExpr):
+        return _unary_new(cls, _T_NOT, operand)
 
     def children(self) -> Tuple[BExpr, ...]:
         return (self.operand,)
@@ -115,15 +223,20 @@ class Not(BExpr):
     def evaluate(self, env: Mapping[str, int]) -> int:
         return 1 - self.operand.evaluate(env)
 
+    def __reduce__(self):
+        return (Not, (self.operand,))
 
-@dataclass(frozen=True)
+    def __repr__(self) -> str:
+        return f"Not(operand={self.operand!r})"
+
+
 class Buf(BExpr):
     """An explicit buffer (kept so technology mapping can emit a BUF cell)."""
 
-    operand: BExpr
+    __slots__ = ("operand",)
 
-    def variables(self) -> FrozenSet[str]:
-        return self.operand.variables()
+    def __new__(cls, operand: BExpr):
+        return _unary_new(cls, _T_BUF, operand)
 
     def children(self) -> Tuple[BExpr, ...]:
         return (self.operand,)
@@ -131,16 +244,44 @@ class Buf(BExpr):
     def evaluate(self, env: Mapping[str, int]) -> int:
         return self.operand.evaluate(env)
 
+    def __reduce__(self):
+        return (Buf, (self.operand,))
 
-@dataclass(frozen=True)
+    def __repr__(self) -> str:
+        return f"Buf(operand={self.operand!r})"
+
+
+def _nary_new(cls, tag, args: Tuple[BExpr, ...]):
+    args = tuple(args)
+    key = (tag, args)
+    self = _lookup(key)
+    if self is not None:
+        return self
+    with _INTERN_LOCK:
+        self = _INTERN.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.args = args
+            vars_: FrozenSet[str] = frozenset().union(*(a._vars for a in args)) if args else frozenset()
+            depth = 1 + max((a._depth for a in args), default=-1)
+            _finish(
+                self,
+                key,
+                vars_,
+                depth,
+                sum(a._lits for a in args),
+                1 + sum(a._nodes for a in args),
+                any(a._opaque for a in args),
+            )
+            _INTERN[key] = self
+        return self
+
+
 class And(BExpr):
-    args: Tuple[BExpr, ...]
+    __slots__ = ("args",)
 
-    def variables(self) -> FrozenSet[str]:
-        out: FrozenSet[str] = frozenset()
-        for arg in self.args:
-            out = out | arg.variables()
-        return out
+    def __new__(cls, args):
+        return _nary_new(cls, _T_AND, args)
 
     def children(self) -> Tuple[BExpr, ...]:
         return self.args
@@ -151,16 +292,18 @@ class And(BExpr):
                 return 0
         return 1
 
+    def __reduce__(self):
+        return (And, (self.args,))
 
-@dataclass(frozen=True)
+    def __repr__(self) -> str:
+        return f"And(args={self.args!r})"
+
+
 class Or(BExpr):
-    args: Tuple[BExpr, ...]
+    __slots__ = ("args",)
 
-    def variables(self) -> FrozenSet[str]:
-        out: FrozenSet[str] = frozenset()
-        for arg in self.args:
-            out = out | arg.variables()
-        return out
+    def __new__(cls, args):
+        return _nary_new(cls, _T_OR, args)
 
     def children(self) -> Tuple[BExpr, ...]:
         return self.args
@@ -171,14 +314,42 @@ class Or(BExpr):
                 return 1
         return 0
 
+    def __reduce__(self):
+        return (Or, (self.args,))
 
-@dataclass(frozen=True)
+    def __repr__(self) -> str:
+        return f"Or(args={self.args!r})"
+
+
+def _binary_new(cls, tag, left: BExpr, right: BExpr):
+    key = (tag, left, right)
+    self = _lookup(key)
+    if self is not None:
+        return self
+    with _INTERN_LOCK:
+        self = _INTERN.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.left = left
+            self.right = right
+            _finish(
+                self,
+                key,
+                left._vars | right._vars,
+                1 + max(left._depth, right._depth),
+                left._lits + right._lits,
+                1 + left._nodes + right._nodes,
+                left._opaque or right._opaque,
+            )
+            _INTERN[key] = self
+        return self
+
+
 class Xor(BExpr):
-    left: BExpr
-    right: BExpr
+    __slots__ = ("left", "right")
 
-    def variables(self) -> FrozenSet[str]:
-        return self.left.variables() | self.right.variables()
+    def __new__(cls, left: BExpr, right: BExpr):
+        return _binary_new(cls, _T_XOR, left, right)
 
     def children(self) -> Tuple[BExpr, ...]:
         return (self.left, self.right)
@@ -186,14 +357,18 @@ class Xor(BExpr):
     def evaluate(self, env: Mapping[str, int]) -> int:
         return self.left.evaluate(env) ^ self.right.evaluate(env)
 
+    def __reduce__(self):
+        return (Xor, (self.left, self.right))
 
-@dataclass(frozen=True)
+    def __repr__(self) -> str:
+        return f"Xor(left={self.left!r}, right={self.right!r})"
+
+
 class Xnor(BExpr):
-    left: BExpr
-    right: BExpr
+    __slots__ = ("left", "right")
 
-    def variables(self) -> FrozenSet[str]:
-        return self.left.variables() | self.right.variables()
+    def __new__(cls, left: BExpr, right: BExpr):
+        return _binary_new(cls, _T_XNOR, left, right)
 
     def children(self) -> Tuple[BExpr, ...]:
         return (self.left, self.right)
@@ -201,12 +376,17 @@ class Xnor(BExpr):
     def evaluate(self, env: Mapping[str, int]) -> int:
         return 1 - (self.left.evaluate(env) ^ self.right.evaluate(env))
 
+    def __reduce__(self):
+        return (Xnor, (self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"Xnor(left={self.left!r}, right={self.right!r})"
+
 
 #: IIF interface operators that bypass boolean restructuring.
 SPECIAL_KINDS = ("tristate", "wireor", "delay", "schmitt")
 
 
-@dataclass(frozen=True)
 class Special(BExpr):
     """Interface operator node (tri-state, wire-or, delay, schmitt trigger).
 
@@ -215,19 +395,35 @@ class Special(BExpr):
     optimized independently and the node itself maps onto a dedicated cell.
     """
 
-    kind: str
-    args: Tuple[BExpr, ...]
-    param: Optional[int] = None
+    __slots__ = ("kind", "args", "param")
 
-    def __post_init__(self) -> None:
-        if self.kind not in SPECIAL_KINDS:
-            raise ExprError(f"unknown special kind {self.kind!r}")
-
-    def variables(self) -> FrozenSet[str]:
-        out: FrozenSet[str] = frozenset()
-        for arg in self.args:
-            out = out | arg.variables()
-        return out
+    def __new__(cls, kind: str, args, param: Optional[int] = None):
+        if kind not in SPECIAL_KINDS:
+            raise ExprError(f"unknown special kind {kind!r}")
+        args = tuple(args)
+        key = (_T_SPECIAL, kind, args, param)
+        self = _lookup(key)
+        if self is not None:
+            return self
+        with _INTERN_LOCK:
+            self = _INTERN.get(key)
+            if self is None:
+                self = object.__new__(cls)
+                self.kind = kind
+                self.args = args
+                self.param = param
+                vars_: FrozenSet[str] = frozenset().union(*(a._vars for a in args)) if args else frozenset()
+                _finish(
+                    self,
+                    key,
+                    vars_,
+                    1 + max((a._depth for a in args), default=-1),
+                    sum(a._lits for a in args),
+                    1 + sum(a._nodes for a in args),
+                    True,
+                )
+                _INTERN[key] = self
+            return self
 
     def children(self) -> Tuple[BExpr, ...]:
         return self.args
@@ -238,6 +434,12 @@ class Special(BExpr):
         if self.kind == "wireor":
             return 1 if any(arg.evaluate(env) for arg in self.args) else 0
         return self.args[0].evaluate(env)
+
+    def __reduce__(self):
+        return (Special, (self.kind, self.args, self.param))
+
+    def __repr__(self) -> str:
+        return f"Special(kind={self.kind!r}, args={self.args!r}, param={self.param!r})"
 
 
 # ---------------------------------------------------------------------------
@@ -271,7 +473,7 @@ def buf(operand: BExpr) -> BExpr:
     return Buf(operand)
 
 
-def _flatten(cls, args: Iterable[BExpr]) -> Iterator[BExpr]:
+def _flatten(cls, args) -> Iterator[BExpr]:
     for arg in args:
         if isinstance(arg, cls):
             yield from arg.args
@@ -374,7 +576,8 @@ def schmitt(data: BExpr) -> Special:
 
 
 def walk(expr: BExpr) -> Iterator[BExpr]:
-    """Yield ``expr`` and every sub-expression (pre-order)."""
+    """Yield ``expr`` and every sub-expression (pre-order, tree semantics:
+    a shared subgraph is yielded once per occurrence)."""
     stack = [expr]
     while stack:
         node = stack.pop()
@@ -384,53 +587,70 @@ def walk(expr: BExpr) -> Iterator[BExpr]:
 
 def count_literals(expr: BExpr) -> int:
     """Count literal occurrences (variable references) -- the classic cost."""
-    return sum(1 for node in walk(expr) if isinstance(node, Var))
+    return expr._lits
 
 
 def count_nodes(expr: BExpr) -> int:
     """Count operator nodes (excluding variables and constants)."""
-    return sum(
-        1
-        for node in walk(expr)
-        if not isinstance(node, (Var, Const))
-    )
+    return expr._nodes
+
+
+def has_opaque(expr: BExpr) -> bool:
+    """True if the expression contains a Buf or Special node (cached)."""
+    return expr._opaque
 
 
 def depth(expr: BExpr) -> int:
     """Return the operator depth (a variable or constant has depth 0)."""
-    if isinstance(expr, (Var, Const)):
-        return 0
-    kids = expr.children()
-    if not kids:
-        return 0
-    return 1 + max(depth(child) for child in kids)
+    return expr._depth
 
 
 def substitute(expr: BExpr, mapping: Mapping[str, BExpr]) -> BExpr:
-    """Replace variables by expressions (simultaneously)."""
-    if isinstance(expr, Var):
-        return mapping.get(expr.name, expr)
-    if isinstance(expr, Const):
+    """Replace variables by expressions (simultaneously).
+
+    Subtrees whose support is disjoint from the mapping are returned
+    unchanged (an O(1) check on the cached variable sets), and shared
+    subgraphs are rewritten once per :func:`substitute` call.
+    """
+    if not mapping:
         return expr
-    if isinstance(expr, Not):
-        return not_(substitute(expr.operand, mapping))
-    if isinstance(expr, Buf):
-        return buf(substitute(expr.operand, mapping))
-    if isinstance(expr, And):
-        return and_(*(substitute(arg, mapping) for arg in expr.args))
-    if isinstance(expr, Or):
-        return or_(*(substitute(arg, mapping) for arg in expr.args))
-    if isinstance(expr, Xor):
-        return xor(substitute(expr.left, mapping), substitute(expr.right, mapping))
-    if isinstance(expr, Xnor):
-        return xnor(substitute(expr.left, mapping), substitute(expr.right, mapping))
-    if isinstance(expr, Special):
-        return Special(
+    return _substitute(expr, mapping, {})
+
+
+def _substitute(expr: BExpr, mapping: Mapping[str, BExpr], memo: Dict[BExpr, BExpr]) -> BExpr:
+    if expr._vars.isdisjoint(mapping):
+        return expr
+    done = memo.get(expr)
+    if done is not None:
+        return done
+    if isinstance(expr, Var):
+        result = mapping.get(expr.name, expr)
+    elif isinstance(expr, Not):
+        result = not_(_substitute(expr.operand, mapping, memo))
+    elif isinstance(expr, Buf):
+        result = buf(_substitute(expr.operand, mapping, memo))
+    elif isinstance(expr, And):
+        result = and_(*(_substitute(arg, mapping, memo) for arg in expr.args))
+    elif isinstance(expr, Or):
+        result = or_(*(_substitute(arg, mapping, memo) for arg in expr.args))
+    elif isinstance(expr, Xor):
+        result = xor(
+            _substitute(expr.left, mapping, memo), _substitute(expr.right, mapping, memo)
+        )
+    elif isinstance(expr, Xnor):
+        result = xnor(
+            _substitute(expr.left, mapping, memo), _substitute(expr.right, mapping, memo)
+        )
+    elif isinstance(expr, Special):
+        result = Special(
             expr.kind,
-            tuple(substitute(arg, mapping) for arg in expr.args),
+            tuple(_substitute(arg, mapping, memo) for arg in expr.args),
             expr.param,
         )
-    raise ExprError(f"cannot substitute into {expr!r}")
+    else:
+        raise ExprError(f"cannot substitute into {expr!r}")
+    memo[expr] = result
+    return result
 
 
 def rename_variables(expr: BExpr, mapping: Mapping[str, str]) -> BExpr:
@@ -443,6 +663,95 @@ def cofactor(expr: BExpr, name: str, value: int) -> BExpr:
     return substitute(expr, {name: const(value)})
 
 
+# ---------------------------------------------------------------------------
+# Truth tables over shared subgraphs
+# ---------------------------------------------------------------------------
+
+#: Cached per-variable row masks, keyed by (variable count, bit shift).
+#: Only small supports are cached: the flow's equations live well under
+#: ``_VAR_MASK_CACHE_VARS`` variables, and one 24-variable mask alone is
+#: 2 MB -- caching those would pin tens of megabytes for the process
+#: lifetime after a single large query.
+_VAR_MASKS: Dict[Tuple[int, int], int] = {}
+_VAR_MASK_CACHE_VARS = 16
+
+
+def _var_mask(n: int, shift: int) -> int:
+    """Bitmask over the 2**n truth-table rows where row index bit ``shift``
+    is set (row i of the table assigns ``(i >> shift) & 1`` to the
+    variable whose index-significance is ``shift``)."""
+    cacheable = n <= _VAR_MASK_CACHE_VARS
+    if cacheable:
+        mask = _VAR_MASKS.get((n, shift))
+        if mask is not None:
+            return mask
+    block = ((1 << (1 << shift)) - 1) << (1 << shift)
+    width = 1 << (shift + 1)
+    total = 1 << n
+    mask = block
+    while width < total:
+        mask |= mask << width
+        width <<= 1
+    if cacheable:
+        _VAR_MASKS[(n, shift)] = mask
+    return mask
+
+
+def truth_mask(expr: BExpr, order: Sequence[str]) -> int:
+    """The truth table of ``expr`` over ``order`` packed into one integer.
+
+    Bit ``i`` of the result is the value of the expression on row ``i``
+    of the table, with ``order[0]`` the most-significant index bit (the
+    same row convention as :func:`truth_table`).  Every node of the shared
+    expression graph is evaluated exactly once, for all rows at once.
+    """
+    names = list(order)
+    n = len(names)
+    if n > 24:
+        raise ExprError(f"truth table over {n} variables is too large")
+    full = (1 << (1 << n)) - 1
+    shifts = {name: n - 1 - position for position, name in enumerate(names)}
+    memo: Dict[BExpr, int] = {}
+
+    def rec(node: BExpr) -> int:
+        result = memo.get(node)
+        if result is not None:
+            return result
+        if isinstance(node, Const):
+            result = full if node.value else 0
+        elif isinstance(node, Var):
+            result = _var_mask(n, shifts[node.name])  # KeyError on missing vars
+        elif isinstance(node, Not):
+            result = full ^ rec(node.operand)
+        elif isinstance(node, Buf):
+            result = rec(node.operand)
+        elif isinstance(node, And):
+            result = full
+            for arg in node.args:
+                result &= rec(arg)
+        elif isinstance(node, Or):
+            result = 0
+            for arg in node.args:
+                result |= rec(arg)
+        elif isinstance(node, Xor):
+            result = rec(node.left) ^ rec(node.right)
+        elif isinstance(node, Xnor):
+            result = full ^ rec(node.left) ^ rec(node.right)
+        elif isinstance(node, Special):
+            if node.kind == "wireor":
+                result = 0
+                for arg in node.args:
+                    result |= rec(arg)
+            else:
+                result = rec(node.args[0])
+        else:
+            raise ExprError(f"cannot evaluate {node!r}")
+        memo[node] = result
+        return result
+
+    return rec(expr)
+
+
 def truth_table(expr: BExpr, order: Optional[Sequence[str]] = None) -> Tuple[int, ...]:
     """Return the truth table of ``expr`` over ``order`` (default: sorted vars).
 
@@ -450,36 +759,81 @@ def truth_table(expr: BExpr, order: Optional[Sequence[str]] = None) -> Tuple[int
     expression when the variables take the bits of ``i`` (``order[0]`` is the
     most-significant bit).  Only usable for small variable counts.
     """
-    names = list(order) if order is not None else sorted(expr.variables())
+    names = list(order) if order is not None else sorted(expr._vars)
     n = len(names)
     if n > 20:
         raise ExprError(f"truth table over {n} variables is too large")
-    rows = []
-    for bits in itertools.product((0, 1), repeat=n):
-        env = dict(zip(names, bits))
-        rows.append(expr.evaluate(env))
-    return tuple(rows)
+    mask = truth_mask(expr, names)
+    rows = 1 << n
+    # Serialize the big integer once: per-row `mask >> i` shifts would
+    # make extraction quadratic in the row count for large supports.
+    packed = mask.to_bytes((rows + 7) // 8, "little")
+    return tuple((packed[i >> 3] >> (i & 7)) & 1 for i in range(rows))
 
 
 def equivalent(left: BExpr, right: BExpr, max_vars: int = 16) -> bool:
     """Check semantic equivalence by exhaustive evaluation over the union of
     the two expressions' variables.  Intended for tests and assertions on the
     small component functions ICDB manipulates."""
-    names = sorted(left.variables() | right.variables())
+    names = sorted(left._vars | right._vars)
     if len(names) > max_vars:
         raise ExprError(
             f"equivalence check over {len(names)} variables exceeds max_vars={max_vars}"
         )
-    for bits in itertools.product((0, 1), repeat=len(names)):
-        env = dict(zip(names, bits))
-        if left.evaluate(env) != right.evaluate(env):
-            return False
-    return True
+    if len(names) > 24:
+        # Callers may raise max_vars beyond the packed-mask limit; fall
+        # back to the classic row-by-row sweep rather than narrowing the
+        # documented contract.
+        for bits in itertools.product((0, 1), repeat=len(names)):
+            env = dict(zip(names, bits))
+            if left.evaluate(env) != right.evaluate(env):
+                return False
+        return True
+    return truth_mask(left, names) == truth_mask(right, names)
 
 
 def support_size(expr: BExpr) -> int:
     """Number of distinct variables in the expression."""
-    return len(expr.variables())
+    return len(expr._vars)
+
+
+# ---------------------------------------------------------------------------
+# Canonical (rename-abstracted) forms for slice detection
+# ---------------------------------------------------------------------------
+
+#: Placeholder variable prefix.  '~' is an operator character in IIF, so no
+#: real signal name can collide with a placeholder.
+_CANONICAL_PREFIX = "~"
+
+
+def canonical_name(index: int) -> str:
+    """The placeholder name for support position ``index`` (order-stable:
+    placeholders sort exactly like the sorted original support)."""
+    return f"{_CANONICAL_PREFIX}{index:04d}"
+
+
+def canonical_form(expr: BExpr) -> Tuple[BExpr, Tuple[str, ...]]:
+    """Rename the support to position-stable placeholders.
+
+    Returns ``(canonical expression, sorted original names)``: two
+    expressions that are variable-renamings of each other (the regular bit
+    slices of counters and datapaths) intern to the *same* canonical node,
+    which is what the generation cache keys per-slice optimization reuse
+    on.  The rename maps ``sorted(vars)[i]`` to :func:`canonical_name`
+    ``(i)``, preserving relative sorted order.
+    """
+    names = tuple(sorted(expr._vars))
+    mapping = {name: Var(canonical_name(index)) for index, name in enumerate(names)}
+    return substitute(expr, mapping), names
+
+
+def is_canonicalizable(expr: BExpr) -> bool:
+    """True when the support is safe to abstract (no placeholder collisions,
+    small enough for 4-digit placeholders)."""
+    vars_ = expr._vars
+    if len(vars_) >= 10000:
+        return False
+    return not any(name.startswith(_CANONICAL_PREFIX) for name in vars_)
 
 
 # ---------------------------------------------------------------------------

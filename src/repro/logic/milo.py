@@ -114,7 +114,7 @@ def sweep(flat: FlatComponent, options: Optional[SynthesisOptions] = None) -> Fl
             single_use = (
                 counts.get(name, 0) == 1
                 and E.count_literals(expression) <= options.max_inline_literals
-                and not any(isinstance(node, (E.Special, E.Buf)) for node in E.walk(expression))
+                and not E.has_opaque(expression)
             )
             if not (trivial or single_use):
                 continue
@@ -149,12 +149,75 @@ def sweep(flat: FlatComponent, options: Optional[SynthesisOptions] = None) -> Fl
 # ---------------------------------------------------------------------------
 
 
+def _optimize_direct(expression: E.BExpr, options: SynthesisOptions) -> E.BExpr:
+    if options.minimize:
+        expression = minimize(expression, options.max_qm_vars)
+    if options.factor:
+        expression = factor(expression)
+    return expression
+
+
+def optimize_expression(
+    expression: E.BExpr,
+    options: SynthesisOptions,
+    cache=None,
+) -> E.BExpr:
+    """Minimize and factor one equation, with canonical-form memoization.
+
+    ``cache`` (a :class:`~repro.core.gencache.CountedLruCache`, usually
+    the generation cache's ``optimize`` stage) memoizes results keyed on
+    the equation's *canonical form*: the support renamed to
+    position-stable placeholders (:func:`~repro.logic.expr.canonical_form`).
+    The n bit slices of a regular structure -- counter toggle bits, ALU
+    slices, decoded selects -- are variable-renamings of one another, so
+    they share a single canonical entry: one representative bit pays for
+    Quine-McCluskey and factoring, the rest replay the result through a
+    rename.  The first occurrence always returns the directly-computed
+    expression, and the rename is monotone on the sorted support, so
+    replayed slices match what direct optimization produces (asserted
+    catalog-wide by the synthesis test suite).
+
+    Expressions containing opaque Buf/Special subterms are optimized
+    directly, never through the memo: :func:`minimize` abstracts those
+    subterms as ``_opq<i>`` pseudo-variables, and ``_opq`` names do not
+    keep one lexicographic position relative to arbitrary signal names
+    and the canonical placeholders alike, so a replay would not be
+    rename-equivariant (the QM variable order -- and with it the cover
+    tie-breaks -- could differ between a slice and its canonical form).
+    """
+    if cache is None or isinstance(expression, (E.Var, E.Const)):
+        return _optimize_direct(expression, options)
+    if E.has_opaque(expression) or not E.is_canonicalizable(expression):
+        return _optimize_direct(expression, options)
+    canonical, names = E.canonical_form(expression)
+    key = (canonical, options.minimize, options.factor, options.max_qm_vars)
+    stored = cache.lookup(key)
+    if stored is not None:
+        back = {
+            E.canonical_name(index): E.Var(name) for index, name in enumerate(names)
+        }
+        return E.substitute(stored, back)
+    result = _optimize_direct(expression, options)
+    to_canonical = {
+        name: E.Var(E.canonical_name(index)) for index, name in enumerate(names)
+    }
+    cache.store(key, E.substitute(result, to_canonical))
+    return result
+
+
 def synthesize(
     flat: FlatComponent,
     library: Optional[CellLibrary] = None,
     options: Optional[SynthesisOptions] = None,
+    optimize_cache=None,
 ) -> GateNetlist:
-    """Run the full MILO-like flow on a flat component."""
+    """Run the full MILO-like flow on a flat component.
+
+    ``optimize_cache`` optionally memoizes the per-equation minimize /
+    factor step across equations and invocations (see
+    :func:`optimize_expression`); the synthesized netlist is identical
+    with or without it.
+    """
     library = library or standard_cells()
     options = options or SynthesisOptions()
     working = sweep(flat, options) if options.sweep else flat
@@ -172,11 +235,7 @@ def synthesize(
     )
 
     def optimize(expression: E.BExpr) -> E.BExpr:
-        if options.minimize:
-            expression = minimize(expression, options.max_qm_vars)
-        if options.factor:
-            expression = factor(expression)
-        return expression
+        return optimize_expression(expression, options, optimize_cache)
 
     # Combinational equations.
     for assign in working.combinational():

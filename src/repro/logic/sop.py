@@ -9,7 +9,6 @@ structures and the conversions.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -111,13 +110,18 @@ class SumOfProducts:
 
 def expr_minterms(expression: E.BExpr, order: Sequence[str]) -> Set[int]:
     """Minterm indices (over ``order``; index bit 0 is ``order[-1]``) where
-    the expression evaluates to 1."""
-    names = list(order)
+    the expression evaluates to 1.
+
+    Computed from the packed :func:`~repro.logic.expr.truth_mask` -- one
+    evaluation of the shared expression graph for all ``2**n`` rows --
+    instead of re-walking the tree once per row.
+    """
+    mask = E.truth_mask(expression, order)
     minterms: Set[int] = set()
-    for index, bits in enumerate(itertools.product((0, 1), repeat=len(names))):
-        env = dict(zip(names, bits))
-        if expression.evaluate(env):
-            minterms.add(index)
+    while mask:
+        low = mask & -mask
+        minterms.add(low.bit_length() - 1)
+        mask ^= low
     return minterms
 
 
@@ -131,18 +135,30 @@ def minterm_to_cube(index: int, order: Sequence[str]) -> Cube:
 
 
 def cube_minterms(cube: Cube, order: Sequence[str]) -> Set[int]:
-    """All minterm indices covered by ``cube`` over ``order``."""
+    """All minterm indices covered by ``cube`` over ``order``.
+
+    The cube is packed into a ``(value, care)`` bit pair over ``order``
+    and the free positions are enumerated as integer subsets.
+    """
     names = list(order)
+    n = len(names)
     fixed = cube.as_dict()
-    free = [name for name in names if name not in fixed]
+    value = 0
+    care = 0
+    for position, name in enumerate(names):
+        if name in fixed:
+            bit = 1 << (n - 1 - position)
+            care |= bit
+            if fixed[name]:
+                value |= bit
+    free = ((1 << n) - 1) ^ care
     minterms: Set[int] = set()
-    for bits in itertools.product((0, 1), repeat=len(free)):
-        env = dict(fixed)
-        env.update(zip(free, bits))
-        index = 0
-        for name in names:
-            index = (index << 1) | env[name]
-        minterms.add(index)
+    subset = free
+    while True:
+        minterms.add(value | subset)
+        if subset == 0:
+            break
+        subset = (subset - 1) & free
     return minterms
 
 

@@ -110,6 +110,31 @@ class GateNetlist:
         self._counter += 1
         return f"{hint}${self._counter}"
 
+    def clone(self, name: Optional[str] = None) -> "GateNetlist":
+        """An independent copy safe to size separately.
+
+        Cell objects and net-name strings are immutable and shared; the
+        :class:`GateInstance` wrappers (whose ``size`` the sizer mutates
+        in place) and their pin maps are duplicated.  The generation
+        cache stores a pristine clone of every synthesized netlist and
+        hands out clones for sizing under new constraints.
+        """
+        duplicate = GateNetlist(
+            name if name is not None else self.name,
+            self.inputs,
+            self.outputs,
+            self.library,
+        )
+        duplicate._counter = self._counter
+        for instance in self.instances.values():
+            duplicate.instances[instance.name] = GateInstance(
+                name=instance.name,
+                cell=instance.cell,
+                pins=dict(instance.pins),
+                size=instance.size,
+            )
+        return duplicate
+
     # ------------------------------------------------------------------ query
 
     def instance(self, name: str) -> GateInstance:

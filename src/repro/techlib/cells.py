@@ -113,6 +113,7 @@ class CellLibrary:
         self.name = name
         self._cells: Dict[str, Cell] = {}
         self._by_kind: Dict[str, List[Cell]] = {}
+        self._fingerprint: Optional[int] = None
         for cell in cells:
             self.add(cell)
 
@@ -121,6 +122,22 @@ class CellLibrary:
             raise CellLibraryError(f"cell {cell.name!r} already in library {self.name!r}")
         self._cells[cell.name] = cell
         self._by_kind.setdefault(cell.kind, []).append(cell)
+        self._fingerprint = None
+
+    def fingerprint(self) -> int:
+        """A stable identity of the library's full parameter set.
+
+        Cells are frozen dataclasses, so the fingerprint is the hash of
+        the (name-ordered) cell tuple plus the library name.  The
+        generation cache keys synthesized netlists on it: two services
+        sharing a cache (or a library mutated through :meth:`add`) can
+        never serve each other's mappings for a different cell set.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = hash(
+                (self.name, tuple(self._cells[name] for name in sorted(self._cells)))
+            )
+        return self._fingerprint
 
     def cell(self, name: str) -> Cell:
         try:

@@ -26,11 +26,11 @@ def make_slow_generator(cell_library=None, delay=0.3, slices=6):
     """
 
     class SlowToolGenerator(EmbeddedGenerator):
-        def run_flow(self, flat, constraints, target):
+        def run_flow(self, flat, constraints, target, **kwargs):
             for index in range(slices):
                 checkpoint("external_tool", 0.05 + 0.5 * index / slices)
                 time.sleep(delay / slices)
-            return super().run_flow(flat, constraints, target)
+            return super().run_flow(flat, constraints, target, **kwargs)
 
     return SlowToolGenerator(cell_library)
 

@@ -198,6 +198,131 @@ VARIABLE: i;
     assert service.cache.stats()["entries"] == 0
 
 
+# ---------------------------------------------------------------------------
+# Generation cache (stage-level memoization of the cold path)
+# ---------------------------------------------------------------------------
+
+
+def _assert_generation_accounting(stats):
+    """The flow-level memo holds the PR-3 cache accounting invariants."""
+    for stage, snapshot in stats.items():
+        assert snapshot["hits"] + snapshot["misses"] == snapshot["lookups"], stage
+        assert snapshot["entries"] == snapshot["stores"] - snapshot["evictions"], stage
+        assert snapshot["entries"] >= 0, stage
+
+
+def test_generation_cache_cross_session_hits_and_accounting(service):
+    """Two sessions generating the same cold signature share the flow
+    stages; counters stay consistent and the artifacts are identical."""
+    first_session = service.create_session()
+    second_session = service.create_session()
+    request = ComponentRequest(
+        implementation="alu", attributes={"size": 4}, use_cache=False
+    )
+
+    first = first_session.execute(request)
+    assert first.ok and not first.cached
+    stats = service.generation_stats()
+    _assert_generation_accounting(stats)
+    assert stats["flows"]["hits"] == 0 and stats["flows"]["stores"] == 1
+
+    second = second_session.execute(request)
+    assert second.ok and not second.cached  # memo-served, still a fresh instance
+    stats = service.generation_stats()
+    _assert_generation_accounting(stats)
+    # Cross-session hit counting: the second session's cold request hit
+    # the expansion and flow stages the first session populated.
+    assert stats["flows"]["hits"] == 1
+    assert stats["expand"]["hits"] == 1
+
+    assert second.value["instance"] != first.value["instance"]
+    for key in ("delay", "area", "shape_function", "cells", "clock_width"):
+        assert second.value[key] == first.value[key], key
+    # Both are fully registered, independently deletable instances.
+    for name in (first.value["instance"], second.value["instance"]):
+        assert name in service.instances
+        assert service.database.table(INSTANCES).get(name=name) is not None
+
+
+def test_generation_cache_shares_synthesis_across_constraints(service):
+    """A constraint sweep synthesizes once: the synth stage is shared,
+    the flow (sizing + estimates) is per-constraint."""
+    session = service.create_session()
+    base = dict(implementation="counter", attributes={"size": 4}, use_cache=False)
+    session.execute(ComponentRequest(constraints=Constraints(clock_width=60.0), **base))
+    before = service.generation_stats()
+    session.execute(ComponentRequest(constraints=Constraints(clock_width=45.0), **base))
+    after = service.generation_stats()
+    _assert_generation_accounting(after)
+    assert after["synth"]["hits"] == before["synth"]["hits"] + 1
+    assert after["flows"]["stores"] == before["flows"]["stores"] + 1
+    assert after["flows"]["hits"] == before["flows"]["hits"]
+
+
+def test_expansion_memo_tolerates_stray_default_parameters(service):
+    """Implementations may carry default_parameters the top module does
+    not declare (resolve_parameters validates *overrides* strictly, never
+    defaults).  The expansion memo must key on the resolved values while
+    expanding with the caller's overrides, or such implementations break."""
+    from repro.components.catalog import ComponentImplementation
+
+    register = service.catalog.get("register")
+    stray = ComponentImplementation(
+        name="stray_register",
+        component_type="Register",
+        functions=register.functions,
+        iif_source=register.iif_source,
+        default_parameters={**register.default_parameters, "stray": 7},
+        subfunction_sources=register.subfunction_sources,
+    )
+    service.catalog.add(stray)
+    session = service.create_session()
+    first = session.execute(
+        ComponentRequest(
+            implementation="stray_register", parameters={"size": 3}, use_cache=False
+        )
+    )
+    assert first.ok, first.error
+    second = session.execute(
+        ComponentRequest(
+            implementation="stray_register", parameters={"size": 3}, use_cache=False
+        )
+    )
+    assert second.ok and second.value["delay"] == first.value["delay"]
+    assert service.generation_stats()["expand"]["hits"] >= 1
+
+
+def test_generation_cache_entries_bounded_with_eviction_accounting(tmp_path):
+    """The stage LRUs stay within their bounds and the accounting
+    invariant survives evictions (entries == stores - evictions)."""
+    from repro.api import ComponentService
+    from repro.components import standard_catalog
+    from repro.core.gencache import GenerationCache
+
+    service = ComponentService(
+        catalog=standard_catalog(fresh=True),
+        store_root=tmp_path / "bounded",
+        generation_cache=GenerationCache(
+            max_expansions=2, max_netlists=2, max_flows=2, max_optimized=8
+        ),
+    )
+    session = service.create_session()
+    for size in (2, 3, 4, 5):
+        response = session.execute(
+            ComponentRequest(
+                implementation="register", attributes={"size": size}, use_cache=False
+            )
+        )
+        assert response.ok
+    stats = service.generation_stats()
+    _assert_generation_accounting(stats)
+    assert stats["expand"]["entries"] <= 2
+    assert stats["synth"]["entries"] <= 2
+    assert stats["flows"]["entries"] <= 2
+    assert stats["optimize"]["entries"] <= 8
+    assert stats["flows"]["evictions"] >= 2
+
+
 def test_cached_clone_survives_template_deletion(service):
     session = service.create_session()
     request = ComponentRequest(implementation="register", attributes={"size": 3})

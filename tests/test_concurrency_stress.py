@@ -145,6 +145,62 @@ def test_sixteen_clients_mixed_traffic(stress_server):
     assert any(elapsed > 0.0 for _, elapsed in all_records)
 
 
+def test_generation_cache_invariants_under_worker_pool(tmp_path):
+    """Cold (use_cache=False) traffic racing through the job worker pool:
+    the stage-level generation cache must keep its accounting invariants
+    (hits + misses == lookups, entries == stores - evictions per stage),
+    serve byte-identical artifacts to every session, and never leak an
+    unregistered instance."""
+    service = ComponentService(
+        catalog=standard_catalog(fresh=True),
+        store_root=tmp_path / "genstress",
+        job_workers=4,
+    )
+    sessions = [service.create_session(client=f"gen-{i}") for i in range(8)]
+    handles = []
+    for index, session in enumerate(sessions):
+        for _ in range(3):
+            handles.append(
+                (
+                    index % 3,  # three signature lanes shared across sessions
+                    session.submit(
+                        ComponentRequest(
+                            implementation="alu",
+                            attributes={"size": 3 + (index % 3)},
+                            use_cache=False,
+                            detail="full",
+                        )
+                    ),
+                )
+            )
+    by_lane = {}
+    for lane, handle in handles:
+        summary = handle.result(timeout=120)
+        assert summary["instance"] in service.instances
+        by_lane.setdefault(lane, []).append(summary)
+    service.jobs.shutdown()
+
+    # Identical artifacts per signature lane, regardless of which thread
+    # generated first and which ones replayed the memo.
+    for lane, summaries in by_lane.items():
+        reference = summaries[0]
+        for other in summaries[1:]:
+            for key in ("delay", "area", "shape_function", "cells", "clock_width"):
+                assert other[key] == reference[key], (lane, key)
+
+    stats = service.generation_stats()
+    for stage, snapshot in stats.items():
+        assert snapshot["hits"] + snapshot["misses"] == snapshot["lookups"], stage
+        assert snapshot["entries"] == snapshot["stores"] - snapshot["evictions"], stage
+    # Three signature lanes -> exactly three flow entries; every request
+    # consulted the flow stage exactly once.
+    assert stats["flows"]["entries"] == 3
+    assert stats["flows"]["lookups"] == len(handles)
+    # At worst each lane generated once per concurrent first-arrival, and
+    # the remaining requests were memo hits.
+    assert stats["flows"]["hits"] >= len(handles) - 3 * 4  # lanes x workers
+
+
 def test_materialize_races_with_deletion(tmp_path):
     """Concurrent materialization and transaction deletes must not corrupt
     the pending-artifact registry or resurrect deleted instances."""

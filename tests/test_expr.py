@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import itertools
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -230,3 +232,136 @@ def test_property_truth_table_length(expression):
     table = E.truth_table(expression)
     assert len(table) == 2 ** len(expression.variables())
     assert set(table) <= {0, 1}
+
+
+# ---------------------------------------------------------------------------
+# Hash-consing (interning) invariants
+# ---------------------------------------------------------------------------
+
+
+def _rebuild(expression: E.BExpr) -> E.BExpr:
+    """Reconstruct an expression bottom-up through the public constructors."""
+    if isinstance(expression, E.Var):
+        return E.Var(expression.name)
+    if isinstance(expression, E.Const):
+        return E.Const(expression.value)
+    if isinstance(expression, E.Not):
+        return E.Not(_rebuild(expression.operand))
+    if isinstance(expression, E.Buf):
+        return E.Buf(_rebuild(expression.operand))
+    if isinstance(expression, E.And):
+        return E.And(tuple(_rebuild(arg) for arg in expression.args))
+    if isinstance(expression, E.Or):
+        return E.Or(tuple(_rebuild(arg) for arg in expression.args))
+    if isinstance(expression, E.Xor):
+        return E.Xor(_rebuild(expression.left), _rebuild(expression.right))
+    if isinstance(expression, E.Xnor):
+        return E.Xnor(_rebuild(expression.left), _rebuild(expression.right))
+    assert isinstance(expression, E.Special)
+    return E.Special(
+        expression.kind,
+        tuple(_rebuild(arg) for arg in expression.args),
+        expression.param,
+    )
+
+
+def _walked_variables(expression: E.BExpr) -> frozenset:
+    """The support recomputed by traversal (the pre-interning definition)."""
+    return frozenset(
+        node.name for node in E.walk(expression) if isinstance(node, E.Var)
+    )
+
+
+def test_interning_is_total():
+    """Building the same structure twice yields the same object."""
+    a, b = E.var("a"), E.var("b")
+    first = E.or_(E.and_(a, E.not_(b)), E.xor(a, b))
+    second = E.or_(E.and_(E.var("a"), E.not_(E.var("b"))), E.xor(E.var("a"), E.var("b")))
+    assert first is second
+    assert E.Var("a") is a
+    assert E.Special("tristate", (a, b)) is E.tristate(a, b)
+    assert E.Const(1) is E.TRUE
+
+
+@given(expressions())
+@settings(max_examples=150, deadline=None)
+def test_property_interning_hash_eq_variables_consistency(expression):
+    """Rebuilt expressions are the *same* node; the cached facts match a
+    traversal; equality and hashing agree with identity."""
+    twin = _rebuild(expression)
+    assert twin is expression
+    assert hash(twin) == hash(expression)
+    assert twin == expression
+    assert expression.variables() == _walked_variables(expression)
+    assert E.count_literals(expression) == sum(
+        1 for node in E.walk(expression) if isinstance(node, E.Var)
+    )
+    assert E.count_nodes(expression) == sum(
+        1 for node in E.walk(expression) if not isinstance(node, (E.Var, E.Const))
+    )
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_property_truth_mask_matches_evaluate(expression):
+    """The packed truth mask agrees with per-row evaluation."""
+    names = sorted(expression.variables())
+    mask = E.truth_mask(expression, names)
+    for index, bits in enumerate(itertools.product((0, 1), repeat=len(names))):
+        env = dict(zip(names, bits))
+        assert (mask >> index) & 1 == expression.evaluate(env)
+
+
+def test_copy_and_deepcopy_preserve_identity():
+    import copy
+
+    expression = E.or_(E.var("a"), E.not_(E.var("b")))
+    assert copy.copy(expression) is expression
+    assert copy.deepcopy(expression) is expression
+
+
+def test_canonical_form_is_a_rename_round_trip():
+    a = E.and_(E.var("Q[3]"), E.not_(E.var("DWUP")), E.xor(E.var("Q[0]"), E.var("EN")))
+    canonical, names = E.canonical_form(a)
+    assert names == tuple(sorted(a.variables()))
+    back = {E.canonical_name(i): E.Var(name) for i, name in enumerate(names)}
+    assert E.substitute(canonical, back) is a
+    # Slices that are renames of each other share one canonical node.
+    b = E.and_(E.var("Q[4]"), E.not_(E.var("DWUP")), E.xor(E.var("Q[1]"), E.var("EN")))
+    canonical_b, _ = E.canonical_form(b)
+    assert canonical_b is canonical
+
+
+def test_interning_is_thread_safe():
+    """Concurrent construction of one expression family converges on the
+    same interned nodes with consistent cached facts (the PR-3 job
+    workers synthesize concurrently)."""
+    import threading
+
+    results = [None] * 8
+    barrier = threading.Barrier(len(results))
+
+    def build(index: int) -> None:
+        barrier.wait()
+        terms = []
+        for i in range(40):
+            terms.append(
+                E.or_(
+                    E.and_(E.var(f"ts_a{i}"), E.not_(E.var(f"ts_b{i}"))),
+                    E.xor(E.var(f"ts_a{i}"), E.var(f"ts_c{i}")),
+                )
+            )
+        results[index] = terms
+
+    threads = [threading.Thread(target=build, args=(i,)) for i in range(len(results))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(30)
+    reference = results[0]
+    assert reference is not None
+    for other in results[1:]:
+        assert other is not None
+        for left, right in zip(reference, other):
+            assert left is right
+            assert left.variables() == _walked_variables(left)

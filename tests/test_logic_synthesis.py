@@ -305,3 +305,103 @@ def test_synthesized_netlists_validate(catalog, cells):
         netlist = synthesize(flat, cells)
         netlist.validate()
         assert netlist.cell_count() > 0
+
+
+# ---------------------------------------------------------------------------
+# Common-slice (canonical-form) optimization reuse
+# ---------------------------------------------------------------------------
+
+
+def test_optimize_memo_replays_byte_identical_across_catalog(catalog, cells):
+    """The generation cache replays a slice's minimize/factor result
+    through a variable rename.  For that to be sound the replay must be
+    *identical* to direct optimization -- not merely equivalent -- for
+    every equation of every catalog component: the golden netlists depend
+    on it.  This asserts it catalog-wide at two bit widths."""
+    from repro.core.gencache import CountedLruCache
+    from repro.logic.milo import optimize_expression
+
+    options = SynthesisOptions()
+    checked = 0
+    total_hits = 0
+    for implementation in catalog.implementations():
+        for size in (3, 6):
+            parameters = dict(implementation.default_parameters)
+            if "size" in parameters:
+                parameters["size"] = size
+            try:
+                flat = implementation.expand(parameters, name="slice_check")
+            except Exception:
+                # Some implementations (e.g. extract) need co-varying
+                # parameters; a bare size override is not meaningful there.
+                continue
+            working = sweep(flat, options)
+            memo = CountedLruCache(4096)
+            expressions = [assign.expr for assign in working.combinational()]
+            for assign in working.sequential():
+                expressions.append(assign.data)
+                expressions.append(assign.clock)
+                expressions.extend(term.condition for term in assign.asyncs)
+            for expression in expressions:
+                direct = optimize_expression(expression, options, None)
+                replayed = optimize_expression(expression, options, memo)
+                assert replayed is direct, (implementation.name, size, expression)
+                checked += 1
+            total_hits += memo.stats()["hits"]
+    assert checked > 300
+    # Slice reuse actually engages: across the catalog, regular multi-bit
+    # structures share canonical forms between their bit equations.
+    assert total_hits > 50
+
+
+def test_optimize_memo_skips_opaque_slices_that_straddle_placeholders():
+    """Equations with opaque Buf/Special subterms must not replay through
+    the canonical memo: minimize abstracts them as `_opq<i>` variables,
+    and '_' sorts between uppercase and lowercase, so the QM variable
+    order of a slice and its rename can differ.  This is the concrete
+    straddling case (uppercase vs lowercase support) that produced a
+    structurally different -- though equivalent -- replay before the
+    opaque guard existed."""
+    from repro.core.gencache import CountedLruCache
+    from repro.logic.milo import optimize_expression
+
+    options = SynthesisOptions()
+    memo = CountedLruCache(64)
+
+    def slice_over(x, y, z):
+        return E.or_(
+            E.and_(E.var(z), E.or_(E.buf(E.and_(E.var(x), E.var(y))), E.var(y))),
+            E.var(x),
+        )
+
+    upper = slice_over("A", "B", "C")
+    lower = slice_over("a", "b", "c")
+    assert optimize_expression(upper, options, memo) is optimize_expression(
+        upper, options, None
+    )
+    assert optimize_expression(lower, options, memo) is optimize_expression(
+        lower, options, None
+    )
+    # The guard keeps opaque expressions out of the memo entirely.
+    assert memo.stats()["lookups"] == 0
+
+
+def test_synthesize_with_optimize_cache_is_byte_identical(catalog, cells):
+    """Whole-netlist check: synthesis with a shared optimize memo emits
+    exactly the same instances, nets and pin maps as without."""
+    from repro.core.gencache import CountedLruCache
+
+    for name in ("alu", "counter", "ripple_carry_adder", "decoder"):
+        implementation = catalog.get(name)
+        parameters = dict(implementation.default_parameters)
+        if "size" in parameters:
+            parameters["size"] = 5
+        flat = implementation.expand(parameters, name="memo_check")
+        plain = synthesize(flat, cells)
+        memoized = synthesize(flat, cells, optimize_cache=CountedLruCache(4096))
+        assert list(plain.instances) == list(memoized.instances)
+        for key in plain.instances:
+            left, right = plain.instances[key], memoized.instances[key]
+            assert left.cell.name == right.cell.name
+            assert left.pins == right.pins
+            assert left.size == right.size

@@ -350,12 +350,13 @@ def test_timed_out_transport_is_poisoned_not_desynced(server):
     """A recv timeout leaves the server's late reply in flight; the
     transport must refuse further use instead of misreading that reply as
     the answer to the next request."""
-    client = RemoteClient(SocketTransport(server.host, server.port, timeout=0.02))
+    client = RemoteClient(SocketTransport(server.host, server.port, timeout=0.005))
     with pytest.raises(IcdbError) as excinfo:
-        # An uncached generation takes far longer than the 20 ms timeout.
+        # A cold 16-bit ALU generation (fresh server, nothing memoized)
+        # takes far longer than the 5 ms timeout.
         client.execute(
             ComponentRequest(
-                implementation="alu", attributes={"size": 8}, use_cache=False
+                implementation="alu", attributes={"size": 16}, use_cache=False
             )
         )
     assert excinfo.value.code == "UNAVAILABLE"
