@@ -1,0 +1,246 @@
+"""Design-space exploration throughput: serial loop vs parallel plan.
+
+The PR-5 acceptance experiment.  The paper's Figure 5 tradeoff study is a
+loop of blocking ``request_component`` calls; with the query planner the
+same sweep is ONE ``plan_query`` whose candidates fan out across the
+service's job workers.  The paper's generators are external tools the
+server *waits on* (MILO, LES), simulated here -- as in ``bench_jobs.py``
+-- by a generator that sleeps in cancellation-checkpointed slices (the
+GIL is released, so the waits overlap even on one core).
+
+Measured over ``>= 12`` candidate configurations (4 implementations x 3
+sizes), Pareto objective ``pareto(area, delay)``:
+
+* **serial** -- the historical loop: one blocking ``request_component``
+  per configuration over a TCP client;
+* **parallel** -- one ``PlanQuery`` over the same TCP client, the server
+  fanning candidates out over its job worker pool.
+
+Acceptance (asserted):
+
+* parallel wall-clock ``>= 3x`` faster than serial with ``>= 2`` workers
+  (the pool here is 6 wide);
+* the returned Pareto front is correct: non-dominated, and exactly the
+  front recomputed here from the candidate metrics;
+* the plan behaves identically through ``RemoteClient``: candidate
+  labels, statuses, instances and metrics match a local in-process plan
+  of the same spec on a fresh service.
+
+``BENCH_DSE_SMOKE=1`` shrinks the simulated tool delay for CI smoke runs
+(the speedup is sleep-bound, so the ratio assertion still holds).
+Results land in ``BENCH_dse.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import record_bench_results, run_once
+
+from repro.api import ComponentRequest, ComponentService, NamePredicate, QuerySpec, pareto
+from repro.components import standard_catalog
+from repro.core.generation import EmbeddedGenerator
+from repro.core.progress import checkpoint
+from repro.net import connect, serve
+
+SMOKE = os.environ.get("BENCH_DSE_SMOKE", "") not in ("", "0")
+
+#: The swept design space: 4 implementations x 3 sizes = 12 configurations.
+IMPLEMENTATIONS = ("up_counter", "ripple_counter", "incrementer", "register")
+SIZES = (2, 3, 4)
+#: Job worker pool width (>= 2 per the acceptance criterion).
+WORKERS = 6
+#: Simulated external-tool latency per generation, seconds.
+TOOL_DELAY = 0.3 if SMOKE else 1.0
+#: Sleep slices (= cancellation checkpoints) per simulated tool run.
+TOOL_SLICES = 10
+#: Acceptance floor: serial wall-clock over parallel wall-clock.
+MIN_SPEEDUP = 3.0
+
+
+def _spec() -> QuerySpec:
+    return QuerySpec(
+        select=(NamePredicate(IMPLEMENTATIONS),),
+        sweep=(("size", SIZES),),
+        objective=pareto("area", "delay"),
+    )
+
+
+def _slow_generator(cell_library):
+    class ExternalToolGenerator(EmbeddedGenerator):
+        """Sleeps like a subprocess wait, checkpointing between slices."""
+
+        def run_flow(self, flat, constraints, target, **kwargs):
+            for index in range(TOOL_SLICES):
+                checkpoint("external_tool", 0.05 + 0.5 * index / TOOL_SLICES)
+                time.sleep(TOOL_DELAY / TOOL_SLICES)
+            return super().run_flow(flat, constraints, target, **kwargs)
+
+    return ExternalToolGenerator(cell_library)
+
+
+def _service(tmp_path, tag: str, slow: bool = True) -> ComponentService:
+    service = ComponentService(
+        catalog=standard_catalog(fresh=True),
+        store_root=tmp_path / tag,
+        job_workers=WORKERS,
+    )
+    if slow:
+        service.generator = _slow_generator(service.cell_library)
+    return service
+
+
+def _own_front(candidates) -> set:
+    """Recompute the non-dominated front from the candidate metrics."""
+    generated = [c for c in candidates if c.status == "generated"]
+    front = set()
+    for candidate in generated:
+        dominated = any(
+            other.metrics["area"] <= candidate.metrics["area"]
+            and other.metrics["delay"] <= candidate.metrics["delay"]
+            and (
+                other.metrics["area"] < candidate.metrics["area"]
+                or other.metrics["delay"] < candidate.metrics["delay"]
+            )
+            for other in generated
+            if other is not candidate
+        )
+        if not dominated:
+            front.add(candidate.label)
+    return front
+
+
+def test_bench_parallel_pareto_sweep(benchmark, tmp_path):
+    spec = _spec()
+    configurations = [
+        (implementation, size)
+        for implementation in IMPLEMENTATIONS
+        for size in SIZES
+    ]
+    assert len(configurations) >= 12
+
+    serial_service = _service(tmp_path, "serial")
+    serial_server = serve(service=serial_service, port=0)
+    parallel_service = _service(tmp_path, "parallel")
+    parallel_server = serve(service=parallel_service, port=0)
+    try:
+        serial_client = connect(
+            serial_server.host, serial_server.port, client="bench-dse-serial"
+        )
+        parallel_client = connect(
+            parallel_server.host, parallel_server.port, client="bench-dse-parallel"
+        )
+
+        def measure():
+            # Serial baseline: the pre-planner loop, one blocking
+            # request_component per configuration.
+            start = time.perf_counter()
+            for implementation, size in configurations:
+                serial_client.execute(
+                    ComponentRequest(
+                        implementation=implementation,
+                        parameters={"size": size},
+                        detail="summary",
+                    )
+                ).unwrap()
+            serial_s = time.perf_counter() - start
+
+            # Parallel: one plan, candidates fanned out server-side.
+            start = time.perf_counter()
+            result = parallel_client.plan(spec)
+            parallel_s = time.perf_counter() - start
+            return {
+                "serial_s": serial_s,
+                "parallel_s": parallel_s,
+                "result": result,
+            }
+
+        timings = run_once(benchmark, measure)
+        result = timings["result"]
+        serial_client.close()
+        parallel_client.close()
+    finally:
+        serial_server.stop()
+        parallel_server.stop()
+        serial_service.jobs.shutdown()
+        parallel_service.jobs.shutdown()
+
+    speedup = timings["serial_s"] / timings["parallel_s"]
+    generated = [c for c in result.candidates if c.status == "generated"]
+    front_labels = [c.label for c in result.front_reports()]
+    print()
+    print(
+        f"{len(configurations)} configurations, serial request loop: "
+        f"{timings['serial_s']:>7.2f} s"
+    )
+    print(
+        f"{len(configurations)} configurations, one parallel plan:   "
+        f"{timings['parallel_s']:>7.2f} s"
+    )
+    print(f"speedup (serial / parallel, {WORKERS} workers):    {speedup:>7.2f}x")
+    print(f"pareto front: {front_labels}")
+
+    record_bench_results(
+        "dse",
+        "pareto_sweep",
+        {
+            "configurations": len(configurations),
+            "workers": WORKERS,
+            "tool_delay_s": TOOL_DELAY,
+            "smoke": SMOKE,
+            "serial_s": round(timings["serial_s"], 4),
+            "parallel_s": round(timings["parallel_s"], 4),
+            "speedup": round(speedup, 3),
+            "front": front_labels,
+            "generated": len(generated),
+        },
+    )
+
+    # Acceptance: every configuration generated, >= 3x on >= 2 workers.
+    assert len(generated) == len(configurations)
+    assert WORKERS >= 2
+    assert speedup >= MIN_SPEEDUP, (
+        f"parallel plan speedup {speedup:.2f}x is below the "
+        f"{MIN_SPEEDUP:.1f}x acceptance floor"
+    )
+
+    # The front is correct: exactly the non-dominated subset.
+    assert set(front_labels) == _own_front(result.candidates)
+    assert front_labels, "a non-empty design space must have a front"
+
+
+def test_bench_remote_plan_identical_to_local(tmp_path):
+    """The same spec plans identically through RemoteClient and locally.
+
+    Fresh services on both sides (fast generators -- identity, not
+    timing): candidate labels, statuses, instance names, metrics, the
+    ranked winners and the front must match field for field.
+    """
+    spec = _spec()
+    local_service = _service(tmp_path, "ident-local", slow=False)
+    remote_service = _service(tmp_path, "ident-remote", slow=False)
+    server = serve(service=remote_service, port=0)
+    try:
+        local = local_service.create_session().plan(spec)
+        client = connect(server.host, server.port, client="bench-dse-ident")
+        remote = client.plan(spec)
+        client.close()
+    finally:
+        server.stop()
+        local_service.jobs.shutdown()
+        remote_service.jobs.shutdown()
+
+    assert [c.to_dict() for c in remote.candidates] == [
+        c.to_dict() for c in local.candidates
+    ]
+    assert remote.winners == local.winners
+    assert remote.front == local.front
+    record_bench_results(
+        "dse",
+        "remote_identity",
+        {
+            "candidates": len(remote.candidates),
+            "identical": True,
+        },
+    )

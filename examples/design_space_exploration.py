@@ -1,0 +1,97 @@
+"""Declarative queries and parallel design-space exploration.
+
+The point of an *intelligent* component database: "something that
+executes INC, under a delay bound, as small as possible" is one typed
+question, not a hand-rolled loop.  This example shows:
+
+* a :class:`~repro.api.query.QuerySpec` -- predicates, a size sweep, a
+  delay bound and a Pareto objective;
+* the planner generating the candidates in parallel over the service's
+  job workers and answering ranked reports + the Pareto front;
+* the ``explain()`` report: stages, prunes, generation-cache hits;
+* the same plan over the wire through a :class:`~repro.net.client.RemoteClient`;
+* ``area_time_tradeoff`` (Figure 5) as a thin wrapper over a plan.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.api import (
+    ComponentService,
+    FunctionPredicate,
+    QuerySpec,
+    TypePredicate,
+    max_delay,
+    minimize,
+    pareto,
+)
+from repro.net import connect, serve
+
+
+def main() -> None:
+    service = ComponentService(job_workers=4)
+    session = service.create_session(client="dse-example")
+
+    # ----------------------------------------------------------- the question
+    spec = QuerySpec(
+        select=(TypePredicate("Counter"), FunctionPredicate(("INC",))),
+        sweep=(("size", (2, 4, 8)),),
+        where=(max_delay(40.0),),
+        objective=pareto("area", "delay"),
+    )
+    result = session.plan(spec)
+
+    print("== candidates ==")
+    for report in result.candidates:
+        metrics = {k: round(v, 1) for k, v in report.metrics.items()}
+        marker = " <- front" if report.on_front else ""
+        print(f"  {report.label:28s} {report.status:10s} {metrics}{marker}")
+    assert result.winner is not None
+    print("winner:", result.winner.label)
+
+    print("\n== explain ==")
+    for stage in result.explain()["stages"]:
+        interesting = {
+            k: v
+            for k, v in stage.items()
+            if k not in ("stage", "elapsed_ms", "generation_cache", "result_cache")
+        }
+        print(f"  {stage['stage']:10s} {interesting}")
+
+    # A single-metric objective over the same space, top-3 only:
+    cheapest = session.plan(
+        QuerySpec(
+            select=(TypePredicate("Counter"),),
+            sweep=(("size", (2, 4, 8)),),
+            objective=minimize("area"),
+            limit=3,
+        )
+    )
+    print("\nthree cheapest:", [r.label for r in cheapest.winner_reports()])
+
+    # ----------------------------------------------------- the same, remotely
+    server = serve(service=ComponentService(job_workers=4), port=0)
+    try:
+        client = connect(server.host, server.port, client="dse-example")
+        remote = client.plan(spec)
+        print("\nremote front:", [r.label for r in remote.front_reports()])
+        rows = client.area_time_tradeoff(
+            "counter", [("ripple", {"size": 4, "type": 1}), ("sync", {"size": 4})]
+        )
+        print("tradeoff rows:")
+        for row in rows:
+            print(
+                f"  {row['label']:8s} delay={row['delay']:.1f} ns "
+                f"area={row['area']:,.0f} um^2 cells={row['cells']}"
+            )
+        client.close()
+    finally:
+        server.stop()
+    service.jobs.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -69,6 +69,29 @@ Typed service API (multi-client, wire-serializable)::
     same = request_from_dict(json.loads(wire))
     assert same == request
 
+Querying and design-space exploration (the query planner)::
+
+    from repro.api import (QuerySpec, TypePredicate, FunctionPredicate,
+                           max_delay, pareto)
+
+    spec = QuerySpec(
+        select=(TypePredicate("Counter"), FunctionPredicate(("INC",))),
+        sweep=(("size", (2, 4, 8)),),
+        where=(max_delay(40.0),),
+        objective=pareto("area", "delay"),
+    )
+    result = session.plan(spec)      # candidates generate in parallel
+    print(result.winner.label, result.winner.metrics)
+    print([r.label for r in result.front_reports()])  # the Pareto front
+    print(result.explain())          # stages, prunes, cache-hit deltas
+
+The same ``PlanQuery`` flows over the wire (``RemoteClient.plan``) and
+through CQL (``command: explore; ...``); ``request_component`` without an
+explicit implementation resolves through the planner's single-winner
+selection, and ``area_time_tradeoff`` is a plan with explicit points --
+see the "Querying and design-space exploration" section of
+``docs/api.md``.
+
 Sessions are per client: each owns its current design and transaction
 state, while the catalog, database, instance registry and result cache are
 shared (and lock-protected) across sessions.  Repeated identical
@@ -94,6 +117,10 @@ from .api import (
     InstanceQuery,
     LayoutRequest,
     PROTOCOL_VERSION,
+    PlanQuery,
+    PlanResult,
+    Planner,
+    QuerySpec,
     Response,
     ResultCache,
     Session,
@@ -130,7 +157,11 @@ __all__ = [
     "LayoutRequest",
     "OutParam",
     "PROTOCOL_VERSION",
+    "PlanQuery",
+    "PlanResult",
+    "Planner",
     "PortPosition",
+    "QuerySpec",
     "RemoteClient",
     "Response",
     "ResultCache",

@@ -8,6 +8,12 @@ The contract a socket / HTTP transport would speak:
 * :mod:`repro.api.errors` -- structured error codes and payloads;
 * :mod:`repro.api.service` -- the :class:`ComponentService` engine and
   per-client :class:`Session` objects;
+* :mod:`repro.api.query` -- the declarative component-query IR:
+  predicates, metric bounds, objectives (minimize / weighted / Pareto)
+  and design-space sweeps, all JSON round-trippable;
+* :mod:`repro.api.planner` -- the query planner: candidate enumeration,
+  cheap pre-generation pruning, parallel generation over the job worker
+  pool, ranking / Pareto fronts and ``explain()`` reports;
 * :mod:`repro.api.cache` -- the canonical-signature result cache that
   memoizes catalog-based component generations.
 
@@ -34,6 +40,7 @@ from .errors import (
     E_FRAME_TOO_LARGE,
     E_GENERATION_FAILED,
     E_INTERNAL,
+    E_INVALID,
     E_NOT_FOUND,
     E_PROTOCOL,
     E_TIMEOUT,
@@ -41,6 +48,37 @@ from .errors import (
     ERROR_CODES,
     IcdbErrorInfo,
     error_from_exception,
+)
+from .query import (
+    METRICS,
+    AttributePredicate,
+    Bound,
+    FunctionPredicate,
+    NamePredicate,
+    Objective,
+    PlanPoint,
+    QuerySpec,
+    TypePredicate,
+    max_area,
+    max_cells,
+    max_clock_width,
+    max_delay,
+    minimize,
+    pareto,
+    parse_objective,
+    weighted,
+)
+from .planner import (
+    MAX_PLAN_CANDIDATES,
+    CandidateReport,
+    Planner,
+    PlanResult,
+    match_implementations,
+    pareto_front,
+    select_implementation,
+    tradeoff_rows,
+    tradeoff_spec,
+    validate_attribute_names,
 )
 from .messages import (
     COMPONENT_DETAILS,
@@ -63,6 +101,7 @@ from .messages import (
     JobEvent,
     JobStatus,
     LayoutRequest,
+    PlanQuery,
     Request,
     Response,
     SubmitJob,
@@ -80,9 +119,12 @@ from .service import (
 
 __all__ = [
     "AttachSession",
+    "AttributePredicate",
     "BatchRequest",
+    "Bound",
     "COMPONENT_DETAILS",
     "CancelJob",
+    "CandidateReport",
     "ComponentQuery",
     "ComponentRequest",
     "ComponentService",
@@ -96,12 +138,14 @@ __all__ = [
     "E_FRAME_TOO_LARGE",
     "E_GENERATION_FAILED",
     "E_INTERNAL",
+    "E_INVALID",
     "E_NOT_FOUND",
     "E_PROTOCOL",
     "E_TIMEOUT",
     "E_UNAVAILABLE",
     "ERROR_CODES",
     "FUNCTION_QUERY_WANTS",
+    "FunctionPredicate",
     "FunctionQuery",
     "Hello",
     "IcdbErrorInfo",
@@ -114,16 +158,40 @@ __all__ = [
     "JobStatus",
     "LayoutRequest",
     "LocalJobHandle",
+    "MAX_PLAN_CANDIDATES",
+    "METRICS",
+    "NamePredicate",
+    "Objective",
     "PROTOCOL_VERSION",
+    "PlanPoint",
+    "PlanQuery",
+    "PlanResult",
+    "Planner",
+    "QuerySpec",
     "REQUEST_TYPES",
     "Request",
     "Response",
     "ResultCache",
     "Session",
     "SubmitJob",
+    "TypePredicate",
     "Welcome",
     "clone_instance",
     "error_from_exception",
     "instance_summary",
+    "match_implementations",
+    "max_area",
+    "max_cells",
+    "max_clock_width",
+    "max_delay",
+    "minimize",
+    "pareto",
+    "pareto_front",
+    "parse_objective",
     "request_from_dict",
+    "select_implementation",
+    "tradeoff_rows",
+    "tradeoff_spec",
+    "validate_attribute_names",
+    "weighted",
 ]

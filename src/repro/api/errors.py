@@ -18,6 +18,11 @@ from ..core.icdb import IcdbError
 
 #: The request is malformed or references an unknown option.
 E_BAD_REQUEST = "BAD_REQUEST"
+#: A query names something outside the vocabulary -- an attribute no
+#: catalog implementation defines, or an unknown metric in a plan bound
+#: or objective.  Distinct from ``NOT_FOUND``: the request shape is
+#: valid, the *name* is not part of the schema.
+E_INVALID = "INVALID"
 #: A named implementation, instance or design does not exist.
 E_NOT_FOUND = "NOT_FOUND"
 #: The operation conflicts with existing state (e.g. duplicate design).
@@ -44,6 +49,7 @@ E_INTERNAL = "INTERNAL"
 
 ERROR_CODES = (
     E_BAD_REQUEST,
+    E_INVALID,
     E_NOT_FOUND,
     E_CONFLICT,
     E_GENERATION_FAILED,

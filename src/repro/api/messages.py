@@ -11,6 +11,7 @@ request type              server operation
 :class:`FunctionQuery`    ``function_query`` (by executed functions)
 :class:`InstanceQuery`    ``instance_query`` / ``connect_component``
 :class:`ComponentRequest` ``request_component`` (generate an instance)
+:class:`PlanQuery`        declarative component query / design-space plan
 :class:`LayoutRequest`    layout generation for an existing instance
 :class:`DesignOp`         design / transaction / component-list management
 :class:`SubmitJob`        run any request as an asynchronous server job
@@ -44,6 +45,7 @@ from ..core.icdb import IcdbError
 from ..core.instances import TARGET_LOGIC
 from ..netlist.structural import StructuralNetlist
 from .errors import E_BAD_REQUEST, E_PROTOCOL, IcdbErrorInfo
+from .query import QuerySpec
 
 #: Version of the wire contract spoken by :mod:`repro.net`.  Bump when a
 #: frame or envelope changes incompatibly; the handshake rejects mismatches.
@@ -239,6 +241,39 @@ class ComponentRequest(Request):
 
 
 @dataclass(frozen=True)
+class PlanQuery(Request):
+    """A declarative component query: select, bound, sweep, rank.
+
+    ``query`` is a :class:`~repro.api.query.QuerySpec` -- predicates over
+    the catalog, metric bounds, an objective (single-metric, weighted or
+    Pareto) and the design-space enumeration (sweep axes or explicit
+    points).  The server plans it (:mod:`repro.api.planner`): candidates
+    are pruned with cheap pre-generation checks, survivors generate
+    through the cached engine -- fanned out over the job worker pool --
+    and the answer is the full :class:`~repro.api.planner.PlanResult`
+    wire form: every candidate report, the ranked winners, the Pareto
+    front, and the ``explain`` planning report.
+
+    Plans cannot ride in a batch: a batch holds the service lock for its
+    whole execution, while a plan fans its candidates out across job
+    workers that need that lock to register instances.  Submitting a plan
+    *as a job* is fine -- on a worker thread the planner generates
+    inline.
+    """
+
+    kind: ClassVar[str] = "plan_query"
+
+    query: QuerySpec = field(default_factory=QuerySpec)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "query": self.query.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlanQuery":
+        return cls(query=QuerySpec.from_dict(data.get("query") or {}))
+
+
+@dataclass(frozen=True)
 class LayoutRequest(Request):
     """Generate (and store) the layout of an existing instance.
 
@@ -358,6 +393,16 @@ class BatchRequest(Request):
         if offenders:
             raise IcdbError(
                 f"job-control requests cannot ride in a batch: {offenders}",
+                code=E_BAD_REQUEST,
+            )
+        # A batch holds the service lock for its whole execution; a plan
+        # fans candidates out across job workers that need that lock to
+        # register instances -- waiting on them from inside the batch
+        # would deadlock.
+        if any(isinstance(member, PlanQuery) for member in self.requests):
+            raise IcdbError(
+                "plan_query requests cannot ride in a batch "
+                "(a plan fans out across the job worker pool)",
                 code=E_BAD_REQUEST,
             )
         if not isinstance(self.repeat, int) or self.repeat < 1:
@@ -633,6 +678,7 @@ REQUEST_TYPES: Dict[str, Type[Request]] = {
         FunctionQuery,
         InstanceQuery,
         ComponentRequest,
+        PlanQuery,
         LayoutRequest,
         DesignOp,
         BatchRequest,

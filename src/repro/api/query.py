@@ -1,0 +1,591 @@
+"""The declarative component-query IR: predicates, bounds and objectives.
+
+The paper's whole point is *intelligent* retrieval: a synthesis tool asks
+for "something that executes INC and DEC, under 40 ns, as small as
+possible" and the database picks (or generates) the best implementation.
+This module is the typed, composable description of such a question:
+
+* **predicates** (:class:`FunctionPredicate`, :class:`TypePredicate`,
+  :class:`NamePredicate`, :class:`AttributePredicate`) select candidate
+  implementations from the GENUS catalog;
+* **bounds** (:class:`Bound`, built with :func:`max_delay` /
+  :func:`max_area` / :func:`max_clock_width` / :func:`max_cells`) reject
+  generated candidates whose measured metrics exceed a limit;
+* **objectives** (:func:`minimize`, :func:`weighted`, :func:`pareto`)
+  rank the feasible candidates -- a single metric, a weighted
+  scalarization, or a non-dominated (Pareto) front over several metrics;
+* **sweeps and points** enumerate the design space: attribute axes whose
+  cartesian product is explored per candidate implementation, or an
+  explicit list of labelled :class:`PlanPoint` configurations.
+
+:class:`QuerySpec` composes all of the above and -- like every request in
+:mod:`repro.api.messages` -- round-trips through ``to_dict()`` -> JSON ->
+``from_dict()``, so a :class:`~repro.api.messages.PlanQuery` carries it
+over the wire unchanged.  The evaluation engine lives in
+:mod:`repro.api.planner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..constraints import Constraints
+from ..core.icdb import IcdbError
+from ..core.instances import TARGET_LAYOUT, TARGET_LOGIC
+from .errors import E_BAD_REQUEST, E_INVALID
+
+#: Metrics a bound or objective may reference, measured on every generated
+#: candidate: ``area`` (um^2), ``delay`` (worst output delay or the
+#: spec's ``delay_output``, ns), ``clock_width`` (ns) and ``cells``.
+METRICS = ("area", "delay", "clock_width", "cells")
+
+#: Objective kinds of a :class:`Objective`.
+OBJECTIVE_KINDS = ("minimize", "weighted", "pareto")
+
+
+def _check_metric(metric: str, context: str) -> str:
+    if metric not in METRICS:
+        raise IcdbError(
+            f"unknown {context} metric {metric!r}; expected one of {METRICS}",
+            code=E_INVALID,
+        )
+    return metric
+
+
+def _int_map(raw: Any, context: str) -> Dict[str, int]:
+    """A plain ``{name: int}`` dict from wire data (strict, typed errors)."""
+    if raw is None:
+        return {}
+    if not isinstance(raw, Mapping):
+        raise IcdbError(
+            f"{context} must be a mapping of names to integers, "
+            f"got {type(raw).__name__}",
+            code=E_BAD_REQUEST,
+        )
+    values: Dict[str, int] = {}
+    for key, value in raw.items():
+        try:
+            values[str(key)] = int(value)
+        except (TypeError, ValueError):
+            raise IcdbError(
+                f"{context} value for {key!r} must be an integer, got {value!r}",
+                code=E_BAD_REQUEST,
+            )
+    return values
+
+
+def _str_tuple(raw: Any) -> Tuple[str, ...]:
+    if raw is None:
+        return ()
+    if isinstance(raw, str):
+        return (raw,)
+    return tuple(str(item) for item in raw)
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionPredicate:
+    """Match implementations that perform *all* of the given functions."""
+
+    functions: Tuple[str, ...] = ()
+    kind = "function"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "functions": list(self.functions)}
+
+
+@dataclass(frozen=True)
+class TypePredicate:
+    """Match implementations of a component type (or named exactly so).
+
+    The match is case-insensitive and mirrors the classic
+    ``component_query``: the value matches an implementation's GENUS
+    component type *or* its own name.
+    """
+
+    component: str = ""
+    kind = "type"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "component": self.component}
+
+
+@dataclass(frozen=True)
+class NamePredicate:
+    """Restrict candidates to an explicit implementation shortlist."""
+
+    implementations: Tuple[str, ...] = ()
+    kind = "name"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "implementations": list(self.implementations)}
+
+
+@dataclass(frozen=True)
+class AttributePredicate:
+    """Match implementations that support every named GENUS attribute.
+
+    ``attributes`` maps attribute names to the values the caller will
+    request; an implementation matches when it maps each name onto one of
+    its IIF parameters (the values then become parameter overrides during
+    generation).
+    """
+
+    attributes: Dict[str, int] = field(default_factory=dict)
+    kind = "attribute"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "attributes": dict(self.attributes)}
+
+
+Predicate = Union[FunctionPredicate, TypePredicate, NamePredicate, AttributePredicate]
+
+_PREDICATE_TYPES = {
+    "function": FunctionPredicate,
+    "type": TypePredicate,
+    "name": NamePredicate,
+    "attribute": AttributePredicate,
+}
+
+
+def predicate_from_dict(data: Mapping[str, Any]) -> Predicate:
+    if not isinstance(data, Mapping):
+        raise IcdbError(
+            f"a predicate must be a mapping, got {type(data).__name__}",
+            code=E_BAD_REQUEST,
+        )
+    kind = data.get("kind")
+    if kind == "function":
+        return FunctionPredicate(functions=_str_tuple(data.get("functions")))
+    if kind == "type":
+        return TypePredicate(component=str(data.get("component") or ""))
+    if kind == "name":
+        return NamePredicate(implementations=_str_tuple(data.get("implementations")))
+    if kind == "attribute":
+        return AttributePredicate(
+            attributes=_int_map(data.get("attributes"), "attribute predicate")
+        )
+    raise IcdbError(
+        f"unknown predicate kind {kind!r}; expected one of "
+        f"{tuple(_PREDICATE_TYPES)}",
+        code=E_BAD_REQUEST,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bounds
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Bound:
+    """An upper bound on a measured metric: feasible iff value <= limit."""
+
+    metric: str = "delay"
+    limit: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_metric(self.metric, "bound")
+        try:
+            object.__setattr__(self, "limit", float(self.limit))
+        except (TypeError, ValueError):
+            raise IcdbError(
+                f"bound limit for {self.metric!r} must be a number, "
+                f"got {self.limit!r}",
+                code=E_BAD_REQUEST,
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"metric": self.metric, "limit": self.limit}
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "Bound":
+        if not isinstance(data, Mapping):
+            raise IcdbError(
+                f"a bound must be a mapping, got {type(data).__name__}",
+                code=E_BAD_REQUEST,
+            )
+        return Bound(
+            metric=str(data.get("metric") or ""), limit=data.get("limit", 0.0)
+        )
+
+
+def max_delay(limit: float) -> Bound:
+    """Reject candidates whose measured delay exceeds ``limit`` ns."""
+    return Bound(metric="delay", limit=limit)
+
+
+def max_area(limit: float) -> Bound:
+    """Reject candidates whose area exceeds ``limit`` um^2."""
+    return Bound(metric="area", limit=limit)
+
+
+def max_clock_width(limit: float) -> Bound:
+    """Reject candidates whose minimum clock width exceeds ``limit`` ns."""
+    return Bound(metric="clock_width", limit=limit)
+
+
+def max_cells(limit: float) -> Bound:
+    """Reject candidates with more than ``limit`` mapped cells."""
+    return Bound(metric="cells", limit=limit)
+
+
+# ---------------------------------------------------------------------------
+# Objectives
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Objective:
+    """How feasible candidates are ranked.
+
+    * ``minimize``: one metric, ascending;
+    * ``weighted``: the scalarization ``sum(weight * metric)``, ascending
+      (``weights`` is parallel to ``metrics``);
+    * ``pareto``: the non-dominated front over ``metrics`` (all
+      minimized); the front is ranked by the first metric.
+    """
+
+    kind: str = "minimize"
+    metrics: Tuple[str, ...] = ("area",)
+    weights: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in OBJECTIVE_KINDS:
+            raise IcdbError(
+                f"unknown objective kind {self.kind!r}; "
+                f"expected one of {OBJECTIVE_KINDS}",
+                code=E_BAD_REQUEST,
+            )
+        metrics = tuple(str(m) for m in self.metrics)
+        for metric in metrics:
+            _check_metric(metric, "objective")
+        if not metrics:
+            raise IcdbError(
+                "an objective needs at least one metric", code=E_BAD_REQUEST
+            )
+        if self.kind == "minimize" and len(metrics) != 1:
+            raise IcdbError(
+                f"minimize takes exactly one metric, got {list(metrics)}",
+                code=E_BAD_REQUEST,
+            )
+        if self.kind == "pareto" and len(metrics) < 2:
+            raise IcdbError(
+                f"pareto needs at least two metrics, got {list(metrics)}",
+                code=E_BAD_REQUEST,
+            )
+        weights = tuple(float(w) for w in self.weights)
+        if self.kind == "weighted":
+            if len(weights) != len(metrics):
+                raise IcdbError(
+                    "weighted objective needs one weight per metric "
+                    f"({len(metrics)} metrics, {len(weights)} weights)",
+                    code=E_BAD_REQUEST,
+                )
+        elif weights:
+            raise IcdbError(
+                f"{self.kind} objectives take no weights", code=E_BAD_REQUEST
+            )
+        object.__setattr__(self, "metrics", metrics)
+        object.__setattr__(self, "weights", weights)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "metrics": list(self.metrics),
+            "weights": list(self.weights),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "Objective":
+        if not isinstance(data, Mapping):
+            raise IcdbError(
+                f"an objective must be a mapping, got {type(data).__name__}",
+                code=E_BAD_REQUEST,
+            )
+        try:
+            weights = tuple(float(w) for w in data.get("weights") or ())
+        except (TypeError, ValueError):
+            raise IcdbError(
+                "objective weights must be numbers", code=E_BAD_REQUEST
+            )
+        return Objective(
+            kind=str(data.get("kind") or "minimize"),
+            metrics=_str_tuple(data.get("metrics")) or ("area",),
+            weights=weights,
+        )
+
+
+def minimize(metric: str) -> Objective:
+    """Rank candidates by one metric, smallest first."""
+    return Objective(kind="minimize", metrics=(metric,))
+
+
+def weighted(**metric_weights: float) -> Objective:
+    """Rank candidates by ``sum(weight * metric)``, smallest first.
+
+    Example: ``weighted(area=0.5, delay=0.5)``.
+    """
+    if not metric_weights:
+        raise IcdbError(
+            "weighted() needs at least one metric=weight pair", code=E_BAD_REQUEST
+        )
+    return Objective(
+        kind="weighted",
+        metrics=tuple(metric_weights),
+        weights=tuple(metric_weights.values()),
+    )
+
+
+def pareto(*metrics: str) -> Objective:
+    """Return the non-dominated front over ``metrics`` (all minimized)."""
+    return Objective(kind="pareto", metrics=tuple(metrics))
+
+
+#: The textual objective grammar of the CQL ``explore`` command (also
+#: handy in configuration files): ``minimize(area)``, ``pareto(area,delay)``,
+#: ``weighted(area:0.6,delay:0.4)``, or a bare metric name (minimized).
+def parse_objective(text: str) -> Objective:
+    spec = str(text).strip()
+    if not spec:
+        raise IcdbError("empty objective", code=E_BAD_REQUEST)
+    if "(" not in spec:
+        return minimize(spec)
+    head, _, rest = spec.partition("(")
+    kind = head.strip().lower()
+    body = rest.rstrip()
+    if not body.endswith(")"):
+        raise IcdbError(
+            f"malformed objective {text!r} (missing ')')", code=E_BAD_REQUEST
+        )
+    items = [item.strip() for item in body[:-1].split(",") if item.strip()]
+    if kind == "minimize":
+        if len(items) != 1:
+            raise IcdbError(
+                f"minimize takes exactly one metric, got {items}",
+                code=E_BAD_REQUEST,
+            )
+        return minimize(items[0])
+    if kind == "pareto":
+        return pareto(*items)
+    if kind == "weighted":
+        pairs: Dict[str, float] = {}
+        for item in items:
+            metric, sep, weight = item.partition(":")
+            if not sep:
+                raise IcdbError(
+                    f"weighted objective items must be metric:weight, got {item!r}",
+                    code=E_BAD_REQUEST,
+                )
+            try:
+                pairs[metric.strip()] = float(weight)
+            except ValueError:
+                raise IcdbError(
+                    f"bad weight {weight!r} in objective {text!r}",
+                    code=E_BAD_REQUEST,
+                )
+        return weighted(**pairs)
+    raise IcdbError(
+        f"unknown objective kind {kind!r}; expected one of {OBJECTIVE_KINDS}",
+        code=E_BAD_REQUEST,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Design-space points and the spec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanPoint:
+    """One explicit labelled configuration of the design space.
+
+    ``parameters`` are raw IIF parameter overrides, ``attributes`` GENUS
+    attribute values (translated per implementation); ``implementation``
+    optionally pins the catalog implementation for this point (otherwise
+    the spec's predicates resolve one implementation for every point --
+    the Figure 5 tradeoff shape).
+    """
+
+    label: str = ""
+    implementation: Optional[str] = None
+    parameters: Dict[str, int] = field(default_factory=dict)
+    attributes: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "parameters", _int_map(self.parameters, "point parameters")
+        )
+        object.__setattr__(
+            self, "attributes", _int_map(self.attributes, "point attributes")
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "implementation": self.implementation,
+            "parameters": dict(self.parameters),
+            "attributes": dict(self.attributes),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "PlanPoint":
+        if not isinstance(data, Mapping):
+            raise IcdbError(
+                f"a plan point must be a mapping, got {type(data).__name__}",
+                code=E_BAD_REQUEST,
+            )
+        implementation = data.get("implementation")
+        return PlanPoint(
+            label=str(data.get("label") or ""),
+            implementation=str(implementation) if implementation else None,
+            parameters=_int_map(data.get("parameters"), "point parameters"),
+            attributes=_int_map(data.get("attributes"), "point attributes"),
+        )
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A complete declarative component query.
+
+    ``select`` filters the catalog, ``sweep`` *or* ``points`` (mutually
+    exclusive) enumerate the candidate configurations, ``where`` bounds
+    the measured metrics, ``objective`` ranks the survivors.  ``attributes`` / ``parameters``
+    are base values every candidate inherits (points and sweep axes
+    override them); ``constraints`` drive generation exactly like a
+    ``request_component``; ``delay_output`` redirects the ``delay``
+    metric from the worst output to one named output; ``limit`` truncates
+    the ranked winners (0 = all); ``use_cache`` opts candidates out of
+    the result cache.
+    """
+
+    select: Tuple[Predicate, ...] = ()
+    where: Tuple[Bound, ...] = ()
+    objective: Objective = field(default_factory=lambda: minimize("area"))
+    sweep: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
+    points: Tuple[PlanPoint, ...] = ()
+    attributes: Optional[Dict[str, int]] = None
+    parameters: Optional[Dict[str, int]] = None
+    constraints: Optional[Constraints] = None
+    target: str = TARGET_LOGIC
+    delay_output: Optional[str] = None
+    limit: int = 0
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.target not in (TARGET_LOGIC, TARGET_LAYOUT):
+            raise IcdbError(
+                f"unknown plan target {self.target!r}", code=E_BAD_REQUEST
+            )
+        if not isinstance(self.limit, int) or isinstance(self.limit, bool) or self.limit < 0:
+            raise IcdbError(
+                f"plan limit must be a non-negative integer, got {self.limit!r}",
+                code=E_BAD_REQUEST,
+            )
+        sweep: List[Tuple[str, Tuple[int, ...]]] = []
+        for axis in self.sweep:
+            try:
+                name, values = axis
+            except (TypeError, ValueError):
+                raise IcdbError(
+                    f"a sweep axis must be (name, values), got {axis!r}",
+                    code=E_BAD_REQUEST,
+                )
+            values = tuple(int(v) for v in values)
+            if not values:
+                raise IcdbError(
+                    f"sweep axis {name!r} has no values", code=E_BAD_REQUEST
+                )
+            sweep.append((str(name), values))
+        object.__setattr__(self, "sweep", tuple(sweep))
+        object.__setattr__(self, "select", tuple(self.select))
+        object.__setattr__(self, "where", tuple(self.where))
+        object.__setattr__(self, "points", tuple(self.points))
+        if self.points and self.sweep:
+            # Explicit points *are* the design space; a sweep riding along
+            # would be silently ignored -- reject the ambiguity instead.
+            raise IcdbError(
+                "a plan query takes explicit points or sweep axes, not both "
+                "(put swept values on the points themselves)",
+                code=E_BAD_REQUEST,
+            )
+        object.__setattr__(
+            self, "attributes", _int_map(self.attributes, "attributes") or None
+        )
+        object.__setattr__(
+            self, "parameters", _int_map(self.parameters, "parameters") or None
+        )
+
+    # ------------------------------------------------------------ wire format
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "select": [predicate.to_dict() for predicate in self.select],
+            "where": [bound.to_dict() for bound in self.where],
+            "objective": self.objective.to_dict(),
+            "sweep": [[name, list(values)] for name, values in self.sweep],
+            "points": [point.to_dict() for point in self.points],
+            "attributes": dict(self.attributes) if self.attributes else None,
+            "parameters": dict(self.parameters) if self.parameters else None,
+            "constraints": self.constraints.to_dict() if self.constraints else None,
+            "target": self.target,
+            "delay_output": self.delay_output,
+            "limit": self.limit,
+            "use_cache": self.use_cache,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "QuerySpec":
+        if not isinstance(data, Mapping):
+            raise IcdbError(
+                f"a query spec must be a mapping, got {type(data).__name__}",
+                code=E_BAD_REQUEST,
+            )
+        try:
+            sweep = tuple(
+                (str(axis[0]), tuple(int(v) for v in axis[1]))
+                for axis in (data.get("sweep") or ())
+            )
+        except (TypeError, ValueError, IndexError):
+            raise IcdbError(
+                "plan sweep must be a list of [name, [values...]] axes",
+                code=E_BAD_REQUEST,
+            )
+        limit = data.get("limit", 0)
+        if not isinstance(limit, int) or isinstance(limit, bool):
+            raise IcdbError(
+                f"plan limit must be an integer, got {limit!r}", code=E_BAD_REQUEST
+            )
+        objective_data = data.get("objective")
+        delay_output = data.get("delay_output")
+        return QuerySpec(
+            select=tuple(
+                predicate_from_dict(item) for item in (data.get("select") or ())
+            ),
+            where=tuple(Bound.from_dict(item) for item in (data.get("where") or ())),
+            objective=(
+                Objective.from_dict(objective_data)
+                if objective_data
+                else minimize("area")
+            ),
+            sweep=sweep,
+            points=tuple(
+                PlanPoint.from_dict(item) for item in (data.get("points") or ())
+            ),
+            attributes=_int_map(data.get("attributes"), "attributes") or None,
+            parameters=_int_map(data.get("parameters"), "parameters") or None,
+            constraints=(
+                Constraints.from_dict(data["constraints"])
+                if data.get("constraints")
+                else None
+            ),
+            target=str(data.get("target") or TARGET_LOGIC),
+            delay_output=str(delay_output) if delay_output else None,
+            limit=limit,
+            use_cache=bool(data.get("use_cache", True)),
+        )

@@ -29,7 +29,6 @@ from collections import OrderedDict, deque
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..components import genus
 from ..components.catalog import (
     ComponentCatalog,
     ComponentImplementation,
@@ -92,9 +91,25 @@ from .messages import (
     JobEvent,
     JobStatus,
     LayoutRequest,
+    PlanQuery,
     Request,
     Response,
     SubmitJob,
+)
+from .planner import (
+    Planner,
+    PlanResult,
+    match_implementations,
+    select_implementation,
+    tradeoff_rows,
+    tradeoff_spec,
+    validate_attribute_names,
+)
+from .query import (
+    AttributePredicate,
+    FunctionPredicate,
+    QuerySpec,
+    TypePredicate,
 )
 
 
@@ -257,13 +272,19 @@ class Session:
     def function_query(
         self, functions: Sequence[str], want: str = "implementation"
     ) -> List[str]:
-        """Components or implementations that execute *all* given functions."""
+        """Components or implementations that execute *all* given functions.
+
+        Lowers to a single :class:`~repro.api.query.FunctionPredicate` of
+        the query IR -- the same matching a planner's enumerate stage runs.
+        """
         if want not in FUNCTION_QUERY_WANTS:
             raise IcdbError(
                 f"unknown function_query want {want!r}; "
                 f"expected one of {FUNCTION_QUERY_WANTS}"
             )
-        matches = self.catalog.by_functions(functions)
+        matches = match_implementations(
+            self.catalog, (FunctionPredicate(tuple(functions)),)
+        )
         if want == "component":
             seen: List[str] = []
             for implementation in matches:
@@ -279,25 +300,40 @@ class Session:
         functions: Optional[Sequence[str]] = None,
         attributes: Optional[Mapping[str, object]] = None,
     ) -> Dict[str, List[str]]:
-        """The CQL ``component_query`` (see :class:`~repro.core.icdb.ICDB`)."""
+        """The CQL ``component_query`` (see :class:`~repro.core.icdb.ICDB`).
+
+        The filter terms lower to query-IR predicates: ``component`` to a
+        :class:`~repro.api.query.TypePredicate`, ``functions`` to a
+        :class:`~repro.api.query.FunctionPredicate`, and ``attributes`` to
+        an :class:`~repro.api.query.AttributePredicate` -- candidates must
+        support every named attribute, and a name no catalog
+        implementation defines raises ``E_INVALID`` (it used to be
+        silently dropped).  Both answer lists are sorted, so the result is
+        deterministic whatever order the catalog was populated in.
+        """
         result: Dict[str, List[str]] = {}
+        if attributes:
+            # Validate on every branch -- the functions-of-one-implementation
+            # answer ignores attribute *values*, but a name outside the
+            # catalog vocabulary is a typo either way.
+            validate_attribute_names(self.catalog, attributes)
         if implementation is not None:
             if implementation in self.instances:
                 result["function"] = list(self.instances.get(implementation).functions)
             else:
                 result["function"] = list(self.catalog.get(implementation).functions)
             return result
-        candidates = self.catalog.implementations()
+        predicates: List[object] = []
         if component is not None:
-            candidates = [
-                impl
-                for impl in candidates
-                if impl.component_type.lower() == component.lower()
-                or impl.name.lower() == component.lower()
-            ]
+            predicates.append(TypePredicate(component=component))
         if functions:
-            candidates = [impl for impl in candidates if impl.performs(functions)]
-        result["implementation"] = [impl.name for impl in candidates]
+            predicates.append(FunctionPredicate(tuple(functions)))
+        if attributes:
+            # The predicate filters on attribute *support*; the values ride
+            # along untouched (they only matter at generation time).
+            predicates.append(AttributePredicate(attributes=dict(attributes)))
+        candidates = match_implementations(self.catalog, predicates)
+        result["implementation"] = sorted(impl.name for impl in candidates)
         result["component"] = sorted({impl.component_type for impl in candidates})
         return result
 
@@ -306,6 +342,21 @@ class Session:
         if name in self.instances:
             return list(self.instances.get(name).functions)
         return list(self.catalog.get(name).functions)
+
+    # ------------------------------------------------------------------- plans
+
+    def plan(self, spec: QuerySpec) -> PlanResult:
+        """Run a declarative component query (see :mod:`repro.api.query`).
+
+        Enumerates candidate ``(implementation, parameters)`` points from
+        the catalog, prunes with cheap pre-generation checks, generates
+        the survivors through the cached engine -- in parallel over the
+        service's job workers when possible -- and answers the ranked
+        :class:`~repro.api.planner.PlanResult` with its ``explain()``
+        report.  The typed wire form is
+        :class:`~repro.api.messages.PlanQuery`.
+        """
+        return Planner(self).plan(spec)
 
     def implementations_of_type(self, component_type: str) -> List[str]:
         return [impl.name for impl in self.catalog.by_component_type(component_type)]
@@ -576,31 +627,23 @@ class Session:
         delay_output: Optional[str] = None,
     ) -> List[Dict[str, object]]:
         """Generate several configurations of a component and tabulate the
-        (delay, area) tradeoff -- the Figure 5 experiment."""
-        rows: List[Dict[str, object]] = []
-        for label, parameters in configurations:
-            instance = self.request_component(
-                implementation=component_name,
-                parameters=parameters,
-                constraints=constraints,
-                instance_name=self.instances.new_name(f"{component_name}_{label}"),
-            )
-            delay_value = (
-                instance.delay_to(delay_output)
-                if delay_output is not None
-                else instance.worst_delay()
-            )
-            rows.append(
-                {
-                    "label": label,
-                    "instance": instance.name,
-                    "delay": delay_value,
-                    "clock_width": instance.clock_width,
-                    "area": instance.area,
-                    "cells": instance.netlist.cell_count(),
-                }
-            )
-        return rows
+        (delay, area) tradeoff -- the Figure 5 experiment.
+
+        A thin wrapper over the planner: the labelled configurations lower
+        to explicit plan points (:func:`~repro.api.planner.tradeoff_spec`)
+        and generate through the parallel candidate fan-out instead of a
+        serial ``request_component`` loop.  The row schema -- ``label`` /
+        ``instance`` / ``delay`` / ``clock_width`` / ``area`` / ``cells``,
+        in configuration order -- the instance names and the generated
+        artifacts are unchanged.  On a failed configuration the original
+        exception is re-raised, but -- unlike the serial loop, which
+        stopped there -- the remaining configurations have already
+        generated by the time it surfaces.
+        """
+        result = self.plan(
+            tradeoff_spec(component_name, configurations, constraints, delay_output)
+        )
+        return tradeoff_rows(result)
 
 
 def _component_request_from_kwargs(kwargs: Mapping[str, Any]) -> ComponentRequest:
@@ -740,6 +783,8 @@ class ComponentService:
             )
         if isinstance(request, InstanceQuery):
             return session.instance_query(request.name, request.fields or None), False
+        if isinstance(request, PlanQuery):
+            return session.plan(request.query).to_dict(), False
         if isinstance(request, LayoutRequest):
             layout = session.request_layout(
                 request.name,
@@ -849,42 +894,19 @@ class ComponentService:
         implementation: Optional[str],
         functions: Optional[Sequence[str]],
     ) -> ComponentImplementation:
-        """Resolve a request to one catalog implementation (Section 3.2.2)."""
+        """Resolve a request to one catalog implementation (Section 3.2.2).
+
+        An explicit ``implementation`` short-circuits; otherwise the
+        request is a *single-winner static plan*: the (component name,
+        functions) pair lowers to query-IR predicates and
+        :func:`~repro.api.planner.select_implementation` ranks the
+        matches -- exact-name preference, then fewest extra functions,
+        ties broken by name.  Byte-identical to the historical inline
+        resolution for every existing flow.
+        """
         if implementation is not None:
             return self.catalog.get(implementation)
-        candidates = self.catalog.implementations()
-        if component_name is not None:
-            by_type = [
-                impl
-                for impl in candidates
-                if impl.component_type.lower() == component_name.lower()
-            ]
-            if not by_type and component_name.lower() in {
-                impl.name.lower() for impl in candidates
-            }:
-                return self.catalog.get(component_name)
-            candidates = by_type
-        if functions:
-            candidates = [impl for impl in candidates if impl.performs(functions)]
-        if not candidates:
-            raise IcdbError(
-                f"no implementation matches component={component_name!r} "
-                f"functions={list(functions or [])!r}",
-                code=E_NOT_FOUND,
-            )
-        # Prefer an implementation named exactly like the requested component,
-        # then the one with the fewest extra functions (cheapest component
-        # that still does the job), ties broken by name for determinism.
-        wanted = {genus.normalize_function(f) for f in (functions or [])}
-        requested = (component_name or "").lower()
-        return min(
-            candidates,
-            key=lambda impl: (
-                0 if impl.name.lower() == requested else 1,
-                len(set(impl.functions) - wanted),
-                impl.name,
-            ),
-        )
+        return select_implementation(self.catalog, component_name, functions)
 
     def register_instance(self, instance: ComponentInstance) -> None:
         """Register a generated instance and persist its design data."""
@@ -1170,6 +1192,11 @@ class JobManager:
         self._subscribers: Dict[int, Tuple[str, Callable[[Dict[str, Any]], None]]] = {}
         self._subscriber_counter = 0
         self._shutdown = False
+        #: Marks job worker threads: code that fans work out over this
+        #: pool *and waits for it* (the query planner) must not do so from
+        #: a worker, or plans could occupy every slot waiting for inner
+        #: jobs no slot is left to run.
+        self._worker_flag = threading.local()
         #: Non-terminal job count per session id -- the O(1) answer to
         #: :meth:`session_has_work` (hot: every blocking network request
         #: asks it to decide between the direct and the FIFO job path).
@@ -1244,6 +1271,53 @@ class JobManager:
         assert response is not None
         return response
 
+    def run_many(
+        self, requests: Sequence[Request], session: Session
+    ) -> List[Response]:
+        """Fan ``requests`` out over the worker pool; envelopes in order.
+
+        The planner's cross-candidate parallel path.  Each request runs
+        as a *quiet* job: quiet jobs are exempt from retention eviction
+        (:meth:`_retire_locked` skips them) and are popped here by their
+        collector, so a slow first candidate can never cause later,
+        already-finished candidates to be evicted out from under the
+        waiting plan.  A request the queue cannot take (``E_BUSY``)
+        degrades to direct execution on the calling thread -- every
+        request is answered, none is half-submitted.
+        """
+        job_ids: List[Optional[str]] = []
+        responses: List[Optional[Response]] = [None] * len(requests)
+        for request in requests:
+            try:
+                descriptor = self.submit(request, session, quiet=True)
+            except IcdbError as exc:
+                if exc.code != E_BUSY:
+                    raise
+                job_ids.append(None)
+            else:
+                job_ids.append(str(descriptor["job_id"]))
+        # Queue-overflow requests execute inline while the workers chew
+        # through the submitted ones.
+        for index, (request, job_id) in enumerate(zip(requests, job_ids)):
+            if job_id is None:
+                responses[index] = self.service.execute(request, session)
+        with self._cond:
+            for index, job_id in enumerate(job_ids):
+                if job_id is None:
+                    continue
+                record = self._jobs[job_id]
+                while record.state not in JOB_TERMINAL_STATES:
+                    if self._shutdown:
+                        raise IcdbError(
+                            "the job manager shut down mid-request",
+                            code=E_UNAVAILABLE,
+                        )
+                    self._cond.wait()
+                responses[index] = record.response
+                self._jobs.pop(job_id, None)
+        assert all(response is not None for response in responses)
+        return responses  # type: ignore[return-value]
+
     # ------------------------------------------------------------ inspection
 
     def status(
@@ -1312,6 +1386,15 @@ class JobManager:
         """True while any job of the session is queued or running (O(1))."""
         with self._cond:
             return self._active_by_session.get(session_id, 0) > 0
+
+    def on_worker_thread(self) -> bool:
+        """True when called from one of this manager's worker threads.
+
+        The deadlock guard for nested fan-out: a plan running *as* a job
+        generates its candidates inline instead of submitting them back
+        to the pool it is itself occupying a slot of.
+        """
+        return getattr(self._worker_flag, "active", False)
 
     def stats(self) -> Dict[str, int]:
         with self._cond:
@@ -1538,6 +1621,7 @@ class JobManager:
         self._deliver(subscribers, event)
 
     def _worker_loop(self) -> None:
+        self._worker_flag.active = True
         while True:
             with self._cond:
                 while not self._queue and not self._shutdown:

@@ -200,6 +200,10 @@ class ComponentImplementation:
         """Connection information for every function, paper format."""
         return "\n".join(binding.render() for binding in self.bindings)
 
+    def supports_attributes(self, names: Iterable[str]) -> bool:
+        """True if every named GENUS attribute maps onto an IIF parameter."""
+        return all(name in self.attribute_parameters for name in names)
+
     def attributes_to_parameters(
         self, attributes: Optional[Mapping[str, object]] = None
     ) -> Dict[str, int]:
@@ -261,6 +265,29 @@ class ComponentCatalog:
 
     def functions_of(self, name: str) -> List[str]:
         return list(self.get(name).functions)
+
+    def known_attributes(self) -> List[str]:
+        """Every attribute name some implementation maps (sorted).
+
+        This is the attribute vocabulary of the catalog: queries naming an
+        attribute outside it are rejected with ``E_INVALID`` instead of
+        silently dropping the filter.
+        """
+        names = {
+            attribute
+            for impl in self._implementations.values()
+            for attribute in impl.attribute_parameters
+        }
+        return sorted(names)
+
+    def by_attributes(self, names: Iterable[str]) -> List[ComponentImplementation]:
+        """Implementations supporting *all* of the named attributes."""
+        wanted = list(names)
+        return [
+            impl
+            for impl in self._implementations.values()
+            if impl.supports_attributes(wanted)
+        ]
 
     def component_types(self) -> List[str]:
         seen: List[str] = []

@@ -39,10 +39,22 @@ from ..api.messages import (
     InstanceQuery,
     JobStatus,
     LayoutRequest,
+    PlanQuery,
     Request,
     Response,
     SubmitJob,
     request_from_dict,
+)
+from ..api.planner import PlanResult
+from ..api.query import (
+    AttributePredicate,
+    Bound,
+    FunctionPredicate,
+    NamePredicate,
+    QuerySpec,
+    TypePredicate,
+    parse_objective,
+    pareto,
 )
 from ..api.service import Session
 from ..constraints import (
@@ -162,11 +174,13 @@ class CqlExecutor:
             name = implementation or component
             response = self._run(ComponentQuery(implementation=str(name)))
             return {"function": response.value.get("function", [])}
+        attributes = self._attributes(values)
         response = self._run(
             ComponentQuery(
                 component=str(component) if component else None,
                 implementation=str(implementation) if implementation else None,
                 functions=tuple(functions),
+                attributes=attributes or None,
             )
         )
         result = response.value
@@ -308,6 +322,125 @@ class CqlExecutor:
 
         summary = self._run(self._component_request_from_values(values)).value
         return self._component_outputs(command, summary)
+
+    # ------------------------------------------------- design-space exploration
+
+    def _plan_spec_from_values(self, values: Dict[str, Any]) -> QuerySpec:
+        """Lower an ``explore`` command's terms onto the query IR."""
+        predicates: List[Any] = []
+        component = values.get("component") or values.get("component_name")
+        if component:
+            predicates.append(TypePredicate(component=str(component)))
+        implementation = values.get("implementation")
+        if implementation:
+            names = _as_list(implementation)
+            predicates.append(NamePredicate(implementations=tuple(names)))
+        functions = _as_list(values.get("function"))
+        if functions:
+            predicates.append(FunctionPredicate(functions=tuple(functions)))
+        attributes = self._attributes(values)
+        if attributes:
+            predicates.append(AttributePredicate(attributes=dict(attributes)))
+
+        sweep: List[Any] = []
+        raw_sweep = values.get("sweep")
+        if isinstance(raw_sweep, dict):
+            # ``sweep: (size:2|4|8)`` parses as {"size": "2|4|8"}; the axis
+            # values are '|'-separated so the list does not split on the
+            # attribute-list commas.
+            for axis, text in raw_sweep.items():
+                points = [
+                    _as_int(item, f"sweep axis {axis}")
+                    for item in str(text).replace("|", " ").split()
+                ]
+                sweep.append((str(axis), tuple(points)))
+        elif raw_sweep not in (None, ""):
+            raise CqlExecutionError(
+                f"sweep expects an attribute list like (size:2|4|8), got {raw_sweep!r}"
+            )
+
+        bounds = []
+        for keyword, metric in (
+            ("max_delay", "delay"),
+            ("max_area", "area"),
+            ("max_clock_width", "clock_width"),
+            ("max_cells", "cells"),
+        ):
+            if keyword in values and values[keyword] not in (None, ""):
+                bounds.append(
+                    Bound(metric=metric, limit=_as_float(values[keyword], keyword))
+                )
+
+        objective_text = values.get("objective")
+        objective = (
+            parse_objective(str(objective_text))
+            if objective_text not in (None, "")
+            else pareto("area", "delay")
+        )
+
+        limit = values.get("limit")
+        delay_output = values.get("delay_output")
+        return QuerySpec(
+            select=tuple(predicates),
+            where=tuple(bounds),
+            objective=objective,
+            sweep=tuple(sweep),
+            attributes=attributes or None,
+            constraints=self._build_constraints(values),
+            delay_output=str(delay_output) if delay_output else None,
+            limit=_as_int(limit, "limit") if limit not in (None, "") else 0,
+        )
+
+    def _cmd_explore(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        """``command: explore``: a declarative design-space plan.
+
+        Selection terms (``component`` / ``implementation`` / ``function``
+        / ``attribute``) and a ``sweep`` axis list lower to the query IR;
+        ``objective`` (``minimize(area)``, ``weighted(area:0.6,delay:0.4)``,
+        ``pareto(area,delay)`` -- the default) ranks the generated
+        candidates, ``max_delay`` / ``max_area`` / ``max_clock_width`` /
+        ``max_cells`` bound them.  Outputs: ``?winner`` (best label),
+        ``?front`` (Pareto-front labels), ``?instance`` (winner instance
+        names), ``?candidates`` (full candidate reports) and ``?explain``
+        (the planning report).
+        """
+        spec = self._plan_spec_from_values(values)
+        result = PlanResult.from_dict(self._run(PlanQuery(query=spec)).value)
+        winner = result.winner
+        outputs: Dict[str, Any] = {}
+        for term in command.output_slots():
+            keyword = term.keyword
+            if keyword == "winner":
+                outputs["winner"] = winner.label if winner else ""
+            elif keyword == "front":
+                outputs["front"] = [report.label for report in result.front_reports()]
+            elif keyword == "instance":
+                names = [
+                    report.instance
+                    for report in result.winner_reports()
+                    if report.instance
+                ]
+                outputs["instance"] = (
+                    names
+                    if isinstance(term.value, VariableSlot) and term.value.is_array
+                    else (names[0] if names else "")
+                )
+            elif keyword == "candidates":
+                outputs["candidates"] = [
+                    report.to_dict() for report in result.candidates
+                ]
+            elif keyword == "explain":
+                outputs["explain"] = result.explain()
+        if not outputs:
+            outputs = {
+                "winner": winner.label if winner else "",
+                "front": [report.label for report in result.front_reports()],
+            }
+        return outputs
+
+    # The paper's appendix spells some commands several ways; accept the
+    # typed request kind as a command name too.
+    _cmd_plan_query = _cmd_explore
 
     # ------------------------------------------------------- asynchronous jobs
 

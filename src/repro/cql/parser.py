@@ -165,6 +165,11 @@ KEYWORD_ALIASES = {
     "set_up_time": "seq_delay",
     "setup_time": "seq_delay",
     "clk_width": "clock_width",
+    "objectives": "objective",
+    "goal": "objective",
+    "sweeps": "sweep",
+    "pareto_front": "front",
+    "max_rdelay": "max_delay",
     "cif_layout": "cif_layout",
     "vhdl_net_list": "vhdl_net_list",
     "vhdl_head": "vhdl_head",

@@ -64,11 +64,14 @@ from ..api.messages import (
     JobEvent,
     JobStatus,
     LayoutRequest,
+    PlanQuery,
     Request,
     Response,
     SubmitJob,
     Welcome,
 )
+from ..api.planner import PlanResult, tradeoff_rows, tradeoff_spec
+from ..api.query import QuerySpec
 from ..api.service import ComponentService, _component_request_from_kwargs
 from ..constraints import Constraints, PortPosition
 from ..core.icdb import IcdbError
@@ -782,6 +785,35 @@ class RemoteClient:
         summary = self.execute(request).unwrap()
         return RemoteInstance(self, summary)
 
+    def plan(self, spec: QuerySpec) -> PlanResult:
+        """Run a declarative component query server-side.
+
+        The spec travels as a :class:`~repro.api.messages.PlanQuery`
+        frame; the server enumerates, prunes, generates (fanning
+        candidates out over its job workers) and answers the full
+        :class:`~repro.api.planner.PlanResult` -- candidates, ranked
+        winners, Pareto front and the ``explain()`` report -- rebuilt
+        here from the wire form.
+        """
+        return PlanResult.from_dict(self.execute(PlanQuery(query=spec)).unwrap())
+
+    def submit_plan(self, spec: QuerySpec, label: str = "") -> JobHandle:
+        """Run a plan as an asynchronous server-side job.
+
+        The handle's ``result()`` answers the plan-result wire dict
+        (use :meth:`plan_result` to wrap it).  On a job worker the
+        planner generates candidates inline -- correct, but without
+        cross-candidate parallelism; submit several plans to overlap
+        them instead.
+        """
+        return self.submit(PlanQuery(query=spec), label=label)
+
+    @staticmethod
+    def plan_result(value: Mapping[str, Any]) -> PlanResult:
+        """Rebuild a :class:`~repro.api.planner.PlanResult` from a job's
+        result value."""
+        return PlanResult.from_dict(value)
+
     def instance_query(
         self, name: str, fields: Optional[Sequence[str]] = None
     ) -> Dict[str, Any]:
@@ -858,31 +890,20 @@ class RemoteClient:
         constraints: Optional[Constraints] = None,
         delay_output: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
-        """The Figure 5 experiment, driven over the wire."""
-        rows: List[Dict[str, Any]] = []
-        for label, parameters in configurations:
-            instance = self.request_component(
-                implementation=component_name,
-                parameters=parameters,
-                constraints=constraints,
-                instance_name=self.instances.new_name(f"{component_name}_{label}"),
-            )
-            delay_value = (
-                instance.delay_to(delay_output)
-                if delay_output is not None
-                else instance.worst_delay()
-            )
-            rows.append(
-                {
-                    "label": label,
-                    "instance": instance.name,
-                    "delay": delay_value,
-                    "clock_width": instance.clock_width,
-                    "area": instance.area,
-                    "cells": instance.cells,
-                }
-            )
-        return rows
+        """The Figure 5 experiment, driven over the wire.
+
+        One :class:`~repro.api.messages.PlanQuery` round trip: the
+        configurations lower to plan points and the *server* fans the
+        generations out across its job workers, instead of N blocking
+        request/response pairs.  Row schema, instance names and values
+        are unchanged; on a failed configuration the structured error is
+        raised after the remaining configurations have generated (the
+        old loop stopped at the first failure).
+        """
+        result = self.plan(
+            tradeoff_spec(component_name, configurations, constraints, delay_output)
+        )
+        return tradeoff_rows(result)
 
     def summary(self) -> str:
         return str(self.meta("summary"))

@@ -431,6 +431,10 @@ class FrameDispatcher:
             return str(args.get("name", "")) in instances
         if op == "cache_stats":
             return self.service.cache.stats()
+        if op == "generation_stats":
+            # Per-stage generation-cache counters: what a plan's explain()
+            # reports deltas of (see docs/performance.md).
+            return self.service.generation_stats()
         if op == "job_stats":
             return self.service.jobs.stats()
         if op == "session_token":

@@ -17,7 +17,9 @@ import string
 import pytest
 
 from repro.api import (
+    AttributePredicate,
     BatchRequest,
+    Bound,
     CancelJob,
     ComponentQuery,
     ComponentRequest,
@@ -25,6 +27,7 @@ from repro.api import (
     DESIGN_OPS,
     DesignOp,
     ERROR_CODES,
+    FunctionPredicate,
     FunctionQuery,
     IcdbErrorInfo,
     InstanceQuery,
@@ -33,9 +36,18 @@ from repro.api import (
     JobEvent,
     JobStatus,
     LayoutRequest,
+    METRICS,
+    NamePredicate,
+    Objective,
+    PlanPoint,
+    PlanQuery,
+    QuerySpec,
     REQUEST_TYPES,
     Response,
     SubmitJob,
+    TypePredicate,
+    minimize,
+    pareto,
     request_from_dict,
 )
 from repro.components import standard_catalog
@@ -216,9 +228,82 @@ def _cancel_job(rng: random.Random) -> CancelJob:
     return CancelJob(job_id=_name(rng, "job-"))
 
 
+def _objective(rng: random.Random) -> Objective:
+    kind = rng.choice(["minimize", "weighted", "pareto"])
+    if kind == "minimize":
+        return minimize(rng.choice(METRICS))
+    metrics = rng.sample(METRICS, rng.randint(2, len(METRICS)))
+    if kind == "pareto":
+        return pareto(*metrics)
+    return Objective(
+        kind="weighted",
+        metrics=tuple(metrics),
+        weights=tuple(round(rng.uniform(0.1, 3.0), 3) for _ in metrics),
+    )
+
+
+def _predicates(rng: random.Random):
+    makers = [
+        lambda: FunctionPredicate(functions=_names(rng)),
+        lambda: TypePredicate(component=_name(rng)),
+        lambda: NamePredicate(implementations=_names(rng)),
+        lambda: AttributePredicate(
+            attributes={_name(rng): rng.randint(0, 16) for _ in range(rng.randint(1, 3))}
+        ),
+    ]
+    return tuple(rng.choice(makers)() for _ in range(rng.randint(0, 3)))
+
+
+def _plan_point(rng: random.Random) -> PlanPoint:
+    return PlanPoint(
+        label=_name(rng, "pt_"),
+        implementation=_maybe(rng, lambda: _name(rng)),
+        parameters={_name(rng): rng.randint(0, 16) for _ in range(rng.randint(0, 3))},
+        attributes={_name(rng): rng.randint(0, 16) for _ in range(rng.randint(0, 2))},
+    )
+
+
+def _plan_query(rng: random.Random) -> PlanQuery:
+    # Points and sweep axes are mutually exclusive by construction.
+    if rng.random() < 0.5:
+        sweep = tuple(
+            (_name(rng), tuple(rng.randint(1, 16) for _ in range(rng.randint(1, 4))))
+            for _ in range(rng.randint(0, 2))
+        )
+        points = ()
+    else:
+        sweep = ()
+        points = tuple(_plan_point(rng) for _ in range(rng.randint(0, 3)))
+    spec = QuerySpec(
+        select=_predicates(rng),
+        where=tuple(
+            Bound(metric=rng.choice(METRICS), limit=round(rng.uniform(1, 1e6), 3))
+            for _ in range(rng.randint(0, 2))
+        ),
+        objective=_objective(rng),
+        sweep=sweep,
+        points=points,
+        attributes=_maybe(
+            rng, lambda: {_name(rng): rng.randint(0, 16) for _ in range(rng.randint(1, 2))}
+        ),
+        parameters=_maybe(
+            rng, lambda: {_name(rng): rng.randint(0, 16) for _ in range(rng.randint(1, 2))}
+        ),
+        constraints=_maybe(rng, lambda: _constraints(rng), 0.4),
+        target=rng.choice(["logic", "layout"]),
+        delay_output=_maybe(rng, lambda: _name(rng).upper(), 0.3),
+        limit=rng.randint(0, 8),
+        use_cache=rng.random() < 0.5,
+    )
+    return PlanQuery(query=spec)
+
+
 GENERATORS["submit_job"] = _submit_job
 GENERATORS["job_status"] = _job_status
 GENERATORS["cancel_job"] = _cancel_job
+# Registered after _WRAPPABLE_KINDS is frozen: plans cannot ride in
+# batches (they fan out over the job workers a batch would starve).
+GENERATORS["plan_query"] = _plan_query
 
 
 def test_generators_cover_every_registered_kind():

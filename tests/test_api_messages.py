@@ -76,6 +76,7 @@ def test_registry_covers_every_cql_operation():
         "function_query",
         "instance_query",
         "request_component",
+        "plan_query",
         "request_layout",
         "design_op",
         "batch",
