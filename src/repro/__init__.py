@@ -25,7 +25,10 @@ The package implements ICDB -- a component server for behavioral synthesis
 * :mod:`repro.sizing`, :mod:`repro.estimation`, :mod:`repro.layout` -- the
   transistor sizer, the delay / area / shape estimators, and the strip
   layout generator plus slicing floorplanner;
-* :mod:`repro.sim` -- functional and gate-level simulators for verification;
+* :mod:`repro.sim` -- functional and gate-level simulators plus the
+  bit-parallel batch engines and the equivalence-checking layer behind
+  the ``Simulate`` / ``CheckEquivalence`` requests and the planner's
+  ``require_equivalent_to`` bound (see ``docs/sim.md``);
 * :mod:`repro.db` -- the relational store (INGRES substitute) and the
   design-data file store;
 * :mod:`repro.core` -- the backward-compatible :class:`~repro.core.icdb.ICDB`
@@ -91,6 +94,20 @@ explicit implementation resolves through the planner's single-winner
 selection, and ``area_time_tradeoff`` is a plan with explicit points --
 see the "Querying and design-space exploration" section of
 ``docs/api.md``.
+
+Simulation and verification (bit-parallel batch engines)::
+
+    name = response.value["instance"]
+    trace = session.simulate(name, [{"ENA": 1, "LOAD": 1}] * 4, clock="CLK")
+    verdict = session.check_equivalence(name)   # auto comb / sequential
+    assert verdict["equivalent"]
+
+Vectors run packed into big-integer lanes (one bitwise operation per
+gate evaluates a whole block of vectors), equivalence checks answer a
+counterexample on mismatch, and ``QuerySpec.require_equivalent_to``
+makes the planner reject non-equivalent candidates -- ``docs/sim.md``
+covers the engines, the tristate/wired-or semantics, and the wire / CQL
+surface (``examples/verify_component.py`` is the end-to-end tour).
 
 Sessions are per client: each owns its current design and transaction
 state, while the catalog, database, instance registry and result cache are

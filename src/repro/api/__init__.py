@@ -92,6 +92,7 @@ from .messages import (
     AttachSession,
     BatchRequest,
     CancelJob,
+    CheckEquivalence,
     ComponentQuery,
     ComponentRequest,
     DesignOp,
@@ -104,6 +105,7 @@ from .messages import (
     PlanQuery,
     Request,
     Response,
+    Simulate,
     SubmitJob,
     Welcome,
     request_from_dict,
@@ -125,6 +127,7 @@ __all__ = [
     "COMPONENT_DETAILS",
     "CancelJob",
     "CandidateReport",
+    "CheckEquivalence",
     "ComponentQuery",
     "ComponentRequest",
     "ComponentService",
@@ -173,6 +176,7 @@ __all__ = [
     "Response",
     "ResultCache",
     "Session",
+    "Simulate",
     "SubmitJob",
     "TypePredicate",
     "Welcome",

@@ -100,6 +100,8 @@ def error_from_exception(exc: BaseException) -> IcdbErrorInfo:
     from ..core.knowledge import KnowledgeError
     from ..core.progress import OperationCancelled
     from ..db import DatabaseError, StoreError
+    from ..sim.functional import SimulationError
+    from ..sim.gatesim import GateSimulationError
 
     if isinstance(exc, OperationCancelled):
         code = E_CANCELLED
@@ -109,6 +111,10 @@ def error_from_exception(exc: BaseException) -> IcdbErrorInfo:
         code = E_NOT_FOUND
     elif isinstance(exc, GenerationError):
         code = E_GENERATION_FAILED
+    elif isinstance(exc, (SimulationError, GateSimulationError)):
+        # Simulator failures (unknown inputs / nets, non-settling logic)
+        # are invalid-operation answers, not malformed requests.
+        code = E_INVALID
     elif isinstance(
         exc,
         (ConstraintError, DatabaseError, KnowledgeError, StoreError, ValueError, KeyError, TypeError),

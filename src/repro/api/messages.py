@@ -13,6 +13,8 @@ request type              server operation
 :class:`ComponentRequest` ``request_component`` (generate an instance)
 :class:`PlanQuery`        declarative component query / design-space plan
 :class:`LayoutRequest`    layout generation for an existing instance
+:class:`Simulate`         batch vector simulation of an existing instance
+:class:`CheckEquivalence` flat-vs-gate equivalence check of an instance
 :class:`DesignOp`         design / transaction / component-list management
 :class:`SubmitJob`        run any request as an asynchronous server job
 :class:`JobStatus`        poll (or wait for) a job; fetch its events
@@ -44,6 +46,7 @@ from ..constraints import Constraints, PortPosition
 from ..core.icdb import IcdbError
 from ..core.instances import TARGET_LOGIC
 from ..netlist.structural import StructuralNetlist
+from ..sim.verify import EQUIVALENCE_MODES, SIM_ENGINES
 from .errors import E_BAD_REQUEST, E_PROTOCOL, IcdbErrorInfo
 from .query import QuerySpec
 
@@ -307,6 +310,150 @@ class LayoutRequest(Request):
                 PortPosition.from_dict(item)
                 for item in (data.get("port_positions") or ())
             ),
+        )
+
+
+@dataclass(frozen=True)
+class Simulate(Request):
+    """Batch-simulate test vectors on an existing instance.
+
+    The server runs the named instance's bit-parallel engine
+    (:mod:`repro.sim.batch`) over the vectors -- one lane per vector --
+    and answers one output assignment per vector.  ``engine`` selects the
+    model (:data:`~repro.sim.verify.SIM_ENGINES`): ``"gates"`` simulates
+    the synthesized gate netlist, ``"flat"`` the flat IIF reference.
+    Without a ``clock`` every vector is an independent experiment from
+    reset; with one, the vectors are the consecutive per-cycle stimuli of
+    a single trace.
+    """
+
+    kind: ClassVar[str] = "simulate"
+
+    name: str = ""
+    vectors: Tuple[Dict[str, int], ...] = ()
+    engine: str = "gates"
+    clock: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in SIM_ENGINES:
+            raise IcdbError(
+                f"unknown simulation engine {self.engine!r}; expected one "
+                f"of {SIM_ENGINES}",
+                code=E_BAD_REQUEST,
+            )
+        object.__setattr__(
+            self,
+            "vectors",
+            tuple(
+                {str(name): 1 if value else 0 for name, value in vector.items()}
+                for vector in self.vectors
+            ),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "vectors": [dict(vector) for vector in self.vectors],
+            "engine": self.engine,
+            "clock": self.clock,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Simulate":
+        vectors = data.get("vectors") or ()
+        if not isinstance(vectors, (list, tuple)) or any(
+            not isinstance(vector, Mapping) for vector in vectors
+        ):
+            raise IcdbError(
+                "simulate 'vectors' must be a list of input assignments",
+                code=E_BAD_REQUEST,
+            )
+        clock = data.get("clock")
+        return cls(
+            name=str(data.get("name") or ""),
+            vectors=tuple(dict(vector) for vector in vectors),
+            engine=str(data.get("engine") or "gates"),
+            clock=str(clock) if clock is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class CheckEquivalence(Request):
+    """Check an instance's gate netlist against a flat reference.
+
+    With no ``reference`` the instance is checked against its *own* flat
+    IIF form (did synthesis preserve the function?); with one, the
+    referenced instance's flat form is the specification -- the planner's
+    ``require_equivalent_to`` bound and cross-implementation comparisons
+    use this.  ``mode`` is one of
+    :data:`~repro.sim.verify.EQUIVALENCE_MODES`: ``"auto"`` picks the
+    sequential lock-step check when either side holds state, the
+    combinational sweep otherwise.  The answer embeds the
+    :class:`~repro.sim.vectors.EquivalenceResult` wire form, including a
+    counterexample vector on failure.
+    """
+
+    kind: ClassVar[str] = "check_equivalence"
+
+    name: str = ""
+    reference: Optional[str] = None
+    mode: str = "auto"
+    clock: Optional[str] = None
+    max_exhaustive: int = 10
+    samples: int = 256
+    cycles: int = 32
+    lanes: int = 64
+    seed: int = 1990
+
+    def __post_init__(self) -> None:
+        if self.mode not in EQUIVALENCE_MODES:
+            raise IcdbError(
+                f"unknown equivalence mode {self.mode!r}; expected one of "
+                f"{EQUIVALENCE_MODES}",
+                code=E_BAD_REQUEST,
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "reference": self.reference,
+            "mode": self.mode,
+            "clock": self.clock,
+            "max_exhaustive": self.max_exhaustive,
+            "samples": self.samples,
+            "cycles": self.cycles,
+            "lanes": self.lanes,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CheckEquivalence":
+        reference = data.get("reference")
+        clock = data.get("clock")
+        try:
+            numbers = {
+                field_name: int(data.get(field_name, default))
+                for field_name, default in (
+                    ("max_exhaustive", 10),
+                    ("samples", 256),
+                    ("cycles", 32),
+                    ("lanes", 64),
+                    ("seed", 1990),
+                )
+            }
+        except (TypeError, ValueError):
+            raise IcdbError(
+                "check_equivalence sizing fields must be integers",
+                code=E_BAD_REQUEST,
+            )
+        return cls(
+            name=str(data.get("name") or ""),
+            reference=str(reference) if reference is not None else None,
+            mode=str(data.get("mode") or "auto"),
+            clock=str(clock) if clock is not None else None,
+            **numbers,
         )
 
 
@@ -680,6 +827,8 @@ REQUEST_TYPES: Dict[str, Type[Request]] = {
         ComponentRequest,
         PlanQuery,
         LayoutRequest,
+        Simulate,
+        CheckEquivalence,
         DesignOp,
         BatchRequest,
         SubmitJob,

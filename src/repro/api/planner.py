@@ -2,7 +2,7 @@
 design-space exploration.
 
 This is the evaluation engine of the :mod:`repro.api.query` IR.  A plan
-runs in four stages:
+runs in four stages (five with an equivalence bound):
 
 1. **enumerate** -- resolve the spec's predicates against the catalog and
    expand the sweep axes (or the explicit :class:`~repro.api.query.PlanPoint`
@@ -18,7 +18,11 @@ runs in four stages:
    of the paper's generators overlap); on a job worker thread -- a plan
    submitted *as* a job -- the planner degrades to inline generation so
    plans can never deadlock the pool they are waiting on;
-4. **rank** -- measured metrics are checked against the spec's bounds and
+4. **verify** (only with ``require_equivalent_to``) -- every generated
+   candidate's netlist is equivalence-checked against the referenced
+   instance's flat IIF form with the bit-parallel engines of
+   :mod:`repro.sim.verify`; mismatching candidates become infeasible;
+5. **rank** -- measured metrics are checked against the spec's bounds and
    the feasible candidates are ranked by the objective: a single metric,
    a weighted scalarization, or the non-dominated (Pareto) front.
 
@@ -447,6 +451,21 @@ class Planner:
             }
         )
 
+        if spec.require_equivalent_to:
+            started = time.perf_counter()
+            checked = self._verify_equivalence(spec, survivors)
+            stages.append(
+                {
+                    "stage": "verify",
+                    "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+                    "reference": spec.require_equivalent_to,
+                    "checked": checked,
+                    "rejected": sum(
+                        1 for c in survivors if c.status == INFEASIBLE
+                    ),
+                }
+            )
+
         started = time.perf_counter()
         result = self._rank(spec, candidates)
         stages.append(
@@ -740,6 +759,52 @@ class Planner:
             "clock_width": float(instance.clock_width),
             "cells": float(instance.netlist.cell_count()),
         }
+
+    # ---------------------------------------------------------------- verify
+
+    def _verify_equivalence(
+        self, spec: QuerySpec, survivors: List[CandidateReport]
+    ) -> int:
+        """Equivalence-gate generated candidates against the reference.
+
+        The flat IIF form of ``spec.require_equivalent_to`` (an existing
+        instance; unknown names fail the whole plan with ``E_NOT_FOUND``)
+        is the functional specification: every generated candidate's gate
+        netlist is checked with
+        :func:`repro.sim.verify.check_equivalence`, and candidates that
+        mismatch -- different ports, a failing vector, or an unclockable
+        sequential check -- are marked ``infeasible`` before ranking,
+        exactly like a metric bound violation.  Returns the number of
+        candidates checked.
+        """
+        from ..sim.verify import VerificationError, check_equivalence
+
+        reference = self.session.instances.get(spec.require_equivalent_to)
+        checked = 0
+        for report in survivors:
+            if report.status != GENERATED:
+                continue
+            checked += 1
+            candidate = self.session.instances.get(report.instance)
+            try:
+                result = check_equivalence(
+                    reference.flat, candidate.netlist
+                )
+            except VerificationError as exc:
+                report.status = INFEASIBLE
+                report.reason = (
+                    f"not equivalent to {reference.name!r}: {exc}"
+                )
+                continue
+            if not result.equivalent:
+                report.status = INFEASIBLE
+                report.reason = (
+                    f"not equivalent to {reference.name!r} "
+                    f"({result.mode}, {result.vectors_checked} vectors): "
+                    f"outputs {list(result.mismatched_outputs)} differ on "
+                    f"{result.counterexample}"
+                )
+        return checked
 
     # ------------------------------------------------------------------ rank
 

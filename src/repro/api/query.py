@@ -462,6 +462,12 @@ class QuerySpec:
     metric from the worst output to one named output; ``limit`` truncates
     the ranked winners (0 = all); ``use_cache`` opts candidates out of
     the result cache.
+
+    ``require_equivalent_to`` names an existing instance whose flat IIF
+    form is the *functional specification*: after generation every
+    candidate's netlist is equivalence-checked against it
+    (:func:`repro.sim.verify.check_equivalence`) and non-equivalent
+    candidates are marked infeasible before ranking.
     """
 
     select: Tuple[Predicate, ...] = ()
@@ -476,6 +482,7 @@ class QuerySpec:
     delay_output: Optional[str] = None
     limit: int = 0
     use_cache: bool = True
+    require_equivalent_to: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.target not in (TARGET_LOGIC, TARGET_LAYOUT):
@@ -537,6 +544,7 @@ class QuerySpec:
             "delay_output": self.delay_output,
             "limit": self.limit,
             "use_cache": self.use_cache,
+            "require_equivalent_to": self.require_equivalent_to,
         }
 
     @staticmethod
@@ -563,6 +571,7 @@ class QuerySpec:
             )
         objective_data = data.get("objective")
         delay_output = data.get("delay_output")
+        reference = data.get("require_equivalent_to")
         return QuerySpec(
             select=tuple(
                 predicate_from_dict(item) for item in (data.get("select") or ())
@@ -588,4 +597,5 @@ class QuerySpec:
             delay_output=str(delay_output) if delay_output else None,
             limit=limit,
             use_cache=bool(data.get("use_cache", True)),
+            require_equivalent_to=str(reference) if reference else None,
         )

@@ -71,6 +71,7 @@ from .errors import (
     IcdbErrorInfo,
     error_from_exception,
 )
+from ..sim.verify import check_equivalence, simulate_vectors
 from .messages import (
     COMPONENT_DETAILS,
     FUNCTION_QUERY_WANTS,
@@ -83,6 +84,7 @@ from .messages import (
     JOB_TERMINAL_STATES,
     BatchRequest,
     CancelJob,
+    CheckEquivalence,
     ComponentQuery,
     ComponentRequest,
     DesignOp,
@@ -95,6 +97,7 @@ from .messages import (
     Request,
     Response,
     SubmitJob,
+    Simulate,
 )
 from .planner import (
     Planner,
@@ -478,6 +481,76 @@ class Session:
         """The CQL ``connect_component``: connection information string."""
         return self.instances.get(name).connection_info
 
+    # ------------------------------------------------- simulation / verification
+
+    def simulate(
+        self,
+        name: str,
+        vectors: Sequence[Mapping[str, int]],
+        engine: str = "gates",
+        clock: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """The ``simulate`` request: batch vector simulation of an instance.
+
+        Runs the bit-parallel engine over the vectors (one lane per
+        vector; a single serial trace when ``clock`` is given) and answers
+        one output assignment per vector.
+        """
+        instance = self.instances.get(name)
+        outputs = simulate_vectors(
+            instance.flat,
+            instance.netlist,
+            vectors,
+            engine=engine,
+            clock=clock,
+        )
+        return {
+            "instance": name,
+            "engine": engine,
+            "clock": clock,
+            "vectors": outputs,
+        }
+
+    def check_equivalence(
+        self,
+        name: str,
+        reference: Optional[str] = None,
+        mode: str = "auto",
+        clock: Optional[str] = None,
+        max_exhaustive: int = 10,
+        samples: int = 256,
+        cycles: int = 32,
+        lanes: int = 64,
+        seed: int = 1990,
+    ) -> Dict[str, object]:
+        """The ``check_equivalence`` request: verify an instance's netlist.
+
+        The candidate's gate netlist is checked against the flat IIF form
+        of ``reference`` (another instance; defaults to the candidate
+        itself, i.e. "did synthesis preserve the specified function?").
+        """
+        candidate = self.instances.get(name)
+        specification = (
+            self.instances.get(reference) if reference else candidate
+        )
+        result = check_equivalence(
+            specification.flat,
+            candidate.netlist,
+            mode=mode,
+            clock=clock,
+            max_exhaustive=max_exhaustive,
+            samples=samples,
+            cycles=cycles,
+            lanes=lanes,
+            seed=seed,
+        )
+        answer: Dict[str, object] = {
+            "instance": name,
+            "reference": reference or name,
+        }
+        answer.update(result.to_dict())
+        return answer
+
     def request_layout(
         self,
         name: str,
@@ -801,6 +874,31 @@ class ComponentService:
                     "height": float(layout.height),
                     "strips": int(layout.strips),
                 },
+                False,
+            )
+        if isinstance(request, Simulate):
+            return (
+                session.simulate(
+                    request.name,
+                    request.vectors,
+                    engine=request.engine,
+                    clock=request.clock,
+                ),
+                False,
+            )
+        if isinstance(request, CheckEquivalence):
+            return (
+                session.check_equivalence(
+                    request.name,
+                    reference=request.reference,
+                    mode=request.mode,
+                    clock=request.clock,
+                    max_exhaustive=request.max_exhaustive,
+                    samples=request.samples,
+                    cycles=request.cycles,
+                    lanes=request.lanes,
+                    seed=request.seed,
+                ),
                 False,
             )
         if isinstance(request, DesignOp):

@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from ..api.messages import (
     CancelJob,
+    CheckEquivalence,
     ComponentQuery,
     ComponentRequest,
     DesignOp,
@@ -42,6 +43,7 @@ from ..api.messages import (
     PlanQuery,
     Request,
     Response,
+    Simulate,
     SubmitJob,
     request_from_dict,
 )
@@ -380,6 +382,7 @@ class CqlExecutor:
 
         limit = values.get("limit")
         delay_output = values.get("delay_output")
+        reference = values.get("require_equivalent_to")
         return QuerySpec(
             select=tuple(predicates),
             where=tuple(bounds),
@@ -389,6 +392,7 @@ class CqlExecutor:
             constraints=self._build_constraints(values),
             delay_output=str(delay_output) if delay_output else None,
             limit=_as_int(limit, "limit") if limit not in (None, "") else 0,
+            require_equivalent_to=str(reference) if reference else None,
         )
 
     def _cmd_explore(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
@@ -441,6 +445,87 @@ class CqlExecutor:
     # The paper's appendix spells some commands several ways; accept the
     # typed request kind as a command name too.
     _cmd_plan_query = _cmd_explore
+
+    # ------------------------------------------- simulation / verification
+
+    def _cmd_simulate(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        """``command: simulate``: batch vector simulation of an instance.
+
+        ``instance`` names the target; ``vectors`` (usually a ``%`` input
+        slot carrying a list of ``{input: bit}`` dicts) are the stimuli;
+        optional ``engine`` (``gates`` / ``flat``) and ``clock`` select
+        the model and trace mode.  Outputs: ``?vectors`` (one output
+        assignment per input vector).
+        """
+        name = values.get("instance") or values.get("implementation")
+        if not name:
+            raise CqlExecutionError("simulate needs an 'instance' term")
+        vectors = values.get("vectors")
+        if isinstance(vectors, Mapping):
+            vectors = [vectors]
+        if not isinstance(vectors, (list, tuple)) or any(
+            not isinstance(vector, Mapping) for vector in vectors
+        ):
+            raise CqlExecutionError(
+                "simulate expects 'vectors' to be a list of input assignments"
+            )
+        clock = values.get("clock")
+        value = self._run(
+            Simulate(
+                name=str(name),
+                vectors=tuple(dict(vector) for vector in vectors),
+                engine=str(values.get("engine") or "gates"),
+                clock=str(clock) if clock not in (None, "") else None,
+            )
+        ).value
+        outputs: Dict[str, Any] = {}
+        for term in command.output_slots():
+            if term.keyword == "vectors":
+                outputs["vectors"] = value["vectors"]
+            elif term.keyword == "engine":
+                outputs["engine"] = value["engine"]
+        outputs.setdefault("vectors", value["vectors"])
+        return outputs
+
+    def _cmd_verify(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        """``command: verify``: equivalence-check an instance's netlist.
+
+        ``instance`` names the candidate; optional ``reference`` names the
+        instance whose flat IIF form is the specification (defaults to the
+        candidate itself), ``mode`` one of ``auto`` / ``combinational`` /
+        ``sequential``, ``clock`` the lock-step clock.  Outputs:
+        ``?equivalent``, ``?vectors_checked``, ``?counterexample``,
+        ``?mismatched_outputs``, ``?mode``.
+        """
+        name = values.get("instance") or values.get("implementation")
+        if not name:
+            raise CqlExecutionError("verify needs an 'instance' term")
+        reference = values.get("reference")
+        clock = values.get("clock")
+        request = CheckEquivalence(
+            name=str(name),
+            reference=str(reference) if reference not in (None, "") else None,
+            mode=str(values.get("mode") or "auto"),
+            clock=str(clock) if clock not in (None, "") else None,
+        )
+        value = self._run(request).value
+        outputs: Dict[str, Any] = {}
+        for term in command.output_slots():
+            if term.keyword in (
+                "equivalent",
+                "vectors_checked",
+                "counterexample",
+                "mismatched_outputs",
+                "mode",
+                "reference",
+            ):
+                outputs[term.keyword] = value[term.keyword]
+        return outputs or {
+            "equivalent": value["equivalent"],
+            "vectors_checked": value["vectors_checked"],
+        }
+
+    _cmd_check_equivalence = _cmd_verify
 
     # ------------------------------------------------------- asynchronous jobs
 

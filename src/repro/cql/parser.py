@@ -170,6 +170,8 @@ KEYWORD_ALIASES = {
     "sweeps": "sweep",
     "pareto_front": "front",
     "max_rdelay": "max_delay",
+    "equivalent_to": "require_equivalent_to",
+    "equiv_to": "require_equivalent_to",
     "cif_layout": "cif_layout",
     "vhdl_net_list": "vhdl_net_list",
     "vhdl_head": "vhdl_head",

@@ -55,6 +55,7 @@ from ..api.messages import (
     AttachSession,
     BatchRequest,
     CancelJob,
+    CheckEquivalence,
     ComponentQuery,
     ComponentRequest,
     DesignOp,
@@ -67,6 +68,7 @@ from ..api.messages import (
     PlanQuery,
     Request,
     Response,
+    Simulate,
     SubmitJob,
     Welcome,
 )
@@ -839,6 +841,62 @@ class RemoteClient:
                 alternative=alternative,
                 strips=strips,
                 port_positions=tuple(port_positions),
+            )
+        ).unwrap()
+
+    # ------------------------------------------- simulation / verification
+
+    def simulate(
+        self,
+        name: str,
+        vectors: Sequence[Mapping[str, int]],
+        engine: str = "gates",
+        clock: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Batch-simulate test vectors on a server-side instance.
+
+        Answers the wire dict (``instance`` / ``engine`` / ``clock`` /
+        ``vectors``, the last one output assignment per input vector) --
+        identical to :meth:`~repro.api.service.Session.simulate`.
+        """
+        return self.execute(
+            Simulate(
+                name=name,
+                vectors=tuple(dict(vector) for vector in vectors),
+                engine=engine,
+                clock=clock,
+            )
+        ).unwrap()
+
+    def check_equivalence(
+        self,
+        name: str,
+        reference: Optional[str] = None,
+        mode: str = "auto",
+        clock: Optional[str] = None,
+        max_exhaustive: int = 10,
+        samples: int = 256,
+        cycles: int = 32,
+        lanes: int = 64,
+        seed: int = 1990,
+    ) -> Dict[str, Any]:
+        """Equivalence-check an instance's netlist server-side.
+
+        Answers the wire dict embedding the
+        :class:`~repro.sim.vectors.EquivalenceResult` fields -- identical
+        to :meth:`~repro.api.service.Session.check_equivalence`.
+        """
+        return self.execute(
+            CheckEquivalence(
+                name=name,
+                reference=reference,
+                mode=mode,
+                clock=clock,
+                max_exhaustive=max_exhaustive,
+                samples=samples,
+                cycles=cycles,
+                lanes=lanes,
+                seed=seed,
             )
         ).unwrap()
 

@@ -1,24 +1,70 @@
-"""Simulators used to verify generated components (flat and gate level)."""
+"""Simulators used to verify generated components (flat and gate level).
 
+Two families:
+
+* scalar engines (:class:`FlatSimulator`, :class:`GateSimulator`) --
+  one vector at a time, the reference semantics;
+* bit-parallel batch engines (:class:`BatchFlatSimulator`,
+  :class:`BatchGateSimulator`, :mod:`repro.sim.batch`) -- ``W`` vectors
+  packed into big-integer lanes, one bitwise operation per gate per
+  step, with the verification layer (:mod:`repro.sim.verify`) on top.
+
+See ``docs/sim.md``.
+"""
+
+from .batch import (
+    BatchFlatSimulator,
+    BatchGateSimulator,
+    batch_evaluate,
+    pack_vectors,
+    unpack_lane,
+    unpack_lanes,
+)
 from .functional import FlatSimulator, SimulationError
-from .gatesim import GateSimulationError, GateSimulator, evaluate_combinational_cell
+from .gatesim import (
+    GateSimulationError,
+    GateSimulator,
+    evaluate_combinational_cell,
+    read_bus,
+)
 from .vectors import (
     EquivalenceResult,
     bus_assignment,
     check_combinational_equivalence,
     check_sequential_equivalence,
-    read_bus,
+)
+from .verify import (
+    EQUIVALENCE_MODES,
+    SIM_ENGINES,
+    VerificationError,
+    check_combinational_equivalence_batch,
+    check_equivalence,
+    check_sequential_equivalence_batch,
+    simulate_vectors,
 )
 
 __all__ = [
+    "BatchFlatSimulator",
+    "BatchGateSimulator",
+    "EQUIVALENCE_MODES",
     "EquivalenceResult",
     "FlatSimulator",
     "GateSimulationError",
     "GateSimulator",
+    "SIM_ENGINES",
     "SimulationError",
+    "VerificationError",
+    "batch_evaluate",
     "bus_assignment",
     "check_combinational_equivalence",
+    "check_combinational_equivalence_batch",
+    "check_equivalence",
     "check_sequential_equivalence",
+    "check_sequential_equivalence_batch",
     "evaluate_combinational_cell",
+    "pack_vectors",
     "read_bus",
+    "simulate_vectors",
+    "unpack_lane",
+    "unpack_lanes",
 ]

@@ -1,0 +1,539 @@
+"""Bit-parallel (word-level) batch simulation.
+
+The scalar simulators (:class:`~repro.sim.functional.FlatSimulator`,
+:class:`~repro.sim.gatesim.GateSimulator`) evaluate one test vector at a
+time -- a Python-level loop per gate per vector.  The engines here pack
+``W`` independent test vectors into **big-integer lanes**: every net
+carries one Python ``int`` whose bit ``i`` is the net's value in lane
+``i``, and every gate / expression node evaluates all ``W`` lanes with a
+single bitwise operation.  This extends the ``truth_mask`` trick of
+:mod:`repro.logic.expr` (which evaluates all ``2**n`` truth-table rows in
+one pass over the hash-consed IR) from pure expressions to full
+components, including sequential (clocked) lock-step simulation.
+
+Lanes are *independent experiments*: each carries its own primary-input
+stream and its own flip-flop / latch state, but all lanes share the one
+clocking schedule of the driving calls (``apply`` / ``clock_cycle``).
+The semantics per lane are exactly those of the scalar simulators --
+two-phase edge commit, asynchronous set-over-reset priority, latch
+transparency, TRIBUF bus-hold, WIREOR as OR (see ``docs/sim.md``);
+``tests/test_sim_batch.py`` asserts lane-for-lane identity against the
+scalar engines, including on random netlists and stimulus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..iif.flat import CombAssign, FlatComponent, SeqAssign
+from ..logic import expr as E
+from ..netlist.gates import GateInstance, GateNetlist
+from ..netlist.graph import combinational_order
+from .functional import MAX_SETTLE_ITERATIONS, SimulationError
+from .gatesim import GateSimulationError
+
+__all__ = [
+    "BatchFlatSimulator",
+    "BatchGateSimulator",
+    "batch_evaluate",
+    "pack_vectors",
+    "unpack_lane",
+    "unpack_lanes",
+]
+
+
+# ---------------------------------------------------------------------------
+# Lane packing helpers
+# ---------------------------------------------------------------------------
+
+
+def pack_vectors(
+    vectors: Sequence[Mapping[str, int]],
+    names: Optional[Sequence[str]] = None,
+) -> Dict[str, int]:
+    """Pack per-vector assignments into lane integers.
+
+    Bit ``i`` of the result for ``name`` is vector ``i``'s value of
+    ``name`` (missing names default to 0).  ``names`` fixes the packed
+    signal set; by default it is the union of the vectors' keys in first
+    appearance order.
+    """
+    if names is None:
+        seen: Dict[str, None] = {}
+        for vector in vectors:
+            for name in vector:
+                seen.setdefault(name, None)
+        names = list(seen)
+    packed: Dict[str, int] = {name: 0 for name in names}
+    for lane, vector in enumerate(vectors):
+        bit = 1 << lane
+        for name in names:
+            if vector.get(name, 0):
+                packed[name] |= bit
+    return packed
+
+
+def unpack_lane(values: Mapping[str, int], lane: int) -> Dict[str, int]:
+    """Extract one lane's scalar assignment from lane-packed values."""
+    return {name: (value >> lane) & 1 for name, value in values.items()}
+
+
+def unpack_lanes(values: Mapping[str, int], lanes: int) -> List[Dict[str, int]]:
+    """Explode lane-packed values back into one scalar dict per lane."""
+    return [unpack_lane(values, lane) for lane in range(lanes)]
+
+
+# ---------------------------------------------------------------------------
+# Batch expression evaluation (flat IR)
+# ---------------------------------------------------------------------------
+
+
+def batch_evaluate(
+    expr: E.BExpr,
+    env: Mapping[str, int],
+    full: int,
+    memo: Optional[Dict[E.BExpr, int]] = None,
+) -> int:
+    """Evaluate ``expr`` over lane-packed variable values.
+
+    ``full`` is the all-lanes mask ``(1 << lanes) - 1``; every node costs
+    one bitwise operation for all lanes at once, and the hash-consed
+    expression graph is walked once per distinct node (``memo`` carries
+    shared-subgraph results across calls evaluated against the *same*
+    environment snapshot).
+    """
+    if memo is None:
+        memo = {}
+
+    def rec(node: E.BExpr) -> int:
+        result = memo.get(node)
+        if result is not None:
+            return result
+        if isinstance(node, E.Const):
+            result = full if node.value else 0
+        elif isinstance(node, E.Var):
+            try:
+                result = env[node.name] & full
+            except KeyError:
+                raise SimulationError(
+                    f"no value for signal {node.name!r}"
+                ) from None
+        elif isinstance(node, E.Not):
+            result = full ^ rec(node.operand)
+        elif isinstance(node, E.Buf):
+            result = rec(node.operand)
+        elif isinstance(node, E.And):
+            result = full
+            for arg in node.args:
+                result &= rec(arg)
+        elif isinstance(node, E.Or):
+            result = 0
+            for arg in node.args:
+                result |= rec(arg)
+        elif isinstance(node, E.Xor):
+            result = rec(node.left) ^ rec(node.right)
+        elif isinstance(node, E.Xnor):
+            result = full ^ rec(node.left) ^ rec(node.right)
+        elif isinstance(node, E.Special):
+            # Functional (zero-delay, driven) semantics, exactly like the
+            # scalar ``Special.evaluate``: wire-or resolves as OR, the
+            # data input wins for tri-state / delay / schmitt.
+            if node.kind == "wireor":
+                result = 0
+                for arg in node.args:
+                    result |= rec(arg)
+            else:
+                result = rec(node.args[0])
+        else:
+            raise SimulationError(f"cannot batch-evaluate {node!r}")
+        memo[node] = result
+        return result
+
+    return rec(expr)
+
+
+# ---------------------------------------------------------------------------
+# Batch flat (functional) simulator
+# ---------------------------------------------------------------------------
+
+
+class BatchFlatSimulator:
+    """Lane-parallel mirror of :class:`~repro.sim.functional.FlatSimulator`.
+
+    Every value in :attr:`values` is a ``lanes``-bit integer; per lane the
+    settle / async / latch / edge semantics are identical to the scalar
+    simulator's.
+    """
+
+    def __init__(self, component: FlatComponent, lanes: int, initial_state: int = 0):
+        if lanes < 1:
+            raise SimulationError(f"need at least one lane, got {lanes}")
+        self.component = component
+        self.lanes = lanes
+        self.full = (1 << lanes) - 1
+        self._comb: List[CombAssign] = component.combinational()
+        self._seq: List[SeqAssign] = component.sequential()
+        initial = initial_state & self.full
+        self.values: Dict[str, int] = {}
+        for signal in component.signals():
+            self.values[signal] = initial
+        for name in component.inputs:
+            self.values[name] = 0
+        self._previous_clock: Dict[str, int] = {}
+        self._settle()
+        for assign in self._seq:
+            self._previous_clock[assign.target] = self._clock_value(assign)
+
+    # ----------------------------------------------------------------- basics
+
+    def _clock_value(self, assign: SeqAssign) -> int:
+        return batch_evaluate(assign.clock, self.values, self.full)
+
+    def state(self) -> Dict[str, int]:
+        return {assign.target: self.values[assign.target] for assign in self._seq}
+
+    def output_values(self) -> Dict[str, int]:
+        return {name: self.values[name] for name in self.component.outputs}
+
+    def value(self, signal: str) -> int:
+        return self.values[signal]
+
+    def lane_values(self, lane: int) -> Dict[str, int]:
+        """One lane's scalar view of every signal."""
+        return unpack_lane(self.values, lane)
+
+    # ------------------------------------------------------------------ drive
+
+    def apply(self, inputs: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        """Apply lane-packed primary-input values and settle all lanes."""
+        if inputs:
+            unknown = [name for name in inputs if name not in self.component.inputs]
+            if unknown:
+                raise SimulationError(f"unknown input signals: {unknown}")
+            for name, value in inputs.items():
+                self.values[name] = value & self.full
+        self._settle()
+        return self.output_values()
+
+    def clock_cycle(
+        self, clock: str = "CLK", inputs: Optional[Mapping[str, int]] = None
+    ) -> Dict[str, int]:
+        """One full clock cycle on every lane (low phase, rising edge)."""
+        low = dict(inputs or {})
+        low[clock] = 0
+        self.apply(low)
+        return self.apply({clock: self.full})
+
+    # ----------------------------------------------------------------- settle
+
+    def _settle(self) -> None:
+        for _ in range(MAX_SETTLE_ITERATIONS):
+            changed = self._propagate_combinational()
+            changed |= self._apply_async()
+            changed |= self._apply_latches()
+            changed |= self._apply_edges()
+            if not changed:
+                return
+        raise SimulationError(
+            f"{self.component.name}: batch simulation did not settle "
+            f"(possible combinational loop)"
+        )
+
+    def _propagate_combinational(self) -> bool:
+        changed = False
+        for _ in range(MAX_SETTLE_ITERATIONS):
+            pass_changed = False
+            for assign in self._comb:
+                # No cross-assign memo: like the scalar simulator, each
+                # assignment sees the in-pass updates before it.
+                new_value = batch_evaluate(assign.expr, self.values, self.full)
+                if self.values.get(assign.target) != new_value:
+                    self.values[assign.target] = new_value
+                    pass_changed = True
+            if not pass_changed:
+                return changed
+            changed = True
+        raise SimulationError(
+            f"{self.component.name}: combinational logic did not settle"
+        )
+
+    def _apply_async(self) -> bool:
+        changed = False
+        for assign in self._seq:
+            handled = 0  # lanes already claimed by an earlier (higher-priority) term
+            for term in assign.asyncs:
+                active = (
+                    batch_evaluate(term.condition, self.values, self.full)
+                    & ~handled
+                    & self.full
+                )
+                if not active:
+                    continue
+                handled |= active
+                current = self.values[assign.target]
+                forced = active if term.value else 0
+                new_value = (current & ~active & self.full) | forced
+                if new_value != current:
+                    self.values[assign.target] = new_value
+                    changed = True
+        return changed
+
+    def _apply_latches(self) -> bool:
+        changed = False
+        for assign in self._seq:
+            if not assign.is_latch:
+                continue
+            clock = self._clock_value(assign)
+            transparent = clock if assign.edge == "h" else (self.full ^ clock)
+            if transparent:
+                data = batch_evaluate(assign.data, self.values, self.full)
+                current = self.values[assign.target]
+                new_value = (current & ~transparent & self.full) | (data & transparent)
+                if new_value != current:
+                    self.values[assign.target] = new_value
+                    changed = True
+            self._previous_clock[assign.target] = clock
+        return changed
+
+    def _apply_edges(self) -> bool:
+        # Two-phase commit per lane: all flip-flops sample D before any
+        # updates, exactly like the scalar simulator.
+        updates: List[Tuple[str, int, int]] = []
+        for assign in self._seq:
+            if assign.is_latch:
+                continue
+            clock = self._clock_value(assign)
+            previous = self._previous_clock.get(assign.target, clock)
+            rising = ~previous & clock & self.full
+            falling = previous & ~clock & self.full
+            triggered = rising if assign.edge == "r" else falling
+            self._previous_clock[assign.target] = clock
+            if not triggered:
+                continue
+            # Asynchronous terms dominate the edge on the lanes where any
+            # of them is active.
+            dominated = 0
+            for term in assign.asyncs:
+                dominated |= batch_evaluate(term.condition, self.values, self.full)
+            triggered &= ~dominated & self.full
+            if not triggered:
+                continue
+            updates.append(
+                (
+                    assign.target,
+                    triggered,
+                    batch_evaluate(assign.data, self.values, self.full),
+                )
+            )
+        changed = False
+        for target, mask, data in updates:
+            current = self.values[target]
+            new_value = (current & ~mask & self.full) | (data & mask)
+            if new_value != current:
+                self.values[target] = new_value
+                changed = True
+        return changed
+
+
+# ---------------------------------------------------------------------------
+# Batch gate-level simulator
+# ---------------------------------------------------------------------------
+
+
+def _b_all(operands: Sequence[int], full: int) -> int:
+    result = full
+    for value in operands:
+        result &= value
+    return result
+
+
+def _b_any(operands: Sequence[int], full: int) -> int:
+    result = 0
+    for value in operands:
+        result |= value
+    return result
+
+
+#: Lane-parallel cell evaluators: ``f(operands, full) -> lanes`` for every
+#: combinational kind of ``_COMBINATIONAL_KINDS`` (MUX2 / TRIBUF are
+#: special-cased like in the scalar engine).
+_BATCH_KINDS = {
+    "INV": lambda v, full: full ^ v[0],
+    "BUF": lambda v, full: v[0],
+    "BUFH": lambda v, full: v[0],
+    "SCHMITT": lambda v, full: v[0],
+    "DELAY": lambda v, full: v[0],
+    "AND2": _b_all,
+    "AND3": _b_all,
+    "AND4": _b_all,
+    "OR2": _b_any,
+    "OR3": _b_any,
+    "OR4": _b_any,
+    "NAND2": lambda v, full: full ^ _b_all(v, full),
+    "NAND3": lambda v, full: full ^ _b_all(v, full),
+    "NAND4": lambda v, full: full ^ _b_all(v, full),
+    "NOR2": lambda v, full: full ^ _b_any(v, full),
+    "NOR3": lambda v, full: full ^ _b_any(v, full),
+    "NOR4": lambda v, full: full ^ _b_any(v, full),
+    "XOR2": lambda v, full: v[0] ^ v[1],
+    "XNOR2": lambda v, full: full ^ v[0] ^ v[1],
+    "AOI21": lambda v, full: full ^ ((v[0] & v[1]) | v[2]),
+    "AOI22": lambda v, full: full ^ ((v[0] & v[1]) | (v[2] & v[3])),
+    "OAI21": lambda v, full: full ^ ((v[0] | v[1]) & v[2]),
+    "WIREOR": _b_any,
+    "TIE0": lambda v, full: 0,
+    "TIE1": lambda v, full: full,
+}
+
+
+def batch_evaluate_cell(
+    instance: GateInstance, values: Mapping[str, int], full: int
+) -> int:
+    """Evaluate one combinational cell for all lanes at once."""
+    kind = instance.cell.kind
+    if kind == "MUX2":
+        i0, i1, select = (values[instance.pins[p]] for p in ("I0", "I1", "S"))
+        return (i0 & ~select & full) | (i1 & select)
+    if kind == "TRIBUF":
+        data = values[instance.pins["I0"]]
+        enable = values[instance.pins["EN"]]
+        # Bus-hold per lane: disabled lanes keep the previous output value.
+        held = values.get(instance.output_net(), 0)
+        return (data & enable) | (held & ~enable & full)
+    function = _BATCH_KINDS.get(kind)
+    if function is None:
+        raise GateSimulationError(f"no functional model for cell kind {kind!r}")
+    operands = [values[instance.pins[pin]] for pin in instance.cell.inputs]
+    return function(operands, full)
+
+
+class BatchGateSimulator:
+    """Lane-parallel mirror of :class:`~repro.sim.gatesim.GateSimulator`."""
+
+    def __init__(self, netlist: GateNetlist, lanes: int, initial_state: int = 0):
+        if lanes < 1:
+            raise GateSimulationError(f"need at least one lane, got {lanes}")
+        self.netlist = netlist
+        self.lanes = lanes
+        self.full = (1 << lanes) - 1
+        self.order = combinational_order(netlist)
+        initial = initial_state & self.full
+        self.values: Dict[str, int] = {}
+        for name in netlist.inputs:
+            self.values[name] = 0
+        for instance in netlist.all_instances():
+            for pin in instance.cell.outputs:
+                self.values[instance.pins[pin]] = initial
+        self._previous_clock: Dict[str, int] = {}
+        self._settle()
+        for instance in netlist.sequential_instances():
+            clock_net = instance.clock_net()
+            self._previous_clock[instance.name] = self.values.get(clock_net, 0)
+
+    # ------------------------------------------------------------------ drive
+
+    def apply(self, inputs: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        """Apply lane-packed primary-input values, settle, return outputs."""
+        if inputs:
+            for name, value in inputs.items():
+                if name not in self.netlist.inputs:
+                    raise GateSimulationError(f"unknown input {name!r}")
+                self.values[name] = value & self.full
+        self._settle()
+        return self.output_values()
+
+    def clock_cycle(
+        self, clock: str, inputs: Optional[Mapping[str, int]] = None
+    ) -> Dict[str, int]:
+        low = dict(inputs or {})
+        low[clock] = 0
+        self.apply(low)
+        return self.apply({clock: self.full})
+
+    def output_values(self) -> Dict[str, int]:
+        return {name: self.values[name] for name in self.netlist.outputs}
+
+    def lane_values(self, lane: int) -> Dict[str, int]:
+        """One lane's scalar view of every net."""
+        return unpack_lane(self.values, lane)
+
+    # ----------------------------------------------------------------- settle
+
+    def _settle(self, max_iterations: int = 200) -> None:
+        for _ in range(max_iterations):
+            changed = self._propagate()
+            changed |= self._sequential_step()
+            if not changed:
+                return
+        raise GateSimulationError(
+            f"{self.netlist.name}: batch gate-level simulation did not settle"
+        )
+
+    def _propagate(self) -> bool:
+        changed = False
+        for _ in range(200):
+            pass_changed = False
+            for instance in self.order:
+                new_value = batch_evaluate_cell(instance, self.values, self.full)
+                out_net = instance.output_net()
+                if self.values.get(out_net) != new_value:
+                    self.values[out_net] = new_value
+                    pass_changed = True
+            if not pass_changed:
+                return changed
+            changed = True
+        raise GateSimulationError(
+            f"{self.netlist.name}: combinational gates did not settle"
+        )
+
+    def _sequential_step(self) -> bool:
+        full = self.full
+        updates: List[Tuple[str, int]] = []
+        for instance in self.netlist.sequential_instances():
+            kind = instance.cell.kind
+            clock = self.values.get(instance.clock_net(), 0)
+            out_net = instance.output_net()
+            set_mask = (
+                self.values.get(instance.pins["S"], 0) if "S" in instance.pins else 0
+            )
+            reset_mask = (
+                self.values.get(instance.pins["R"], 0) if "R" in instance.pins else 0
+            )
+
+            if kind.startswith("LATCH"):
+                transparent = clock if kind == "LATCH_H" else (full ^ clock)
+                if transparent:
+                    data = self.values[instance.pins["D"]]
+                    current = self.values[out_net]
+                    updates.append(
+                        (out_net, (current & ~transparent & full) | (data & transparent))
+                    )
+                self._previous_clock[instance.name] = clock
+                continue
+
+            previous = self._previous_clock.get(instance.name, clock)
+            self._previous_clock[instance.name] = clock
+            falling_edge_cell = kind.startswith("DFF_N")
+            triggered = (
+                (previous & ~clock & full)
+                if falling_edge_cell
+                else (~previous & clock & full)
+            )
+            # Per-lane priority, like the scalar engine: set wins over
+            # reset, both win over the clock edge.
+            triggered &= ~set_mask & ~reset_mask & full
+            current = self.values[out_net]
+            new_value = current
+            if triggered:
+                data = self.values[instance.pins["D"]]
+                new_value = (new_value & ~triggered & full) | (data & triggered)
+            new_value &= ~(reset_mask & ~set_mask) & full
+            new_value |= set_mask
+            if new_value != current or set_mask or reset_mask or triggered:
+                updates.append((out_net, new_value))
+        changed = False
+        for net, value in updates:
+            if self.values.get(net) != value:
+                self.values[net] = value
+                changed = True
+        return changed

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..iif.flat import CombAssign, FlatComponent, SeqAssign
 from ..logic import expr as E
+from .gatesim import read_bus
 
 
 class SimulationError(RuntimeError):
@@ -66,10 +67,7 @@ class FlatSimulator:
 
     def bus_value(self, base: str, width: int) -> int:
         """Read ``base[width-1 .. 0]`` as an unsigned integer."""
-        total = 0
-        for index in range(width):
-            total |= (self.values[f"{base}[{index}]"] & 1) << index
-        return total
+        return read_bus(self.values, base, width)
 
     def set_bus(self, base: str, width: int, value: int) -> Dict[str, int]:
         """Build an input assignment for a bus (does not apply it)."""

@@ -5,6 +5,26 @@ functionally equivalent to the flat IIF description it came from (the
 paper runs a VHDL simulator for the same purpose).  Cell behaviour is
 defined per cell *kind*; sequential cells react to clock edges / levels on
 their clock pin and to asynchronous set / reset pins.
+
+Tri-state / wired-or resolution model
+-------------------------------------
+
+The simulator is two-valued (0/1, no ``Z`` or ``X``), so shared buses
+resolve like this:
+
+* A ``TRIBUF`` drives its data input onto its output net while ``EN`` is
+  1.  While ``EN`` is 0 the output net *holds its previous settled
+  value* (a bus-keeper model): the cell evaluates to whatever the net
+  last carried, initially the simulator's reset value 0.  A disabled
+  tri-state therefore never floats and never fights an enabled driver.
+* A net is still single-driver (:meth:`GateNetlist.nets` rejects
+  multiple drivers): several tri-state drivers sharing a bus must be
+  merged through an explicit ``WIREOR`` cell, which resolves as the
+  logical OR of its inputs -- an inactive (disabled, holding-0) driver
+  contributes nothing, matching a precharged-low wired-OR bus.
+
+The batch (bit-parallel) engine in :mod:`repro.sim.batch` implements the
+same model lane for lane; ``tests/test_sim_batch.py`` pins both down.
 """
 
 from __future__ import annotations
@@ -18,6 +38,28 @@ from ..netlist.graph import combinational_order
 
 class GateSimulationError(RuntimeError):
     """Raised on unknown cells or missing input values."""
+
+
+def read_bus(values: Mapping[str, int], base: str, width: int) -> int:
+    """Read ``base[width-1 .. 0]`` out of a name->value mapping.
+
+    The one shared bus unpacker behind ``GateSimulator.bus_value``,
+    ``FlatSimulator.bus_value`` and the vector helpers; a missing bit net
+    raises :class:`GateSimulationError` naming the net instead of a bare
+    ``KeyError``.
+    """
+    total = 0
+    for index in range(width):
+        net = f"{base}[{index}]"
+        try:
+            bit = values[net]
+        except KeyError:
+            raise GateSimulationError(
+                f"no net named {net!r} while reading bus "
+                f"{base}[{width - 1}..0]"
+            ) from None
+        total |= (bit & 1) << index
+    return total
 
 
 def _all(values: Sequence[int]) -> int:
@@ -119,10 +161,7 @@ class GateSimulator:
         return {name: self.values[name] for name in self.netlist.outputs}
 
     def bus_value(self, base: str, width: int) -> int:
-        total = 0
-        for index in range(width):
-            total |= (self.values[f"{base}[{index}]"] & 1) << index
-        return total
+        return read_bus(self.values, base, width)
 
     # ----------------------------------------------------------------- settle
 

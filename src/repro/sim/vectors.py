@@ -17,36 +17,75 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from typing import Any
+
 from ..iif.flat import FlatComponent
 from ..netlist.gates import GateNetlist
 from .functional import FlatSimulator
-from .gatesim import GateSimulator
+from .gatesim import GateSimulator, read_bus
+
+__all__ = [
+    "EquivalenceResult",
+    "bus_assignment",
+    "read_bus",
+    "check_combinational_equivalence",
+    "check_sequential_equivalence",
+]
 
 
 @dataclass
 class EquivalenceResult:
-    """Outcome of an equivalence check."""
+    """Outcome of an equivalence check.
+
+    ``vectors_checked`` counts the vectors (or, for lock-step sequential
+    checks, stimulus applications) actually simulated -- on an early
+    mismatch it includes the counterexample vector but nothing after it.
+    ``mode`` records which check produced the result
+    (``"combinational"`` / ``"sequential"``) when known.
+    """
 
     equivalent: bool
     vectors_checked: int
     counterexample: Optional[Dict[str, int]] = None
     mismatched_outputs: Tuple[str, ...] = ()
+    mode: str = ""
 
     def __bool__(self) -> bool:
         return self.equivalent
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-stable wire form (the ``check_equivalence`` answer)."""
+        return {
+            "equivalent": self.equivalent,
+            "vectors_checked": self.vectors_checked,
+            "counterexample": (
+                dict(self.counterexample) if self.counterexample else None
+            ),
+            "mismatched_outputs": list(self.mismatched_outputs),
+            "mode": self.mode,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "EquivalenceResult":
+        counterexample = data.get("counterexample")
+        return EquivalenceResult(
+            equivalent=bool(data.get("equivalent")),
+            vectors_checked=int(data.get("vectors_checked", 0)),
+            counterexample=(
+                {str(k): int(v) for k, v in counterexample.items()}
+                if counterexample
+                else None
+            ),
+            mismatched_outputs=tuple(
+                str(name) for name in data.get("mismatched_outputs") or ()
+            ),
+            mode=str(data.get("mode") or ""),
+        )
 
 
 def bus_assignment(base: str, width: int, value: int) -> Dict[str, int]:
     """Input assignment driving ``base[width-1..0]`` with ``value``."""
     return {f"{base}[{i}]": (value >> i) & 1 for i in range(width)}
-
-
-def read_bus(values: Mapping[str, int], base: str, width: int) -> int:
-    """Read a bus out of a name->value mapping."""
-    total = 0
-    for index in range(width):
-        total |= (values[f"{base}[{index}]"] & 1) << index
-    return total
 
 
 def _input_vectors(
@@ -79,7 +118,7 @@ def check_combinational_equivalence(
     collapsed = flat.collapsed_output_expressions()
     vectors = _input_vectors(flat.inputs, max_exhaustive, samples, seed)
     simulator = GateSimulator(netlist)
-    for vector in vectors:
+    for checked, vector in enumerate(vectors, start=1):
         gate_values = simulator.apply(vector)
         mismatches = []
         for output in flat.outputs:
@@ -89,11 +128,14 @@ def check_combinational_equivalence(
         if mismatches:
             return EquivalenceResult(
                 equivalent=False,
-                vectors_checked=len(vectors),
+                vectors_checked=checked,
                 counterexample=dict(vector),
                 mismatched_outputs=tuple(mismatches),
+                mode="combinational",
             )
-    return EquivalenceResult(equivalent=True, vectors_checked=len(vectors))
+    return EquivalenceResult(
+        equivalent=True, vectors_checked=len(vectors), mode="combinational"
+    )
 
 
 def check_sequential_equivalence(
@@ -131,5 +173,8 @@ def check_sequential_equivalence(
                 vectors_checked=cycle + 1,
                 counterexample=dict(stimulus),
                 mismatched_outputs=tuple(mismatches),
+                mode="sequential",
             )
-    return EquivalenceResult(equivalent=True, vectors_checked=cycles)
+    return EquivalenceResult(
+        equivalent=True, vectors_checked=cycles, mode="sequential"
+    )

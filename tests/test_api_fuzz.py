@@ -21,6 +21,7 @@ from repro.api import (
     BatchRequest,
     Bound,
     CancelJob,
+    CheckEquivalence,
     ComponentQuery,
     ComponentRequest,
     ComponentService,
@@ -44,6 +45,7 @@ from repro.api import (
     QuerySpec,
     REQUEST_TYPES,
     Response,
+    Simulate,
     SubmitJob,
     TypePredicate,
     minimize,
@@ -176,12 +178,41 @@ def _design_op(rng: random.Random) -> DesignOp:
     )
 
 
+def _simulate(rng: random.Random) -> Simulate:
+    names = tuple(dict.fromkeys(_names(rng, 4))) or ("A",)
+    return Simulate(
+        name=_name(rng),
+        vectors=tuple(
+            {name: rng.randint(0, 1) for name in names}
+            for _ in range(rng.randint(0, 4))
+        ),
+        engine=rng.choice(["gates", "flat"]),
+        clock=_maybe(rng, lambda: _name(rng).upper(), 0.3),
+    )
+
+
+def _check_equivalence(rng: random.Random) -> CheckEquivalence:
+    return CheckEquivalence(
+        name=_name(rng),
+        reference=_maybe(rng, lambda: _name(rng)),
+        mode=rng.choice(["auto", "combinational", "sequential"]),
+        clock=_maybe(rng, lambda: _name(rng).upper(), 0.3),
+        max_exhaustive=rng.randint(0, 12),
+        samples=rng.randint(1, 64),
+        cycles=rng.randint(1, 16),
+        lanes=rng.randint(1, 32),
+        seed=rng.randint(0, 2**31),
+    )
+
+
 GENERATORS = {
     "component_query": _component_query,
     "function_query": _function_query,
     "instance_query": _instance_query,
     "request_component": _component_request,
     "request_layout": _layout_request,
+    "simulate": _simulate,
+    "check_equivalence": _check_equivalence,
     "design_op": _design_op,
 }
 
@@ -294,6 +325,7 @@ def _plan_query(rng: random.Random) -> PlanQuery:
         delay_output=_maybe(rng, lambda: _name(rng).upper(), 0.3),
         limit=rng.randint(0, 8),
         use_cache=rng.random() < 0.5,
+        require_equivalent_to=_maybe(rng, lambda: _name(rng), 0.3),
     )
     return PlanQuery(query=spec)
 
@@ -421,6 +453,44 @@ def test_unknown_kind_and_op_produce_structured_errors(fuzz_service):
     assert not response.ok
     assert response.error.code == "BAD_REQUEST"
     assert "detail" in response.error.message
+
+
+def test_simulation_requests_produce_structured_errors(fuzz_service):
+    # Bad engine / mode values are rejected at construction (and hence at
+    # wire-parse) time, before any service work happens.
+    with pytest.raises(IcdbError) as excinfo:
+        Simulate(name="x", engine="spice")
+    assert excinfo.value.code == "BAD_REQUEST"
+    with pytest.raises(IcdbError) as excinfo:
+        CheckEquivalence(name="x", mode="formal")
+    assert excinfo.value.code == "BAD_REQUEST"
+    with pytest.raises(IcdbError):
+        request_from_dict({"kind": "simulate", "name": "x", "vectors": "zap"})
+    with pytest.raises(IcdbError):
+        request_from_dict(
+            {"kind": "check_equivalence", "name": "x", "samples": "many"}
+        )
+    # Unknown instances answer NOT_FOUND envelopes.
+    response = fuzz_service.execute(Simulate(name="ghost"))
+    assert not response.ok and response.error.code == "NOT_FOUND"
+    response = fuzz_service.execute(CheckEquivalence(name="ghost"))
+    assert not response.ok and response.error.code == "NOT_FOUND"
+    # Simulator failures on a real instance answer INVALID; impossible
+    # verification setups (a non-input clock) answer BAD_REQUEST.
+    generated = fuzz_service.execute(
+        ComponentRequest(
+            implementation="mux2", attributes={"size": 2}, detail="summary"
+        )
+    ).unwrap()
+    name = generated["instance"]
+    response = fuzz_service.execute(
+        Simulate(name=name, vectors=({"NO_SUCH_PIN": 1},))
+    )
+    assert not response.ok and response.error.code == "INVALID"
+    response = fuzz_service.execute(
+        CheckEquivalence(name=name, mode="sequential", clock="NO_SUCH_PIN")
+    )
+    assert not response.ok and response.error.code == "BAD_REQUEST"
 
 
 def test_random_request_dicts_never_crash_the_dispatcher(fuzz_service):

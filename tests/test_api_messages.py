@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.api import (
+    CheckEquivalence,
     ComponentQuery,
     ComponentRequest,
     DesignOp,
@@ -16,6 +17,7 @@ from repro.api import (
     LayoutRequest,
     REQUEST_TYPES,
     Response,
+    Simulate,
     error_from_exception,
     request_from_dict,
 )
@@ -24,6 +26,7 @@ from repro.api.errors import (
     E_CONFLICT,
     E_GENERATION_FAILED,
     E_INTERNAL,
+    E_INVALID,
     E_NOT_FOUND,
 )
 from repro.components.catalog import CatalogError
@@ -60,6 +63,18 @@ SAMPLE_REQUESTS = [
     DesignOp(op="start_design", design="proj"),
     DesignOp(op="put_in_list", design="proj", instance="counter_1"),
     DesignOp(op="end_transaction"),
+    Simulate(name="adder_1", vectors=({"I0[0]": 1, "Cin": 0}, {"I0[0]": 0})),
+    Simulate(name="counter_1", vectors=({"ENA": 1},), engine="flat", clock="CLK"),
+    CheckEquivalence(name="counter_1"),
+    CheckEquivalence(
+        name="counter_1",
+        reference="golden",
+        mode="sequential",
+        clock="CLK",
+        cycles=8,
+        lanes=16,
+        seed=7,
+    ),
 ]
 
 
@@ -83,6 +98,8 @@ def test_registry_covers_every_cql_operation():
         "submit_job",
         "job_status",
         "cancel_job",
+        "simulate",
+        "check_equivalence",
     }
 
 
@@ -165,3 +182,27 @@ def test_error_mapping_codes():
     info = error_from_exception(RuntimeError("surprise"))
     assert info.code == E_INTERNAL
     assert info.exception_type == "RuntimeError"
+    # Simulator failures are invalid operations on a real instance, not
+    # malformed requests; VerificationError is a ValueError, so bad
+    # verification setups map to E_BAD_REQUEST automatically.
+    from repro.sim import GateSimulationError, SimulationError, VerificationError
+
+    assert error_from_exception(SimulationError("no value")).code == E_INVALID
+    assert error_from_exception(GateSimulationError("no net")).code == E_INVALID
+    assert error_from_exception(VerificationError("bad mode")).code == E_BAD_REQUEST
+
+
+def test_simulation_messages_validate_on_construction():
+    with pytest.raises(IcdbError) as excinfo:
+        Simulate(name="x", engine="spice")
+    assert excinfo.value.code == E_BAD_REQUEST
+    with pytest.raises(IcdbError) as excinfo:
+        CheckEquivalence(name="x", mode="formal")
+    assert excinfo.value.code == E_BAD_REQUEST
+    # Vector values normalize to 0/1 ints on construction.
+    request = Simulate(name="x", vectors=({"A": 3, "B": 0},))
+    assert request.vectors == ({"A": 1, "B": 0},)
+    with pytest.raises(IcdbError):
+        Simulate.from_dict({"name": "x", "vectors": "oops"})
+    with pytest.raises(IcdbError):
+        CheckEquivalence.from_dict({"name": "x", "samples": "many"})

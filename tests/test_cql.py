@@ -260,3 +260,74 @@ def test_interactive_main_reads_blank_line_separated_commands():
     stdout = io.StringIO()
     assert interactive_main([], stdin=stdin, stdout=stdout) == 0
     assert "array_multiplier" in stdout.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Simulation / verification commands
+# ---------------------------------------------------------------------------
+
+
+def test_executor_simulate_command(icdb):
+    executor = CqlExecutor(icdb)
+    generated = executor.execute_text(
+        "command: request_component; implementation: ripple_carry_adder;"
+        "attribute: (size:2); instance: ?s"
+    )
+    name = generated["instance"]
+    # 1+2 and 3+3+1: one lane per vector, outputs in vector order.
+    vectors = [
+        {"I0[0]": 1, "I0[1]": 0, "I1[0]": 0, "I1[1]": 1, "Cin": 0},
+        {"I0[0]": 1, "I0[1]": 1, "I1[0]": 1, "I1[1]": 1, "Cin": 1},
+    ]
+    result = executor.execute_text(
+        "command: simulate; instance: %s; vectors: %s; vectors: ?s[]",
+        [name, vectors],
+    )
+    assert result["vectors"] == [
+        {"O[0]": 1, "O[1]": 1, "Cout": 0},
+        {"O[0]": 1, "O[1]": 1, "Cout": 1},
+    ]
+    # A single vector dict is accepted without list wrapping.
+    single = executor.execute_text(
+        "command: simulate; instance: %s; vectors: %s; engine: flat; vectors: ?s[]",
+        [name, vectors[0]],
+    )
+    assert single["vectors"] == [{"O[0]": 1, "O[1]": 1, "Cout": 0}]
+    with pytest.raises(CqlExecutionError):
+        executor.execute_text("command: simulate; vectors: %s", [vectors])
+    with pytest.raises(CqlExecutionError):
+        executor.execute_text(
+            "command: simulate; instance: %s; vectors: %s", [name, "not-vectors"]
+        )
+
+
+def test_executor_verify_command_and_alias(icdb):
+    executor = CqlExecutor(icdb)
+    adder = executor.execute_text(
+        "command: request_component; implementation: ripple_carry_adder;"
+        "attribute: (size:2); instance: ?s"
+    )["instance"]
+    counter = executor.execute_text(
+        "command: request_component; component_name: counter; function: (INC);"
+        "attribute: (size:2); instance: ?s"
+    )["instance"]
+    result = executor.execute_text(
+        "command: verify; instance: %s; equivalent: ?s; vectors_checked: ?s; mode: ?s",
+        [adder],
+    )
+    assert result["equivalent"] is True
+    assert result["mode"] == "combinational"
+    assert result["vectors_checked"] == 32  # exhaustive over 5 inputs
+    # The clocked instance auto-dispatches to the sequential lock-step check,
+    # and 'check_equivalence' is the same command under its wire name.
+    sequential = executor.execute_text(
+        "command: check_equivalence; instance: %s; equivalent: ?s; mode: ?s",
+        [counter],
+    )
+    assert sequential["equivalent"] is True
+    assert sequential["mode"] == "sequential"
+    # Default outputs when no slots are given.
+    defaults = executor.execute_text("command: verify; instance: %s", [adder])
+    assert defaults == {"equivalent": True, "vectors_checked": 32}
+    with pytest.raises(CqlExecutionError):
+        executor.execute_text("command: verify; mode: auto")

@@ -389,6 +389,80 @@ def test_loopback_transport_matches_tcp(tmp_path, server, client):
 
 
 # ---------------------------------------------------------------------------
+# simulate / check_equivalence: identical wire envelopes on every transport
+# ---------------------------------------------------------------------------
+
+
+def test_simulation_envelopes_identical_local_loopback_tcp(tmp_path, server, client):
+    """``simulate`` / ``check_equivalence`` answer byte-identical response
+    envelopes locally, over the loopback transport and over TCP (only the
+    timing / session-id fields may differ)."""
+    import json
+
+    from repro.api import CheckEquivalence, Simulate
+
+    local_service = _fresh_service(tmp_path, "sim_local")
+    loopback = RemoteClient.loopback(_fresh_service(tmp_path, "sim_loop"))
+
+    generate = [
+        ComponentRequest(
+            component_name="adder",
+            parameters={"size": 2},
+            instance_name="add_e2e",
+        ),
+        ComponentRequest(
+            component_name="counter",
+            functions=("INC",),
+            attributes={"size": 3},
+            instance_name="cnt_e2e",
+        ),
+    ]
+    probes = [
+        Simulate(
+            name="add_e2e",
+            vectors=(
+                {"I0[0]": 1, "I0[1]": 0, "I1[0]": 1, "I1[1]": 1, "Cin": 0},
+                {"I0[0]": 1, "I0[1]": 1, "I1[0]": 1, "I1[1]": 1, "Cin": 1},
+            ),
+        ),
+        Simulate(
+            name="add_e2e",
+            vectors=({"I0[0]": 1, "I1[0]": 1},),
+            engine="flat",
+        ),
+        CheckEquivalence(name="add_e2e"),
+        CheckEquivalence(name="cnt_e2e", cycles=8, lanes=16),
+        CheckEquivalence(name="cnt_e2e", reference="add_e2e"),  # port mismatch
+        Simulate(name="ghost"),  # NOT_FOUND error envelope
+    ]
+
+    def normalize(envelope):
+        envelope = dict(envelope)
+        assert envelope.pop("elapsed_ms", 0.0) >= 0.0
+        envelope.pop("session_id", None)
+        return envelope
+
+    executors = [
+        lambda r: local_service.execute(r),
+        loopback.execute,
+        client.execute,
+    ]
+    for request in generate:
+        for run in executors:
+            assert run(request).ok
+    for request in probes:
+        wire_forms = [
+            json.dumps(
+                normalize(json.loads(json.dumps(run(request).to_dict()))),
+                sort_keys=True,
+            )
+            for run in executors
+        ]
+        assert wire_forms[0] == wire_forms[1] == wire_forms[2]
+    loopback.close()
+
+
+# ---------------------------------------------------------------------------
 # The command-line server
 # ---------------------------------------------------------------------------
 

@@ -710,3 +710,122 @@ def test_cql_explore_bounds_and_minimize(session):
     for candidate in outputs["candidates"]:
         if candidate["status"] == "infeasible":
             assert candidate["metrics"]["cells"] > 12
+
+
+# ---------------------------------------------------------------------------
+# Equivalence bounds (require_equivalent_to)
+# ---------------------------------------------------------------------------
+
+
+def test_query_spec_equivalence_bound_round_trips():
+    spec = QuerySpec(
+        select=(NamePredicate(("counter",)),),
+        objective=minimize("area"),
+        require_equivalent_to="golden",
+    )
+    wire = json.loads(json.dumps(spec.to_dict()))
+    assert QuerySpec.from_dict(wire) == spec
+    assert QuerySpec.from_dict(wire).require_equivalent_to == "golden"
+    # Absent / empty normalizes to None.
+    assert QuerySpec.from_dict(
+        QuerySpec(select=(NamePredicate(("counter",)),)).to_dict()
+    ).require_equivalent_to is None
+
+
+def _counter_point(label, **overrides):
+    from repro.components.counters import counter_parameters
+
+    return PlanPoint(
+        label=label,
+        implementation="counter",
+        parameters=counter_parameters(size=2, **overrides),
+    )
+
+
+def test_plan_equivalence_bound_prunes_broken_candidate(session):
+    from repro.components.counters import DOWN_ONLY, UP_ONLY, counter_parameters
+
+    session.request_component(
+        implementation="counter",
+        parameters=counter_parameters(size=2, up_or_down=UP_ONLY),
+        instance_name="ref_up",
+    )
+    result = session.plan(
+        QuerySpec(
+            points=(
+                _counter_point("up", up_or_down=UP_ONLY),
+                _counter_point("down", up_or_down=DOWN_ONLY),
+            ),
+            objective=minimize("area"),
+            require_equivalent_to="ref_up",
+        )
+    )
+    by_label = {report.label: report for report in result.candidates}
+    assert by_label["up"].status == "generated"
+    assert by_label["down"].status == "infeasible"
+    assert "not equivalent to 'ref_up'" in by_label["down"].reason
+    assert "sequential" in by_label["down"].reason
+    assert result.winner.label == "up"
+    stages = [stage["stage"] for stage in result.explain()["stages"]]
+    assert stages == ["enumerate", "prune", "generate", "verify", "rank"]
+    verify_stage = result.explain()["stages"][3]
+    assert verify_stage["reference"] == "ref_up"
+    assert verify_stage["checked"] == 2
+    assert verify_stage["rejected"] == 1
+
+
+def test_plan_without_equivalence_bound_has_no_verify_stage(session):
+    result = session.plan(
+        QuerySpec(
+            points=(_counter_point("only"),),
+            objective=minimize("area"),
+        )
+    )
+    stages = [stage["stage"] for stage in result.explain()["stages"]]
+    assert "verify" not in stages
+
+
+def test_plan_equivalence_bound_unknown_reference_raises(session):
+    from repro.core.instances import InstanceError
+
+    with pytest.raises(InstanceError):
+        session.plan(
+            QuerySpec(
+                points=(_counter_point("p"),),
+                objective=minimize("area"),
+                require_equivalent_to="no_such_instance",
+            )
+        )
+
+
+def test_cql_explore_with_equivalence_bound(session):
+    from repro.cql import CqlExecutor
+
+    executor = CqlExecutor(session)
+    reference = executor.execute_text(
+        "command: request_component; component: counter; function: (INC);"
+        "attribute: (size:2); instance: ?s"
+    )["instance"]
+    outputs = executor.execute_text(
+        "command: explore; component: counter; function: (INC); "
+        "sweep: (size:2|3); objective: minimize(area); equivalent_to: %s; "
+        "winner: ?s; candidates: ?s[]",
+        [reference],
+    )
+    # 'counter; function: (INC)' resolves to the incrementer implementation,
+    # so of the whole counter-family sweep only the same-size incrementer
+    # survives the equivalence bound: the other implementations (and the
+    # other size) expose different ports or different behavior.
+    by_label = {candidate["label"]: candidate for candidate in outputs["candidates"]}
+    assert by_label["incrementer[size=2]"]["status"] == "generated"
+    rejected = [
+        candidate
+        for candidate in outputs["candidates"]
+        if candidate["label"] != "incrementer[size=2]"
+    ]
+    assert rejected and all(
+        candidate["status"] == "infeasible"
+        and "not equivalent" in candidate["reason"]
+        for candidate in rejected
+    )
+    assert outputs["winner"] == "incrementer[size=2]"

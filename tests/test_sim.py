@@ -36,6 +36,23 @@ def test_equivalence_result_is_truthy():
     assert not EquivalenceResult(equivalent=False, vectors_checked=4)
 
 
+def test_read_bus_names_the_missing_net():
+    with pytest.raises(GateSimulationError, match=r"no net named 'D\[2\]'"):
+        read_bus({"D[0]": 1, "D[1]": 0}, "D", 4)
+
+
+def test_equivalence_result_round_trips_through_dict():
+    result = EquivalenceResult(
+        equivalent=False,
+        vectors_checked=3,
+        counterexample={"A": 1, "B": 0},
+        mismatched_outputs=("O",),
+        mode="combinational",
+    )
+    restored = EquivalenceResult.from_dict(result.to_dict())
+    assert restored == result
+
+
 # ---------------------------------------------------------------------------
 # Flat simulator
 # ---------------------------------------------------------------------------
@@ -179,3 +196,22 @@ def test_equivalence_check_detects_broken_netlist(adder_flat, cells):
     assert not result.equivalent
     assert result.counterexample is not None
     assert result.mismatched_outputs
+
+
+def test_vectors_checked_counts_only_through_the_counterexample(adder_flat, cells):
+    # On an early mismatch, vectors_checked must count the vectors actually
+    # simulated -- up to and including the counterexample -- not the full
+    # sweep size (the pre-fix behavior).
+    netlist = synthesize(adder_flat, cells)
+    victim = next(inst for inst in netlist.all_instances() if inst.cell.kind == "XOR2")
+    victim.pins["I0"] = victim.pins["I1"]
+    result = check_combinational_equivalence(adder_flat, netlist, max_exhaustive=9)
+    assert not result.equivalent
+    total = 2 ** len(adder_flat.inputs)
+    assert 1 <= result.vectors_checked < total
+    # The counterexample is the vectors_checked-th vector: re-simulating it
+    # reproduces the mismatch on the reported outputs.
+    collapsed = adder_flat.collapsed_output_expressions()
+    gate_values = GateSimulator(netlist).apply(result.counterexample)
+    for output in result.mismatched_outputs:
+        assert gate_values[output] != collapsed[output].evaluate(result.counterexample)
