@@ -1,0 +1,105 @@
+"""The observability surface, end to end: metrics, logs, dashboard.
+
+Starts a real ICDB server with a structured request log and a periodic
+JSON snapshot exporter, drives mixed cached / uncached / asynchronous
+traffic at it, then observes the result three ways:
+
+* ``client.metrics()`` -- the typed ``GetMetrics`` request over TCP
+  (cache invariants checked through the export);
+* the request log -- one JSON line per request with latency, error code
+  and cache deltas (plus the ``--slow-ms``-style slow flag);
+* a rendered frame of the ``python -m repro.obs.admin`` dashboard.
+
+Everything here is the same machinery the live console uses -- see
+``docs/observability.md``.  Run with::
+
+    python examples/metrics_dashboard.py
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import tempfile
+from pathlib import Path
+
+from repro.api import ComponentRequest, ComponentService
+from repro.components import standard_catalog
+from repro.net import connect, serve
+from repro.obs import MetricsExporter, RequestLog, validate_snapshot
+from repro.obs.admin import render_dashboard
+
+
+def main() -> None:
+    # --- a server with the full operability surface ------------------------
+    request_log = io.StringIO()
+    service = ComponentService(
+        catalog=standard_catalog(fresh=True),
+        request_log=RequestLog(stream=request_log, slow_ms=50.0),
+    )
+    exporter_path = Path(tempfile.mkdtemp()) / "metrics.json"
+    exporter = MetricsExporter(service.metrics, exporter_path, interval=5.0).start()
+    server = serve(service=service, port=0)
+    client = connect(server.host, server.port, client="dashboard-example")
+    print(f"server up on icdb://{server.address}")
+
+    # --- mixed traffic: cached, pipelined, async, and one failure ----------
+    signature = ComponentRequest(
+        implementation="register", attributes={"size": 4}, detail="summary"
+    )
+    client.execute(signature)                       # cold: generates
+    for response in client.execute_batch([signature], repeat=8):
+        assert response.cached                      # warm: result cache
+    handle = client.submit(
+        ComponentRequest(
+            implementation="alu", attributes={"size": 4}, detail="summary"
+        ),
+        label="async-alu",
+    )
+    handle.result(60)
+    failed = client.execute(ComponentRequest(implementation="no_such_thing"))
+    assert not failed.ok
+
+    # --- observe through the typed GetMetrics request ----------------------
+    snap = client.metrics()
+    counters = snap["counters"]
+    print("\nGetMetrics over TCP:")
+    print(f"  requests.total        {counters['requests.total']:>6}")
+    print(f"  requests.cached       {counters['requests.cached']:>6}")
+    print(f"  requests.errors       {counters['requests.errors']:>6}")
+    print(f"  cache.result.hits     {counters['cache.result.hits']:>6}")
+    print(f"  cache.result.lookups  {counters['cache.result.lookups']:>6}")
+    print(f"  jobs.done             {counters['jobs.done']:>6}")
+    # The export IS the in-process accounting -- same invariants.
+    assert (
+        counters["cache.result.hits"] + counters["cache.result.misses"]
+        == counters["cache.result.lookups"]
+    )
+    assert (
+        counters["cache.result.entries"]
+        == counters["cache.result.stores"] - counters["cache.result.evictions"]
+    )
+
+    # --- the structured request log ----------------------------------------
+    service.request_log.flush()  # lines are batch-buffered off the hot path
+    lines = [json.loads(line) for line in request_log.getvalue().splitlines()]
+    slow = [line for line in lines if line["slow"]]
+    print(f"\nrequest log: {len(lines)} lines, {len(slow)} over the 50 ms "
+          f"slow threshold; last line:")
+    print("  " + json.dumps(lines[-1], sort_keys=True))
+
+    # --- one frame of the admin dashboard ----------------------------------
+    print("\n" + render_dashboard(snap, address=server.address, req_per_s=None))
+
+    # --- the exporter's on-disk snapshot (what CI schema-validates) --------
+    exporter.stop(write_final=True)
+    on_disk = validate_snapshot(json.loads(exporter_path.read_text()))
+    print(f"\nexporter wrote a valid v{on_disk['version']} snapshot "
+          f"to {exporter_path}")
+
+    client.close()
+    server.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -120,6 +120,15 @@ expansion, synthesis and estimation stage-by-stage on canonical
 signatures over a hash-consed expression IR -- ``docs/performance.md``
 describes the three cache layers (result, render, generation) and their
 invariants.
+
+Observability: every request is counted and timed into
+``service.metrics`` (a :class:`repro.obs.MetricsRegistry`), exported
+live over the wire via the typed ``GetMetrics`` request
+(``client.metrics()``), streamed as structured JSON request logs
+(``--log-requests`` / ``--slow-ms``), and watchable with the stdlib
+terminal dashboard ``python -m repro.obs.admin`` --
+``docs/observability.md`` is the tour, and
+``examples/metrics_dashboard.py`` the scripted version.
 """
 
 from .api import (

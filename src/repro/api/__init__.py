@@ -97,6 +97,7 @@ from .messages import (
     ComponentRequest,
     DesignOp,
     FunctionQuery,
+    GetMetrics,
     Hello,
     InstanceQuery,
     JobEvent,
@@ -150,6 +151,7 @@ __all__ = [
     "FUNCTION_QUERY_WANTS",
     "FunctionPredicate",
     "FunctionQuery",
+    "GetMetrics",
     "Hello",
     "IcdbErrorInfo",
     "InstanceQuery",

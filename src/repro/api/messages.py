@@ -733,6 +733,45 @@ class CancelJob(Request):
 
 
 @dataclass(frozen=True)
+class GetMetrics(Request):
+    """Export the service's metrics registry snapshot.
+
+    Answers the :meth:`repro.obs.MetricsRegistry.snapshot` dict:
+    ``version`` / ``time`` plus flat ``counters`` (owned counters merged
+    with the collector-pulled cache / job / session accounting),
+    ``gauges`` and fixed-bucket ``histograms``.  ``prefixes`` keeps only
+    metric names starting with any given prefix (empty = everything);
+    ``include_histograms=False`` drops the bucket arrays for cheap
+    high-frequency polling.
+    """
+
+    kind: ClassVar[str] = "get_metrics"
+
+    prefixes: Tuple[str, ...] = ()
+    include_histograms: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "prefixes": list(self.prefixes),
+            "include_histograms": self.include_histograms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GetMetrics":
+        prefixes = data.get("prefixes")
+        if prefixes is not None and not isinstance(prefixes, (list, tuple, str)):
+            raise IcdbError(
+                "get_metrics 'prefixes' must be a list of strings",
+                code=E_BAD_REQUEST,
+            )
+        return cls(
+            prefixes=tuple(str(p) for p in _tuple(prefixes)),
+            include_histograms=bool(data.get("include_histograms", True)),
+        )
+
+
+@dataclass(frozen=True)
 class JobEvent:
     """One progress record of a job (pushed as a ``job_event`` frame).
 
@@ -834,6 +873,7 @@ REQUEST_TYPES: Dict[str, Type[Request]] = {
         SubmitJob,
         JobStatus,
         CancelJob,
+        GetMetrics,
     )
 }
 

@@ -71,6 +71,8 @@ from .errors import (
     IcdbErrorInfo,
     error_from_exception,
 )
+from ..obs.metrics import Clock, MetricsRegistry, SYSTEM_CLOCK
+from ..obs.reqlog import RequestLog, get_logger
 from ..sim.verify import check_equivalence, simulate_vectors
 from .messages import (
     COMPONENT_DETAILS,
@@ -89,6 +91,7 @@ from .messages import (
     ComponentRequest,
     DesignOp,
     FunctionQuery,
+    GetMetrics,
     InstanceQuery,
     JobEvent,
     JobStatus,
@@ -748,11 +751,34 @@ class ComponentService:
         job_workers: Optional[int] = None,
         job_queue_limit: int = 1024,
         generation_cache: Optional["GenerationCache"] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        request_log: Optional[RequestLog] = None,
+        clock: Optional[Clock] = None,
     ):
         if clone_artifacts not in ("lazy", "eager"):
             raise IcdbError(
                 f"clone_artifacts must be 'lazy' or 'eager', got {clone_artifacts!r}"
             )
+        #: Wall time for display, monotonic time for every duration; the
+        #: seam tests replace with a scriptable clock.
+        self.clock = clock or SYSTEM_CLOCK
+        #: The process-observable state of this service: owned request /
+        #: error counters and latency histograms, plus pull collectors
+        #: over the caches' and job manager's own accounting (so the
+        #: export always equals the in-process counters, see repro.obs).
+        self.metrics = metrics or MetricsRegistry(clock=self.clock)
+        #: Optional per-request structured log (one JSON line per request
+        #: on both the connection fast path and the job worker path --
+        #: every request funnels through :meth:`execute`).
+        self.request_log = request_log
+        # Hot-path instrument handles, resolved once: execute() runs per
+        # request (batch members included), so it must not pay a registry
+        # name lookup per counter touch.
+        self._obs_total = self.metrics.counter("requests.total")
+        self._obs_cached = self.metrics.counter("requests.cached")
+        self._obs_errors = self.metrics.counter("requests.errors")
+        self._obs_latency = self.metrics.histogram("request.latency_ms")
+        self._obs_kind_counters: Dict[str, Any] = {}
         self.catalog = catalog or standard_catalog(fresh=True)
         self.cell_library = cell_library or standard_cells()
         self.database = database or new_database()
@@ -791,7 +817,16 @@ class ComponentService:
             self,
             workers=job_workers if job_workers is not None else DEFAULT_JOB_WORKERS,
             max_queued=job_queue_limit,
+            clock=self.clock,
         )
+        # Export the accounting the stack already keeps: the collectors
+        # read the caches' / manager's own counters at snapshot time
+        # (their invariants -- hits + misses == lookups, entries ==
+        # stores - evictions -- therefore hold *through* the export).
+        self.metrics.register_collector("cache.result", self.cache.stats)
+        self.metrics.register_collector("gencache", self.generation_stats)
+        self.metrics.register_collector("jobs", self.jobs.stats)
+        self.metrics.gauge("instances.count", lambda: len(self.instances))
 
     # ---------------------------------------------------------------- sessions
 
@@ -813,13 +848,23 @@ class ComponentService:
     # ------------------------------------------------------------ typed entry
 
     def execute(self, request: Request, session: Optional[Session] = None) -> Response:
-        """Execute one typed request; never raises, always an envelope."""
+        """Execute one typed request; never raises, always an envelope.
+
+        This is also the observability funnel: both the connection fast
+        path and the job worker path come through here, so the request
+        counters, the latency histogram and the structured request log
+        see every request exactly once.
+        """
         session = session or self.default_session
+        cache = self.cache
+        # Lock-free integer reads: exact enough for per-request log
+        # deltas (the authoritative totals stay under the cache lock).
+        hits_before, misses_before = cache.hits, cache.misses
         start = time.perf_counter()
         try:
             value, cached = self._dispatch(request, session)
         except Exception as exc:  # noqa: BLE001 - mapped to structured errors
-            return Response(
+            response = Response(
                 ok=False,
                 error=error_from_exception(exc),
                 elapsed_ms=(time.perf_counter() - start) * 1000.0,
@@ -827,14 +872,61 @@ class ComponentService:
                 request_kind=request.kind,
                 exception=exc,
             )
-        return Response(
-            ok=True,
-            value=value,
-            cached=cached,
-            elapsed_ms=(time.perf_counter() - start) * 1000.0,
-            session_id=session.session_id,
-            request_kind=request.kind,
+        else:
+            response = Response(
+                ok=True,
+                value=value,
+                cached=cached,
+                elapsed_ms=(time.perf_counter() - start) * 1000.0,
+                session_id=session.session_id,
+                request_kind=request.kind,
+            )
+        self._observe(
+            request,
+            response,
+            cache.hits - hits_before,
+            cache.misses - misses_before,
         )
+        return response
+
+    def _observe(
+        self,
+        request: Request,
+        response: Response,
+        hits_delta: int,
+        misses_delta: int,
+    ) -> None:
+        """Count and log one finished request (must never raise)."""
+        self._obs_total.inc()
+        kind_counter = self._obs_kind_counters.get(request.kind)
+        if kind_counter is None:
+            # Racy get-or-create is fine: the registry itself is the
+            # locked get-or-create, so both racers cache the same object.
+            kind_counter = self._obs_kind_counters[request.kind] = (
+                self.metrics.counter(f"requests.kind.{request.kind}")
+            )
+        kind_counter.inc()
+        if response.cached:
+            self._obs_cached.inc()
+        error_code: Optional[str] = None
+        if not response.ok:
+            error_code = response.error.code if response.error else "UNKNOWN"
+            self._obs_errors.inc()
+            self.metrics.counter(f"requests.error.{error_code}").inc()
+        self._obs_latency.observe(response.elapsed_ms)
+        log = self.request_log
+        if log is not None:
+            # Positional call: this is the hot path (see RequestLog).
+            log.record(
+                request.kind,
+                response.session_id,
+                response.ok,
+                response.elapsed_ms,
+                error_code,
+                response.cached,
+                hits_delta,
+                misses_delta,
+            )
 
     def _dispatch(self, request: Request, session: Session):
         if isinstance(request, ComponentRequest):
@@ -877,6 +969,8 @@ class ComponentService:
                 False,
             )
         if isinstance(request, Simulate):
+            self.metrics.counter("sim.requests").inc()
+            self.metrics.counter("sim.vectors").inc(len(request.vectors))
             return (
                 session.simulate(
                     request.name,
@@ -887,6 +981,7 @@ class ComponentService:
                 False,
             )
         if isinstance(request, CheckEquivalence):
+            self.metrics.counter("verify.checks").inc()
             return (
                 session.check_equivalence(
                     request.name,
@@ -926,6 +1021,16 @@ class ComponentService:
             )
         if isinstance(request, CancelJob):
             return self.jobs.cancel(request.job_id, session=session), False
+        if isinstance(request, GetMetrics):
+            # Snapshot is taken before execute() counts this request, so
+            # an otherwise-idle snapshot is internally consistent.
+            return (
+                self.metrics.snapshot(
+                    prefixes=request.prefixes,
+                    include_histograms=request.include_histograms,
+                ),
+                False,
+            )
         raise IcdbError(f"unsupported request type {type(request).__name__!r}")
 
     def _component_request(self, request: ComponentRequest, session: Session):
@@ -1209,6 +1314,9 @@ class JobRecord:
         "submitted_at",
         "started_at",
         "finished_at",
+        "submitted_mono",
+        "started_mono",
+        "finished_mono",
         "progress",
         "stage",
         "seq",
@@ -1225,7 +1333,9 @@ class JobRecord:
         label: str,
         quiet: bool,
         max_events: int,
+        clock: Optional[Clock] = None,
     ):
+        clock = clock or SYSTEM_CLOCK
         self.job_id = job_id
         self.session = session
         self.request = request
@@ -1234,9 +1344,15 @@ class JobRecord:
         #: no subscriber pushes -- the caller is already holding the result.
         self.quiet = quiet
         self.state = JOB_QUEUED
-        self.submitted_at = time.time()
+        #: Wall timestamps are for *display only* (descriptors, logs); the
+        #: ``*_mono`` twins are the authoritative source for every duration
+        #: so an NTP step mid-job cannot produce negative queue/run times.
+        self.submitted_at = clock.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        self.submitted_mono = clock.monotonic()
+        self.started_mono: Optional[float] = None
+        self.finished_mono: Optional[float] = None
         self.progress = 0.0
         self.stage = ""
         self.seq = 0
@@ -1273,10 +1389,15 @@ class JobManager:
         max_queued: int = 1024,
         max_retained: int = 512,
         max_events_per_job: int = 256,
+        clock: Optional[Clock] = None,
     ):
         if workers < 1:
             raise IcdbError(f"job worker count must be >= 1, got {workers}")
         self.service = service
+        #: Time source for every timestamp and deadline in this manager.
+        #: Tests substitute a :class:`repro.obs.metrics.ManualClock` to pin
+        #: wait/timeout behaviour deterministically.
+        self.clock = clock or SYSTEM_CLOCK
         self.workers = workers
         self.max_queued = max_queued
         self.max_retained = max_retained
@@ -1331,7 +1452,13 @@ class JobManager:
             self._submitted += 1
             job_id = f"job-{self._counter}"
             record = JobRecord(
-                job_id, session, request, label, quiet, self.max_events_per_job
+                job_id,
+                session,
+                request,
+                label,
+                quiet,
+                self.max_events_per_job,
+                clock=self.clock,
             )
             self._jobs[job_id] = record
             sid = session.session_id
@@ -1433,8 +1560,16 @@ class JobManager:
         job keeps running); an unknown job id -- or, when ``session`` is
         given, another session's job -- raises ``E_NOT_FOUND``.
         """
+        # Deadline arithmetic is monotonic (and routed through the clock
+        # seam so tests can script it); note the loop's order: the state
+        # is re-checked under the lock *before* the deadline, so a job
+        # that reached a terminal state during the wait always wins over
+        # a simultaneous timeout -- no lost wake-up can surface as a
+        # spurious E_TIMEOUT for a finished job.
         deadline = (
-            time.monotonic() + timeout_ms / 1000.0 if timeout_ms is not None else None
+            self.clock.monotonic() + timeout_ms / 1000.0
+            if timeout_ms is not None
+            else None
         )
         with self._cond:
             record = self._record_locked(job_id, session)
@@ -1447,7 +1582,7 @@ class JobManager:
                     if deadline is None:
                         self._cond.wait()
                         continue
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - self.clock.monotonic()
                     if remaining <= 0:
                         raise IcdbError(
                             f"timed out after {timeout_ms:g} ms waiting for "
@@ -1527,7 +1662,9 @@ class JobManager:
             record.cancel_event.set()
             if record.state == JOB_QUEUED:
                 record.state = JOB_CANCELLED
-                record.finished_at = time.time()
+                record.finished_at = self.clock.time()
+                record.finished_mono = self.clock.monotonic()
+                self._count_terminal(record)
                 self._settle_locked(record)
                 record.response = Response(
                     ok=False,
@@ -1606,6 +1743,33 @@ class JobManager:
             raise IcdbError(f"unknown job {job_id!r}", code=E_NOT_FOUND)
         return record
 
+    def _count_terminal(self, record: JobRecord) -> None:
+        """Export counters/histograms for a job that just went terminal.
+
+        Called with the manager's lock held; the metric instruments take
+        only their own short per-instrument locks, so this cannot deadlock
+        against a snapshot (the registry's collectors re-enter ``stats()``
+        which takes ``self._cond`` -- but never from under an instrument
+        lock).
+        """
+        metrics = self.service.metrics
+        if record.state == JOB_DONE:
+            metrics.counter("jobs.done").inc()
+        elif record.state == JOB_CANCELLED:
+            metrics.counter("jobs.cancelled").inc()
+        else:
+            metrics.counter("jobs.failed").inc()
+        if record.finished_mono is None:
+            return
+        if record.started_mono is not None:
+            queue_s = record.started_mono - record.submitted_mono
+            metrics.histogram("jobs.run_ms").observe(
+                (record.finished_mono - record.started_mono) * 1000.0
+            )
+        else:
+            queue_s = record.finished_mono - record.submitted_mono
+        metrics.histogram("jobs.queue_ms").observe(queue_s * 1000.0)
+
     def _settle_locked(self, record: JobRecord) -> None:
         """A job reached a terminal state: drop its active-session count."""
         sid = record.session.session_id
@@ -1659,6 +1823,22 @@ class JobManager:
             "seq": record.seq,
             "cancel_requested": record.cancel_event.is_set(),
         }
+        # Durations come from the monotonic twins, never from wall-clock
+        # subtraction: a backwards NTP step between submit and finish must
+        # not surface as a negative queue/run time.
+        if record.started_mono is not None:
+            descriptor["queue_ms"] = (
+                record.started_mono - record.submitted_mono
+            ) * 1000.0
+            if record.finished_mono is not None:
+                descriptor["run_ms"] = (
+                    record.finished_mono - record.started_mono
+                ) * 1000.0
+        elif record.finished_mono is not None:
+            # Cancelled while queued: it spent its whole life in the queue.
+            descriptor["queue_ms"] = (
+                record.finished_mono - record.submitted_mono
+            ) * 1000.0
         if record.state in JOB_TERMINAL_STATES and record.response is not None:
             descriptor["response"] = record.response.to_dict()
         if include_events:
@@ -1680,7 +1860,7 @@ class JobManager:
             stage=stage or record.stage,
             progress=record.progress,
             message=message,
-            timestamp=time.time(),
+            timestamp=self.clock.time(),
         )
         record.events.append(event)
         return event.to_dict()
@@ -1697,8 +1877,8 @@ class JobManager:
             if sid == session_id
         ]
 
-    @staticmethod
     def _deliver(
+        self,
         subscribers: List[Callable[[Dict[str, Any]], None]],
         event: Optional[Dict[str, Any]],
     ) -> None:
@@ -1707,8 +1887,16 @@ class JobManager:
         for callback in subscribers:
             try:
                 callback(event)
-            except Exception:  # noqa: BLE001 - a dead connection must not kill a job
-                pass
+            except Exception as exc:  # noqa: BLE001 - a dead connection must not kill a job
+                # ...but dropping the event silently hid real bugs; count
+                # it and leave a trace for anyone running at DEBUG.
+                self.service.metrics.counter("jobs.event_drops").inc()
+                get_logger("repro.api.service").debug(
+                    "job_event_drop",
+                    job_id=event.get("job_id"),
+                    seq=event.get("seq"),
+                    error=repr(exc),
+                )
 
     def _progress(self, record: JobRecord, stage: str, fraction: float) -> None:
         with self._cond:
@@ -1731,7 +1919,8 @@ class JobManager:
                 if record is None or record.state != JOB_QUEUED:
                     continue  # cancelled while queued, or a forgotten sync job
                 record.state = JOB_RUNNING
-                record.started_at = time.time()
+                record.started_at = self.clock.time()
+                record.started_mono = self.clock.monotonic()
                 event = self._emit_locked(record, stage="start", message="job started")
                 subscribers = self._subscribers_locked(record)
             self._deliver(subscribers, event)
@@ -1759,7 +1948,8 @@ class JobManager:
                 response = self.service.execute(record.request, record.session)
         with self._cond:
             record.response = response
-            record.finished_at = time.time()
+            record.finished_at = self.clock.time()
+            record.finished_mono = self.clock.monotonic()
             if response.ok:
                 record.state = JOB_DONE
                 record.progress = 1.0
@@ -1767,6 +1957,7 @@ class JobManager:
                 record.state = JOB_CANCELLED
             else:
                 record.state = JOB_FAILED
+            self._count_terminal(record)
             self._settle_locked(record)
             event = self._emit_locked(
                 record,

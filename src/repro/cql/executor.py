@@ -37,6 +37,7 @@ from ..api.messages import (
     ComponentRequest,
     DesignOp,
     FunctionQuery,
+    GetMetrics,
     InstanceQuery,
     JobStatus,
     LayoutRequest,
@@ -587,6 +588,31 @@ class CqlExecutor:
             raise CqlExecutionError("cancel needs a 'job' term")
         descriptor = self._run(CancelJob(job_id=str(job_id))).value
         return {"job": descriptor["job_id"], "state": descriptor["state"]}
+
+    def _cmd_metrics(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        """``command: metrics``: the service's metrics snapshot.
+
+        An optional ``prefix`` term filters metric names; named output
+        slots other than ``metrics`` pull individual counter/gauge values
+        out of the snapshot (``?requests.total`` style keywords).
+        """
+        prefix = values.get("prefix")
+        prefixes: Tuple[str, ...] = ()
+        if isinstance(prefix, str) and prefix.strip():
+            prefixes = tuple(
+                part.strip() for part in prefix.split(",") if part.strip()
+            )
+        snapshot = self._run(GetMetrics(prefixes=prefixes)).value
+        outputs: Dict[str, Any] = {}
+        for term in command.output_slots():
+            if term.keyword == "metrics":
+                outputs["metrics"] = snapshot
+            elif term.keyword in snapshot["counters"]:
+                outputs[term.keyword] = snapshot["counters"][term.keyword]
+            elif term.keyword in snapshot["gauges"]:
+                outputs[term.keyword] = snapshot["gauges"][term.keyword]
+        outputs.setdefault("metrics", snapshot)
+        return outputs
 
     def _layout_request(self, command: CqlCommand, values: Dict[str, Any], instance_name: str) -> Dict[str, Any]:
         alternative = values.get("alternative")

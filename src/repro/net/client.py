@@ -60,6 +60,7 @@ from ..api.messages import (
     ComponentRequest,
     DesignOp,
     FunctionQuery,
+    GetMetrics,
     Hello,
     InstanceQuery,
     JobEvent,
@@ -650,6 +651,25 @@ class RemoteClient:
                 f"expected a meta_result frame, got {reply.get('type')!r}"
             )
         return reply.get("value")
+
+    def metrics(
+        self,
+        prefixes: Sequence[str] = (),
+        include_histograms: bool = True,
+    ) -> Dict[str, Any]:
+        """The server's metrics snapshot (counters/gauges/histograms).
+
+        ``prefixes`` keeps only metric names starting with any of the
+        given prefixes; ``include_histograms=False`` is the cheap polling
+        mode.  This is a normal typed request over the wire -- any client
+        (the admin console included) can observe the server it talks to.
+        """
+        return self.execute(
+            GetMetrics(
+                prefixes=tuple(prefixes),
+                include_histograms=include_histograms,
+            )
+        ).unwrap()
 
     # -------------------------------------------------------------------- jobs
 

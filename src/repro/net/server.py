@@ -65,6 +65,8 @@ from ..api.messages import (
 )
 from ..api.service import ComponentService, Session
 from ..core.icdb import IcdbError
+from ..obs.metrics import MetricsExporter
+from ..obs.reqlog import RequestLog, get_logger
 from .protocol import (
     FRAME_ATTACH,
     FRAME_BYE,
@@ -86,6 +88,10 @@ from .protocol import (
 
 #: Server software name announced in the ``welcome`` frame.
 SERVER_NAME = "repro-icdb"
+
+#: Structured event log of this module (push drops, shutdown errors --
+#: paths that previously swallowed exceptions without a trace).
+_LOG = get_logger("repro.net.server")
 
 
 class SessionRegistry:
@@ -117,6 +123,15 @@ class SessionRegistry:
         #: token -> (session, attached-connection count); insertion order
         #: doubles as the eviction order.
         self._entries: "OrderedDict[str, List[Any]]" = OrderedDict()
+        # Live session visibility for the admin console.  Gauge callbacks
+        # run at snapshot time (outside the registry-wide metrics lock),
+        # so taking self._lock here is safe.
+        service.metrics.gauge("net.sessions", lambda: len(self))
+        service.metrics.gauge("net.sessions_attached", self._attached_count)
+
+    def _attached_count(self) -> int:
+        with self._lock:
+            return sum(1 for _, attached in self._entries.values() if attached > 0)
 
     def __len__(self) -> int:
         with self._lock:
@@ -136,6 +151,7 @@ class SessionRegistry:
             token = secrets.token_hex(16)
             self._entries[token] = [session, 1]
             self._trim_locked()
+        self.service.metrics.counter("net.sessions_created").inc()
         return session, token
 
     def attach(self, token: str) -> Session:
@@ -308,8 +324,22 @@ class FrameDispatcher:
 
     def _push_event(self, event: Dict[str, Any]) -> None:
         push = self.push
-        if push is not None and not self.closed:
+        if push is None or self.closed:
+            return
+        try:
             push({"type": FRAME_JOB_EVENT, "event": event})
+        except Exception as exc:  # noqa: BLE001 - a push must not kill the job worker
+            # The connection is (probably) going away and close() will
+            # unsubscribe -- but the drop used to vanish without a trace,
+            # which hid real delivery bugs.  Count it, log it, move on.
+            self.service.metrics.counter("net.push_drops").inc()
+            _LOG.debug(
+                "push_drop",
+                session=self.session.session_id if self.session else None,
+                job_id=event.get("job_id"),
+                seq=event.get("seq"),
+                error=repr(exc),
+            )
 
     def _hello(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         if self.session is not None:
@@ -524,21 +554,25 @@ class ICDBServer:
             return
         deadline = time.monotonic() + timeout
         self._stopping.set()
-        try:
-            self._listener.close()
-        except OSError:
-            pass
+
+        def _teardown(what: str, fn: Callable[[], None]) -> None:
+            # Closing an already-dead socket raising is survivable, but
+            # silently eating the error hid real teardown bugs: count it
+            # and leave a DEBUG trace instead.
+            try:
+                fn()
+            except OSError as exc:
+                self.service.metrics.counter("net.shutdown_errors").inc()
+                _LOG.debug("shutdown_error", what=what, error=repr(exc))
+
+        _teardown("listener.close", self._listener.close)
         with self._live_lock:
             live = list(self._live)
         for conn in live:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                conn.close()
-            except OSError:
-                pass
+            _teardown(
+                "conn.shutdown", lambda c=conn: c.shutdown(socket.SHUT_RDWR)
+            )
+            _teardown("conn.close", conn.close)
         if self._accept_thread is not None:
             self._accept_thread.join(max(0.0, deadline - time.monotonic()))
         with self._live_lock:
@@ -598,10 +632,9 @@ class ICDBServer:
                 stream.send(payload)
 
         def push(payload: Dict[str, Any]) -> None:
-            try:
-                locked_send(payload)
-            except (ProtocolError, OSError):
-                pass  # connection is going away; close() unsubscribes
+            # Send errors propagate: FrameDispatcher._push_event is the
+            # single place that counts and logs dropped pushes.
+            locked_send(payload)
 
         dispatcher = FrameDispatcher(
             self.service,
@@ -718,9 +751,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0,
         help="ceiling on live sessions (>= 0; 0 = unlimited)",
     )
+    parser.add_argument(
+        "--log-requests",
+        default=None,
+        metavar="PATH",
+        help="write one JSON line per request to PATH ('-' for stderr)",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help=(
+            "mark requests at or above this latency as slow; without "
+            "--log-requests, slow requests alone are logged to stderr"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-path",
+        default=None,
+        metavar="PATH",
+        help="periodically export a JSON metrics snapshot to PATH",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=10.0,
+        help="seconds between metrics snapshots (with --metrics-path)",
+    )
     args = parser.parse_args(argv)
+    if args.metrics_interval <= 0:
+        parser.error("--metrics-interval must be > 0")
 
-    service = ComponentService(store_root=args.store_root, job_workers=args.workers)
+    request_log: Optional[RequestLog] = None
+    if args.log_requests == "-":
+        request_log = RequestLog(stream=sys.stderr, slow_ms=args.slow_ms)
+    elif args.log_requests is not None:
+        request_log = RequestLog(path=args.log_requests, slow_ms=args.slow_ms)
+    elif args.slow_ms is not None:
+        # Outliers-only production setup: no full request log was asked
+        # for, so only requests over the threshold reach stderr.
+        request_log = RequestLog(
+            stream=sys.stderr, slow_ms=args.slow_ms, slow_only=True
+        )
+
+    service = ComponentService(
+        store_root=args.store_root,
+        job_workers=args.workers,
+        request_log=request_log,
+    )
+    exporter: Optional[MetricsExporter] = None
+    if args.metrics_path is not None:
+        exporter = MetricsExporter(
+            service.metrics, args.metrics_path, interval=args.metrics_interval
+        ).start()
     server = serve(
         service=service,
         host=args.host,
@@ -736,6 +819,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     signal.signal(signal.SIGINT, _shutdown)
     signal.signal(signal.SIGTERM, _shutdown)
     server.serve_forever()
+    if exporter is not None:
+        exporter.stop(write_final=True)
+    if request_log is not None:
+        request_log.close()
     print("icdb server stopped", flush=True)
     return 0
 

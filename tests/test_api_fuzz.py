@@ -30,6 +30,7 @@ from repro.api import (
     ERROR_CODES,
     FunctionPredicate,
     FunctionQuery,
+    GetMetrics,
     IcdbErrorInfo,
     InstanceQuery,
     JOB_CONTROL_KINDS,
@@ -191,6 +192,17 @@ def _simulate(rng: random.Random) -> Simulate:
     )
 
 
+def _get_metrics(rng: random.Random) -> GetMetrics:
+    prefixes = tuple(
+        rng.choice(["cache.", "gencache.", "jobs", "requests.", "net.", _name(rng)])
+        for _ in range(rng.randint(0, 3))
+    )
+    return GetMetrics(
+        prefixes=prefixes,
+        include_histograms=rng.random() < 0.5,
+    )
+
+
 def _check_equivalence(rng: random.Random) -> CheckEquivalence:
     return CheckEquivalence(
         name=_name(rng),
@@ -214,6 +226,7 @@ GENERATORS = {
     "simulate": _simulate,
     "check_equivalence": _check_equivalence,
     "design_op": _design_op,
+    "get_metrics": _get_metrics,
 }
 
 #: Kinds a batch (and a submitted job) may wrap: everything but batches

@@ -12,6 +12,7 @@ from repro.api import (
     ComponentRequest,
     DesignOp,
     FunctionQuery,
+    GetMetrics,
     IcdbErrorInfo,
     InstanceQuery,
     LayoutRequest,
@@ -75,6 +76,8 @@ SAMPLE_REQUESTS = [
         lanes=16,
         seed=7,
     ),
+    GetMetrics(),
+    GetMetrics(prefixes=("cache.", "jobs"), include_histograms=False),
 ]
 
 
@@ -100,6 +103,7 @@ def test_registry_covers_every_cql_operation():
         "cancel_job",
         "simulate",
         "check_equivalence",
+        "get_metrics",
     }
 
 

@@ -144,6 +144,47 @@ def test_sixteen_clients_mixed_traffic(stress_server):
     assert all(elapsed >= 0.0 for _, elapsed in all_records)
     assert any(elapsed > 0.0 for _, elapsed in all_records)
 
+    # --- the same invariants hold THROUGH the metrics export ----------------
+    # GetMetrics over the wire must answer the authoritative in-process
+    # numbers (the registry pulls the caches' own stats() surfaces at
+    # snapshot time), not a parallel count that can drift.  All client
+    # traffic is finished, so the export must match stats() exactly.
+    observer = connect(stress_server.host, stress_server.port, client="observer")
+    try:
+        snap = observer.metrics()
+    finally:
+        observer.close()
+    counters = snap["counters"]
+    for key in ("hits", "misses", "lookups", "stores", "evictions", "entries"):
+        assert counters[f"cache.result.{key}"] == stats[key], key
+    assert (
+        counters["cache.result.hits"] + counters["cache.result.misses"]
+        == counters["cache.result.lookups"]
+        == lookups_expected
+    )
+    assert (
+        counters["cache.result.entries"]
+        == counters["cache.result.stores"] - counters["cache.result.evictions"]
+    )
+    gen_stats = service.generation_stats()
+    for stage, expected in gen_stats.items():
+        for key in ("hits", "misses", "lookups"):
+            assert counters[f"gencache.{stage}.{key}"] == expected[key], (stage, key)
+        assert (
+            counters[f"gencache.{stage}.hits"] + counters[f"gencache.{stage}.misses"]
+            == counters[f"gencache.{stage}.lookups"]
+        )
+    # Every request that reached the service was counted and timed; with
+    # all other clients closed (and the snapshot taken before the
+    # GetMetrics request itself is counted) the two totals must agree.
+    latency = snap["histograms"]["request.latency_ms"]
+    assert latency["count"] == counters["requests.total"]
+    assert sum(latency["counts"]) == latency["count"]
+    assert counters["requests.cached"] == cached_responses
+    assert counters.get("requests.errors", 0) == 0
+    # The observer's own hello shows up in the session gauges.
+    assert counters["net.sessions_created"] == CLIENTS + 1
+
 
 def test_generation_cache_invariants_under_worker_pool(tmp_path):
     """Cold (use_cache=False) traffic racing through the job worker pool:

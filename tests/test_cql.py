@@ -331,3 +331,32 @@ def test_executor_verify_command_and_alias(icdb):
     assert defaults == {"equivalent": True, "vectors_checked": 32}
     with pytest.raises(CqlExecutionError):
         executor.execute_text("command: verify; mode: auto")
+
+
+# ---------------------------------------------------------------------------
+# Metrics command
+# ---------------------------------------------------------------------------
+
+
+def test_executor_metrics_command(icdb):
+    executor = CqlExecutor(icdb)
+    executor.execute_text(
+        "command: request_component; implementation: ripple_carry_adder;"
+        "attribute: (size:2); instance: ?s"
+    )
+    result = executor.execute_text("command: metrics; metrics: ?s")
+    snapshot = result["metrics"]
+    assert snapshot["version"] == 1
+    assert snapshot["counters"]["cache.result.lookups"] >= 1
+    # Named counter slots pull individual values out of the snapshot.
+    picked = executor.execute_text(
+        "command: metrics; requests.total: ?d; cache.result.lookups: ?d"
+    )
+    assert picked["requests.total"] == snapshot["counters"]["requests.total"] + 1
+    assert picked["cache.result.lookups"] >= 1
+    # A prefix term filters the snapshot down to matching names.
+    filtered = executor.execute_text("command: metrics; prefix: cache.; metrics: ?s")
+    assert filtered["metrics"]["counters"]
+    assert all(
+        name.startswith("cache.") for name in filtered["metrics"]["counters"]
+    )
