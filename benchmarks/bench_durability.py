@@ -1,0 +1,328 @@
+"""Durability tax: what the write-ahead journal costs the hot paths.
+
+PR 8 puts a journal append (CRC-framed JSON, written ahead under the
+store lock) inside every database mutation.  Three gates keep that tax
+honest, measured over the real wire protocol as interleaved paired
+rounds (the same cleanest-evidence estimator as ``bench_obs_overhead``,
+because additive scheduler noise on a shared runner can only make a
+burst slower):
+
+* **Read path, < 10 %** -- pipelined *read-only* traffic (component
+  queries, which touch the relational store but mutate nothing) against
+  a ``--data-dir`` server must stay within 10 % of the same server
+  without a durable store.  Reads emit no journal events, so this gate
+  catches accidental synchronous work on the read path (lock traffic,
+  collector overhead).
+* **Write path, < 2x** -- pipelined *cache-served* ``ComponentRequest``
+  traffic.  A cache hit still clones an instance and durably inserts
+  its row, so this is the cheapest write the server performs -- the
+  most journal-sensitive real workload there is.  With the default
+  ``fsync=interval`` it may cost at most 2x of the plain server.
+* **Coalescing, >= 2x** -- raw journaled ``Table.insert`` throughput
+  with ``fsync=interval`` must beat ``fsync=always`` by at least 2x:
+  if interval ever degenerates into fsync-per-append, this trips long
+  before the wire gates notice.
+
+The raw relational insert ratios against the in-memory engine are
+recorded (not gated) for the trade-off table in ``docs/durability.md``:
+a CRC-framed JSON encode costs more than an in-memory dict insert by
+itself, so that ratio documents the floor, not a regression.
+
+``BENCH_DURABILITY_SMOKE=1`` shrinks counts for CI; all three gates stay
+enforced.  Results land in ``BENCH_durability.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+
+from conftest import record_bench_results, run_once
+
+from repro.api import ComponentQuery, ComponentRequest, ComponentService
+from repro.components import standard_catalog
+from repro.db.engine import Column, Database
+from repro.net import connect, serve
+from repro.store import DurableStore
+
+SMOKE = os.environ.get("BENCH_DURABILITY_SMOKE", "") not in ("", "0")
+
+#: Acceptance floor: durable read-only throughput / plain throughput.
+MIN_READ_RATIO = 0.9
+#: Acceptance floor: durable cache-served write throughput / plain.
+MIN_WRITE_RATIO = 0.5
+#: Acceptance floor: fsync=interval / fsync=always raw insert throughput.
+MIN_COALESCING_GAIN = 2.0
+
+CLIENTS = 4
+REPEAT = 32
+PIPE_ROUNDS = 2 if SMOKE else 4
+BEST_OF = 3 if SMOKE else 10
+
+#: Rows per raw-insert burst -- sized so a burst is a few milliseconds.
+WRITE_ROWS = 200 if SMOKE else 1000
+WRITE_BEST_OF = 5 if SMOKE else 12
+
+
+# --------------------------------------------------------------------- helpers
+
+
+def _paired_best(measure_a, measure_b, rounds):
+    """Best-of throughput per side plus the best adjacent-pair ratio b/a."""
+    best = {"a": 0.0, "b": 0.0, "pair_ratio": 0.0}
+    for round_index in range(rounds):
+        gc.collect()
+        gc.disable()
+        try:
+            if round_index % 2:
+                b = measure_b()
+                a = measure_a()
+            else:
+                a = measure_a()
+                b = measure_b()
+            best["a"] = max(best["a"], a)
+            best["b"] = max(best["b"], b)
+            best["pair_ratio"] = max(best["pair_ratio"], b / a)
+        finally:
+            gc.enable()
+    return best
+
+
+def _ratio(best) -> float:
+    return max(best["b"] / best["a"], best["pair_ratio"])
+
+
+class _Traffic:
+    """Warm pipelined connections sending one request shape to a server."""
+
+    def __init__(self, server, tag: str, request):
+        self.request = request
+        self.clients = [
+            connect(server.host, server.port, client=f"bench-dur-{tag}-{i}")
+            for i in range(CLIENTS)
+        ]
+        for client in self.clients:
+            client.execute_batch([request], repeat=2)
+
+    def measure(self) -> float:
+        counts = [0] * CLIENTS
+
+        def worker(index: int) -> None:
+            done = 0
+            for _ in range(PIPE_ROUNDS):
+                responses = self.clients[index].execute_batch(
+                    [self.request], repeat=REPEAT
+                )
+                done += sum(1 for r in responses if r.ok)
+            counts[index] = done
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        total = sum(counts)
+        assert total == CLIENTS * PIPE_ROUNDS * REPEAT
+        return total / elapsed
+
+    def close(self) -> None:
+        for client in self.clients:
+            client.close()
+
+
+def _servers(tmp_path):
+    plain = serve(
+        service=ComponentService(
+            catalog=standard_catalog(fresh=True), store_root=tmp_path / "plain"
+        ),
+        port=0,
+    )
+    durable_store = DurableStore(
+        tmp_path / "data", fsync="interval", snapshot_interval=None
+    )
+    durable = serve(
+        service=ComponentService(
+            catalog=standard_catalog(fresh=True),
+            store_root=tmp_path / "durable-files",
+            durable_store=durable_store,
+        ),
+        port=0,
+    )
+    return plain, durable, durable_store
+
+
+def _gate_over_wire(benchmark, tmp_path, request, key, floor, label):
+    plain, durable, durable_store = _servers(tmp_path)
+    traffic = None
+    try:
+        traffic = (
+            _Traffic(plain, "plain", request),
+            _Traffic(durable, "durable", request),
+        )
+
+        def measure():
+            return _paired_best(traffic[0].measure, traffic[1].measure, BEST_OF)
+
+        best = run_once(benchmark, measure)
+    finally:
+        if traffic is not None:
+            for side in traffic:
+                side.close()
+        plain.stop()
+        durable.stop()
+        durable_store.close()
+
+    ratio = _ratio(best)
+    print()
+    print(f"{label}, plain server:    {best['a']:>10,.0f} req/s")
+    print(f"{label}, durable server:  {best['b']:>10,.0f} req/s")
+    print(f"durable throughput ratio:  {ratio:>10.2f}x  (floor {floor}x)")
+    measured = {
+        "plain_rps": round(best["a"]),
+        "durable_rps": round(best["b"]),
+        "ratio": round(ratio, 3),
+    }
+    benchmark.extra_info["measured"] = measured
+    record_bench_results("durability_smoke" if SMOKE else "durability", key, measured)
+    assert ratio >= floor
+
+
+def test_bench_read_only_with_journal(benchmark, tmp_path):
+    # Component queries read the catalog relations and journal nothing:
+    # the ratio isolates passive costs of carrying a durable store.
+    _gate_over_wire(
+        benchmark,
+        tmp_path,
+        ComponentQuery(implementation="alu"),
+        "read_only_fsync_interval",
+        MIN_READ_RATIO,
+        "read-only pipelined",
+    )
+
+
+def test_bench_cached_write_with_journal(benchmark, tmp_path):
+    # Every cache-served request durably inserts the clone's instance
+    # row -- one CRC-framed journal append inside the request.
+    _gate_over_wire(
+        benchmark,
+        tmp_path,
+        ComponentRequest(
+            implementation="alu", attributes={"size": 8}, detail="summary"
+        ),
+        "cached_write_fsync_interval",
+        MIN_WRITE_RATIO,
+        "cache-served writes",
+    )
+
+
+# ------------------------------------------------------------ raw insert floor
+
+
+def _instance_like_table(database: Database):
+    """A table shaped like the INSTANCES relation: 10 typed columns."""
+    return database.create_table(
+        "bench_rows",
+        [
+            Column("name", "str", required=True),
+            Column("component", "str", required=True),
+            Column("implementation", "str"),
+            Column("target", "str", default="logic"),
+            Column("area", "float", default=0.0),
+            Column("delay", "float", default=0.0),
+            Column("cells", "int", default=0),
+            Column("clock_width", "float"),
+            Column("attributes", "json", default={}),
+            Column("created", "float", default=0.0),
+        ],
+        key="name",
+    )
+
+
+def _insert_rows(table, start: int, count: int) -> float:
+    begin = time.perf_counter()
+    for i in range(start, start + count):
+        table.insert(
+            name=f"reg_{i}",
+            component="register",
+            implementation="register",
+            area=123.4 + i,
+            delay=5.6,
+            cells=18,
+            clock_width=30.0,
+            attributes={"size": 8, "load": bool(i % 2)},
+            created=1e9 + i,
+        )
+    return count / (time.perf_counter() - begin)
+
+
+def _measure_raw(tmp_path, fsync: str, rounds: int):
+    """Paired in-memory vs journaled insert throughput for one policy."""
+    plain_db = Database("bench")
+    plain_table = _instance_like_table(plain_db)
+    store = DurableStore(
+        tmp_path / f"write-{fsync}", fsync=fsync, snapshot_interval=None
+    )
+    durable_table = _instance_like_table(store.open())
+    offsets = {"plain": 0, "durable": 0}
+
+    def measure_plain() -> float:
+        rate = _insert_rows(plain_table, offsets["plain"], WRITE_ROWS)
+        offsets["plain"] += WRITE_ROWS
+        return rate
+
+    def measure_durable() -> float:
+        rate = _insert_rows(durable_table, offsets["durable"], WRITE_ROWS)
+        offsets["durable"] += WRITE_ROWS
+        return rate
+
+    try:
+        best = _paired_best(measure_plain, measure_durable, rounds)
+    finally:
+        store.close(snapshot=False)
+    return best
+
+
+def test_bench_raw_insert_and_fsync_coalescing(benchmark, tmp_path):
+    def measure():
+        return {
+            policy: _measure_raw(
+                tmp_path,
+                policy,
+                WRITE_BEST_OF if policy == "interval" else max(3, WRITE_BEST_OF // 2),
+            )
+            for policy in ("interval", "never", "always")
+        }
+
+    results = run_once(benchmark, measure)
+    print()
+    measured = {}
+    for policy, best in results.items():
+        measured[policy] = {
+            "in_memory_rows_per_s": round(best["a"]),
+            "journaled_rows_per_s": round(best["b"]),
+            "ratio_vs_in_memory": round(_ratio(best), 3),
+        }
+        print(
+            f"insert, fsync={policy:<8}  in-memory {best['a']:>10,.0f} rows/s"
+            f"   journaled {best['b']:>10,.0f} rows/s"
+            f"   ratio {_ratio(best):.2f}x"
+        )
+    gain = (
+        measured["interval"]["journaled_rows_per_s"]
+        / max(measured["always"]["journaled_rows_per_s"], 1)
+    )
+    measured["interval_vs_always_gain"] = round(gain, 2)
+    print(f"fsync coalescing gain (interval / always): {gain:.1f}x")
+    benchmark.extra_info["measured"] = measured
+    record_bench_results(
+        "durability_smoke" if SMOKE else "durability", "raw_insert", measured
+    )
+    # Acceptance: interval coalescing must actually coalesce -- if it
+    # ever degrades to fsync-per-append this trips at ~1x.
+    assert gain >= MIN_COALESCING_GAIN

@@ -10,7 +10,10 @@ Run with::
     python examples/quickstart.py
 
 The same flows run against a network ICDB server: see
-``examples/remote_quickstart.py`` and ``docs/net.md``.
+``examples/remote_quickstart.py`` and ``docs/net.md``.  To make the
+server's design state survive crashes, start it with ``--data-dir``
+(write-ahead journal + snapshots): see ``examples/durable_server.py``
+and ``docs/durability.md``.
 """
 
 from __future__ import annotations

@@ -754,11 +754,20 @@ class ComponentService:
         metrics: Optional[MetricsRegistry] = None,
         request_log: Optional[RequestLog] = None,
         clock: Optional[Clock] = None,
+        durable_store: Optional["DurableStore"] = None,
     ):
         if clone_artifacts not in ("lazy", "eager"):
             raise IcdbError(
                 f"clone_artifacts must be 'lazy' or 'eager', got {clone_artifacts!r}"
             )
+        #: Optional write-ahead durability (:class:`repro.store.DurableStore`):
+        #: when given, the service runs on its recovered database (unless an
+        #: explicit ``database`` overrides it) and every mutation is
+        #: journaled before application.  Recovery happens *here*, before
+        #: any catalog loading or traffic.
+        self.durable_store = durable_store
+        if durable_store is not None and database is None:
+            database = durable_store.open()
         #: Wall time for display, monotonic time for every duration; the
         #: seam tests replace with a scriptable clock.
         self.clock = clock or SYSTEM_CLOCK
@@ -792,6 +801,13 @@ class ComponentService:
             self.catalog, self.database, self.store, self.tool_manager
         )
         self.knowledge.load_catalog()
+        if self.database.has_table(INSTANCES):
+            # Rows recovered from a durable store (or a loaded database)
+            # outlive their in-memory instances; bar their names so fresh
+            # requests never collide with surviving relational rows.
+            self.instances.reserve(
+                [row["name"] for row in self.database.table(INSTANCES).rows]
+            )
         self.cache = cache or ResultCache()
         #: Artifact persistence policy for cache-served clones: ``"lazy"``
         #: records the file paths and defers the writes until
@@ -827,6 +843,10 @@ class ComponentService:
         self.metrics.register_collector("gencache", self.generation_stats)
         self.metrics.register_collector("jobs", self.jobs.stats)
         self.metrics.gauge("instances.count", lambda: len(self.instances))
+        if durable_store is not None:
+            # store.journal.* / store.snapshot.* / store.recovery.* counters
+            # plus the journal append/fsync latency histograms.
+            durable_store.bind_metrics(self.metrics)
 
     # ---------------------------------------------------------------- sessions
 

@@ -202,6 +202,7 @@ class InstanceManager:
 
     def __init__(self) -> None:
         self._instances: Dict[str, ComponentInstance] = {}
+        self._reserved: set = set()
         self._counter = 0
         self._lock = threading.RLock()
 
@@ -222,10 +223,21 @@ class InstanceManager:
         with self._lock:
             self._counter += 1
             candidate = f"{base}_{self._counter}"
-            while candidate in self._instances:
+            while candidate in self._instances or candidate in self._reserved:
                 self._counter += 1
                 candidate = f"{base}_{self._counter}"
             return candidate
+
+    def reserve(self, names: "Sequence[str]") -> None:
+        """Bar ``names`` from ever coming out of :meth:`new_name`.
+
+        Crash recovery restores the relational rows of past instances but
+        not the in-memory objects; reserving the recovered names keeps the
+        fresh-name counter from colliding with rows that survived the
+        restart.
+        """
+        with self._lock:
+            self._reserved.update(names)
 
     def add(self, instance: ComponentInstance) -> ComponentInstance:
         with self._lock:

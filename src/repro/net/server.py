@@ -36,6 +36,7 @@ down gracefully on SIGINT / SIGTERM (draining open connections).
 from __future__ import annotations
 
 import argparse
+import json
 import secrets
 import signal
 import socket
@@ -43,6 +44,7 @@ import sys
 import threading
 import time
 import weakref
+from pathlib import Path
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -67,6 +69,7 @@ from ..api.service import ComponentService, Session
 from ..core.icdb import IcdbError
 from ..obs.metrics import MetricsExporter
 from ..obs.reqlog import RequestLog, get_logger
+from ..store import DEFAULT_SNAPSHOT_INTERVAL, DurableStore, FSYNC_POLICIES
 from .protocol import (
     FRAME_ATTACH,
     FRAME_BYE,
@@ -471,6 +474,30 @@ class FrameDispatcher:
             return self.session_token
         if op == "summary":
             return self.service.summary()
+        if op == "db_tables":
+            with self.service.lock:
+                return {
+                    name: len(self.service.database.table(name))
+                    for name in self.service.database.table_names()
+                }
+        if op == "db_rows":
+            table = str(args.get("table", ""))
+            where = args.get("where")
+            with self.service.lock:
+                return self.service.database.table(table).select(
+                    where if isinstance(where, dict) else None
+                )
+        if op == "db_dump":
+            # The crash-recovery golden: the full relational state, deep-
+            # copied under the lock so concurrent writers cannot tear the
+            # frame serialization.
+            with self.service.lock:
+                return json.loads(
+                    json.dumps(self.service.database.to_payload())
+                )
+        if op == "store_stats":
+            store = self.service.durable_store
+            return store.stats() if store is not None else {}
         if op == "materialize":
             name = args.get("name")
             return self.service.materialize_artifacts(
@@ -734,6 +761,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--store-root", default=None, help="design-data file store directory"
     )
     parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable store directory: journal every DB mutation, snapshot "
+            "periodically, and recover state on boot (before accepting "
+            "connections); design-data files default to DIR/files"
+        ),
+    )
+    parser.add_argument(
+        "--journal-fsync",
+        choices=FSYNC_POLICIES,
+        default="interval",
+        help=(
+            "journal fsync policy (with --data-dir): 'always' = every "
+            "acknowledged write survives power loss, 'interval' = bounded "
+            "loss window, 'never' = page cache only"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=DEFAULT_SNAPSHOT_INTERVAL,
+        help=(
+            "seconds between automatic snapshots + compaction "
+            "(with --data-dir; 0 disables the background snapshotter)"
+        ),
+    )
+    parser.add_argument(
         "--max-frame-bytes",
         type=int,
         default=MAX_FRAME_BYTES,
@@ -794,11 +850,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             stream=sys.stderr, slow_ms=args.slow_ms, slow_only=True
         )
 
+    durable: Optional[DurableStore] = None
+    store_root = args.store_root
+    if args.data_dir is not None:
+        durable = DurableStore(
+            args.data_dir,
+            fsync=args.journal_fsync,
+            snapshot_interval=args.snapshot_interval or None,
+        )
+        if store_root is None:
+            store_root = str(Path(args.data_dir) / "files")
     service = ComponentService(
-        store_root=args.store_root,
+        store_root=store_root,
         job_workers=args.workers,
         request_log=request_log,
+        durable_store=durable,
     )
+    if durable is not None and durable.recovery_report is not None:
+        report = durable.recovery_report
+        print(
+            "icdb store recovered: "
+            f"snapshot seq {report.snapshot_seq}, "
+            f"{report.events_replayed} events replayed, "
+            f"last seq {report.last_seq}",
+            flush=True,
+        )
     exporter: Optional[MetricsExporter] = None
     if args.metrics_path is not None:
         exporter = MetricsExporter(
@@ -819,6 +895,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     signal.signal(signal.SIGINT, _shutdown)
     signal.signal(signal.SIGTERM, _shutdown)
     server.serve_forever()
+    if durable is not None:
+        durable.close()
     if exporter is not None:
         exporter.stop(write_final=True)
     if request_log is not None:

@@ -125,6 +125,26 @@ def render_dashboard(
             f"entries {c(f'gencache.{stage}.entries'):>6,.0f}"
         )
     lines.append("")
+    if "store.journal.appends" in counters:
+        lines.append(
+            f"store      appends {c('store.journal.appends'):>8,.0f}   "
+            f"fsyncs {c('store.journal.fsyncs'):>8,.0f}   "
+            f"snapshots {c('store.snapshot.count'):>4,.0f}   "
+            f"last seq {c('store.last_seq'):>8,.0f}"
+        )
+        lines.append(
+            f"recovery   replayed {c('store.recovery.events_replayed'):>7,.0f}   "
+            f"from snapshot seq {c('store.recovery.snapshot_seq'):>8,.0f}"
+        )
+        append_hist = histograms.get("store.journal.append_ms")
+        if append_hist and append_hist.get("count"):
+            avg = append_hist["sum"] / append_hist["count"]
+            p95 = _quantile_ms(append_hist, 0.95)
+            lines.append(
+                f"journal    append avg {avg:6.3f} ms   p95 <= {p95:6.3f} ms   "
+                f"max {append_hist.get('max') or 0:.3f} ms"
+            )
+        lines.append("")
     lines.append(
         f"net        push drops {c('net.push_drops'):,.0f}   "
         f"shutdown errors {c('net.shutdown_errors'):,.0f}   "

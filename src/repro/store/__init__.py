@@ -1,0 +1,73 @@
+"""Durable design store: write-ahead journal, snapshots, crash recovery.
+
+The paper's ICDB inherits durability from INGRES and the UNIX file
+system; the in-memory :mod:`repro.db` engine inherits none.  This package
+closes that gap: every database mutation is journaled ahead of
+application as a typed, CRC-framed JSON event, full-state snapshots are
+written atomically in the background, and boot-time recovery replays
+``snapshot + journal tail`` to a byte-identical database -- truncating a
+torn tail record instead of half-applying it.
+
+See ``docs/durability.md``; the operational CLI is
+``python -m repro.store {inspect,verify,compact,restore}``.
+"""
+
+from .durable import (
+    DEFAULT_SNAPSHOT_INTERVAL,
+    DurableStore,
+    RecoveryReport,
+    StoreError,
+    journal_dir,
+    recover_database,
+    snapshot_dir,
+)
+from .events import ALL_OPS, EventError, apply_event
+from .journal import (
+    DEFAULT_FSYNC_INTERVAL,
+    DEFAULT_SEGMENT_MAX_BYTES,
+    FSYNC_POLICIES,
+    JournalCorruptError,
+    JournalError,
+    JournalWriter,
+    encode_record,
+    decode_record,
+    list_segments,
+    scan_segment,
+    segment_path,
+)
+from .snapshot import (
+    SnapshotError,
+    latest_snapshot,
+    list_snapshots,
+    load_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "ALL_OPS",
+    "DEFAULT_FSYNC_INTERVAL",
+    "DEFAULT_SEGMENT_MAX_BYTES",
+    "DEFAULT_SNAPSHOT_INTERVAL",
+    "DurableStore",
+    "EventError",
+    "FSYNC_POLICIES",
+    "JournalCorruptError",
+    "JournalError",
+    "JournalWriter",
+    "RecoveryReport",
+    "SnapshotError",
+    "StoreError",
+    "apply_event",
+    "decode_record",
+    "encode_record",
+    "journal_dir",
+    "latest_snapshot",
+    "list_segments",
+    "list_snapshots",
+    "load_snapshot",
+    "recover_database",
+    "scan_segment",
+    "segment_path",
+    "snapshot_dir",
+    "write_snapshot",
+]

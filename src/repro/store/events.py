@@ -1,0 +1,83 @@
+"""Typed mutation events: what the write-ahead journal records and replays.
+
+Every :class:`~repro.db.engine.Database` mutation is one JSON-safe event
+dict with an ``op`` field -- the same typed-message discipline
+:mod:`repro.api.messages` uses on the wire, applied to durability.  The
+engine emits events *before* applying the mutation (write-ahead order);
+:func:`apply_event` re-executes one event against a database through the
+engine's ``apply_*`` replay seam, which is the exact physical half of the
+live mutators, so a replayed database cannot drift from the one that
+journaled.
+
+Row addressing is *positional*: updates and deletes name the row indexes
+they touched.  Replay always starts from the same base state (a snapshot)
+and applies events in sequence order, so positions resolve identically --
+and unlike the logical ``where`` predicates (which may be arbitrary
+Python callables), positions serialize.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from ..db.engine import Database, Table
+
+#: Event type tags (the ``op`` field).
+OP_CREATE_TABLE = "create_table"
+OP_DROP_TABLE = "drop_table"
+OP_INSERT = "insert"
+OP_UPDATE = "update"
+OP_DELETE = "delete"
+
+#: Every op the journal understands (the CLI ``verify`` checks membership).
+ALL_OPS = (OP_CREATE_TABLE, OP_DROP_TABLE, OP_INSERT, OP_UPDATE, OP_DELETE)
+
+
+class EventError(ValueError):
+    """Raised when an event cannot be applied to the database."""
+
+
+def _table(database: Database, event: Mapping[str, Any]) -> Table:
+    name = event.get("table")
+    table = database.tables.get(name)
+    if table is None:
+        raise EventError(
+            f"event {event.get('op')!r} names unknown table {name!r}"
+        )
+    return table
+
+
+def apply_event(database: Database, event: Mapping[str, Any]) -> None:
+    """Re-execute one journaled mutation against ``database``.
+
+    Used only during recovery (no observer is attached yet), so nothing
+    is re-journaled.  Raises :class:`EventError` on a structurally
+    invalid event -- recovery treats that the same as a corrupt record.
+    """
+    op = event.get("op")
+    try:
+        if op == OP_INSERT:
+            _table(database, event).apply_insert(dict(event["row"]))
+        elif op == OP_UPDATE:
+            _table(database, event).apply_update(
+                list(event["indexes"]), dict(event["changes"])
+            )
+        elif op == OP_DELETE:
+            _table(database, event).apply_delete(list(event["indexes"]))
+        elif op == OP_CREATE_TABLE:
+            schema = event["schema"]
+            if schema["name"] in database.tables:
+                raise EventError(
+                    f"create_table replay: table {schema['name']!r} already exists"
+                )
+            database.tables[schema["name"]] = Table.from_dict(schema)
+        elif op == OP_DROP_TABLE:
+            table = database.tables.pop(event["table"], None)
+            if table is None:
+                raise EventError(
+                    f"drop_table replay: no table named {event['table']!r}"
+                )
+        else:
+            raise EventError(f"unknown journal op {op!r}")
+    except (KeyError, IndexError, TypeError) as exc:
+        raise EventError(f"malformed {op!r} event: {exc!r}") from exc

@@ -1,0 +1,134 @@
+"""Atomic, checksummed database snapshots.
+
+A snapshot is one JSON file (``snapshot-<seq>.json``) holding the full
+:meth:`repro.db.engine.Database.to_payload` state as of journal sequence
+``seq``: recovery loads the newest *valid* snapshot and replays only the
+journal records with a higher sequence number.  Snapshots are written to
+a temporary file in the same directory and renamed into place
+(``os.replace``), so a crash mid-snapshot leaves at worst an ignorable
+``*.tmp`` -- never a half-written file that shadows a good older one.
+
+The embedded CRC covers the canonical ``{"seq", "database"}`` JSON, so a
+snapshot damaged on disk (partial write survived a rename-less crash,
+bit rot) is detected and *skipped*, falling back to the previous one
+plus a longer journal replay, instead of resurrecting garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from .journal import fsync_directory
+
+_SNAPSHOT_RE = re.compile(r"snapshot-(\d{12})\.json$")
+
+#: Snapshot file schema version.
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ValueError):
+    """Raised when a snapshot file is missing, malformed or corrupt."""
+
+
+def snapshot_path(directory: Union[str, Path], seq: int) -> Path:
+    return Path(directory) / f"snapshot-{seq:012d}.json"
+
+
+def snapshot_seq(path: Union[str, Path]) -> Optional[int]:
+    match = _SNAPSHOT_RE.search(str(path))
+    return int(match.group(1)) if match else None
+
+
+def list_snapshots(directory: Union[str, Path]) -> List[Path]:
+    """Every snapshot file under ``directory``, oldest first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        (p for p in directory.iterdir() if _SNAPSHOT_RE.search(p.name)),
+        key=lambda p: snapshot_seq(p) or 0,
+    )
+
+
+def _checksum(seq: int, database_payload: Mapping[str, Any]) -> int:
+    canonical = json.dumps(
+        {"seq": seq, "database": database_payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return zlib.crc32(canonical)
+
+
+def write_snapshot(
+    directory: Union[str, Path],
+    database_payload: Mapping[str, Any],
+    seq: int,
+    durable: bool = True,
+) -> Path:
+    """Atomically persist ``database_payload`` as the state at ``seq``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = snapshot_path(directory, seq)
+    body = {
+        "version": SNAPSHOT_VERSION,
+        "seq": int(seq),
+        "crc": _checksum(seq, database_payload),
+        "database": database_payload,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(body, handle, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        if durable:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    if durable:
+        fsync_directory(directory)
+    return path
+
+
+def load_snapshot(path: Union[str, Path]) -> Tuple[int, Dict[str, Any]]:
+    """Parse and checksum one snapshot; returns ``(seq, database_payload)``."""
+    try:
+        body = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"unreadable snapshot {path}: {exc}") from exc
+    if not isinstance(body, dict) or body.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(f"snapshot {path}: unknown version")
+    seq = body.get("seq")
+    payload = body.get("database")
+    if not isinstance(seq, int) or not isinstance(payload, dict):
+        raise SnapshotError(f"snapshot {path}: missing seq/database")
+    if _checksum(seq, payload) != body.get("crc"):
+        raise SnapshotError(f"snapshot {path}: checksum mismatch")
+    return seq, payload
+
+
+@dataclass
+class LatestSnapshot:
+    """The newest loadable snapshot plus how many newer ones were corrupt."""
+
+    path: Optional[Path]
+    seq: int
+    payload: Optional[Dict[str, Any]]
+    skipped: List[Path]
+
+
+def latest_snapshot(directory: Union[str, Path]) -> LatestSnapshot:
+    """Newest valid snapshot, skipping (not deleting) corrupt ones."""
+    skipped: List[Path] = []
+    for path in reversed(list_snapshots(directory)):
+        try:
+            seq, payload = load_snapshot(path)
+        except SnapshotError:
+            skipped.append(path)
+            continue
+        return LatestSnapshot(path=path, seq=seq, payload=payload, skipped=skipped)
+    return LatestSnapshot(path=None, seq=0, payload=None, skipped=skipped)

@@ -76,6 +76,26 @@ def test_table_type_coercion_and_errors():
         Column("c", "weird")
 
 
+def test_table_update_is_all_or_nothing():
+    """A failed coercion mid-update must not leave earlier changes applied.
+
+    Regression: update() used to coerce change-by-change while already
+    mutating matched rows, so ``age=valid, tags=invalid`` could bump the
+    age and then raise -- a partial write the journal could never replay
+    consistently.  All changes are validated and coerced up front now.
+    """
+    table = _people_table()
+    table.insert(name="ada", age=36)
+    table.insert(name="grace", age=45)
+    before = [dict(row) for row in table.rows]
+    with pytest.raises(DatabaseError):
+        table.update(None, age=50, bogus=1)  # second change names no column
+    assert table.rows == before  # nothing changed, not even age
+    with pytest.raises(DatabaseError):
+        table.update({"name": "ada"}, age="not-an-int")
+    assert table.rows == before
+
+
 def test_table_select_ordering_and_callable_predicates():
     table = _people_table()
     for name, age in (("c", 3), ("a", 1), ("b", 2)):
