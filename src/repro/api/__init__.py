@@ -99,10 +99,12 @@ from .messages import (
     FunctionQuery,
     GetMetrics,
     Hello,
+    IDEMPOTENT_KINDS,
     InstanceQuery,
     JobEvent,
     JobStatus,
     LayoutRequest,
+    Ping,
     PlanQuery,
     Request,
     Response,
@@ -153,6 +155,7 @@ __all__ = [
     "FunctionQuery",
     "GetMetrics",
     "Hello",
+    "IDEMPOTENT_KINDS",
     "IcdbErrorInfo",
     "InstanceQuery",
     "JOB_CONTROL_KINDS",
@@ -168,6 +171,7 @@ __all__ = [
     "NamePredicate",
     "Objective",
     "PROTOCOL_VERSION",
+    "Ping",
     "PlanPoint",
     "PlanQuery",
     "PlanResult",

@@ -65,30 +65,48 @@ ERROR_CODES = (
 
 @dataclass(frozen=True)
 class IcdbErrorInfo:
-    """Wire-format description of a failed request."""
+    """Wire-format description of a failed request.
+
+    ``retry_after_ms`` rides along on retryable failures (the ``BUSY``
+    paths: session cap, full job queue, load shedding): the server's
+    backoff hint in milliseconds.  It is omitted from the wire form when
+    the server gave none, so pre-existing payloads parse unchanged.
+    """
 
     code: str
     message: str
     exception_type: str = ""
+    retry_after_ms: Optional[float] = None
 
-    def to_dict(self) -> Dict[str, str]:
-        return {
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
             "code": self.code,
             "message": self.message,
             "exception_type": self.exception_type,
         }
+        if self.retry_after_ms is not None:
+            data["retry_after_ms"] = self.retry_after_ms
+        return data
 
     @staticmethod
-    def from_dict(data: Mapping[str, str]) -> "IcdbErrorInfo":
+    def from_dict(data: Mapping[str, object]) -> "IcdbErrorInfo":
+        retry_after = data.get("retry_after_ms")
         return IcdbErrorInfo(
-            code=data.get("code", E_INTERNAL),
-            message=data.get("message", ""),
-            exception_type=data.get("exception_type", ""),
+            code=str(data.get("code", E_INTERNAL)),
+            message=str(data.get("message", "")),
+            exception_type=str(data.get("exception_type", "")),
+            retry_after_ms=(
+                float(retry_after)
+                if isinstance(retry_after, (int, float)) and not isinstance(retry_after, bool)
+                else None
+            ),
         )
 
     def raise_as_exception(self) -> None:
         """Re-raise as an :class:`IcdbError` (used by remote transports)."""
-        raise IcdbError(self.message, code=self.code)
+        raise IcdbError(
+            self.message, code=self.code, retry_after_ms=self.retry_after_ms
+        )
 
 
 def error_from_exception(exc: BaseException) -> IcdbErrorInfo:
@@ -125,5 +143,8 @@ def error_from_exception(exc: BaseException) -> IcdbErrorInfo:
     # str(KeyError) wraps the message in repr quotes; use the raw argument.
     message = str(exc.args[0]) if isinstance(exc, KeyError) and exc.args else str(exc)
     return IcdbErrorInfo(
-        code=code, message=message, exception_type=type(exc).__name__
+        code=code,
+        message=message,
+        exception_type=type(exc).__name__,
+        retry_after_ms=getattr(exc, "retry_after_ms", None),
     )

@@ -772,6 +772,34 @@ class GetMetrics(Request):
 
 
 @dataclass(frozen=True)
+class Ping(Request):
+    """Liveness and health probe.
+
+    Unlike the frame-level ``ping``/``pong`` (a pure codec round trip),
+    this is a *typed* request: it travels the full request path and
+    answers the service's health dict -- status (``ok`` / ``draining``),
+    uptime, protocol version, job queue depths, durable-store recovery
+    state and whatever health sources the hosting server registered
+    (live session counts, drain / shed state).  ``echo`` is returned
+    verbatim, so a client can correlate probes.
+    """
+
+    kind: ClassVar[str] = "ping"
+
+    echo: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "echo": self.echo}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Ping":
+        echo = data.get("echo")
+        if echo is not None and not isinstance(echo, str):
+            raise IcdbError("ping 'echo' must be a string", code=E_BAD_REQUEST)
+        return cls(echo=echo or "")
+
+
+@dataclass(frozen=True)
 class JobEvent:
     """One progress record of a job (pushed as a ``job_event`` frame).
 
@@ -856,6 +884,27 @@ class AttachSession:
 JOB_CONTROL_KINDS = (SubmitJob.kind, JobStatus.kind, CancelJob.kind)
 
 
+#: Request kinds that are safe to retry blindly after an ambiguous
+#: transport failure: re-executing one cannot change service state
+#: beyond what a single execution would (queries, metrics, simulation
+#: re-computation, job inspection; ``cancel_job`` is idempotent -- a
+#: second cancel of the same job is a no-op).  Everything else mutates
+#: (registers instances, layouts, designs or jobs) and must only be
+#: retried when the failure provably preceded the send, or under a
+#: transport-level ``request_id`` the server dedupes.
+IDEMPOTENT_KINDS = (
+    ComponentQuery.kind,
+    FunctionQuery.kind,
+    InstanceQuery.kind,
+    Simulate.kind,
+    CheckEquivalence.kind,
+    JobStatus.kind,
+    CancelJob.kind,
+    GetMetrics.kind,
+    Ping.kind,
+)
+
+
 #: Registry of request types by wire kind.
 REQUEST_TYPES: Dict[str, Type[Request]] = {
     cls.kind: cls
@@ -874,6 +923,7 @@ REQUEST_TYPES: Dict[str, Type[Request]] = {
         JobStatus,
         CancelJob,
         GetMetrics,
+        Ping,
     )
 }
 

@@ -96,7 +96,9 @@ from .messages import (
     JobEvent,
     JobStatus,
     LayoutRequest,
+    Ping,
     PlanQuery,
+    PROTOCOL_VERSION,
     Request,
     Response,
     SubmitJob,
@@ -196,6 +198,67 @@ def instance_summary(
     return summary
 
 
+class RequestDedupe:
+    """Per-session at-most-once execution of retried mutations.
+
+    A resilient client stamps mutating requests with a transport-level
+    ``request_id`` and may resend one after an ambiguous failure (the
+    connection died between send and reply).  :meth:`begin` reserves the
+    id: the first arrival executes; a concurrent duplicate *blocks* until
+    the original finishes (the dangerous race is a retry arriving on a
+    new connection while the original is still executing) and then
+    returns its recorded response.  Only *successful* responses are
+    recorded -- a failed attempt provably did not mutate, so its retry is
+    allowed to execute again.
+
+    The store is bounded: oldest completed entries are evicted first, so
+    the at-most-once guarantee spans the retry window (seconds), not
+    unbounded history.
+    """
+
+    def __init__(self, capacity: int = 512):
+        self.capacity = capacity
+        self._cond = threading.Condition()
+        #: request_id -> recorded response dict, or None while in flight.
+        self._entries: "OrderedDict[str, Optional[Dict[str, Any]]]" = OrderedDict()
+
+    def begin(self, request_id: str) -> Optional[Dict[str, Any]]:
+        """Reserve ``request_id``; the recorded response if already done.
+
+        Returns ``None`` when the caller should execute (first arrival,
+        or the original attempt failed).  Every ``None`` return MUST be
+        paired with a :meth:`finish` call, or duplicates wait forever.
+        """
+        with self._cond:
+            while True:
+                if request_id not in self._entries:
+                    self._entries[request_id] = None  # in flight
+                    return None
+                recorded = self._entries[request_id]
+                if recorded is not None:
+                    self._entries.move_to_end(request_id)
+                    return recorded
+                self._cond.wait()  # original still executing
+
+    def finish(self, request_id: str, response: Optional[Dict[str, Any]]) -> None:
+        """Record the outcome; ``None`` (failure) releases the id."""
+        with self._cond:
+            if response is None:
+                self._entries.pop(request_id, None)
+            else:
+                self._entries[request_id] = response
+                while len(self._entries) > self.capacity:
+                    oldest, recorded = next(iter(self._entries.items()))
+                    if recorded is None:
+                        break  # never evict an in-flight reservation
+                    del self._entries[oldest]
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._entries)
+
+
 class Session:
     """One client's view of the component service.
 
@@ -211,6 +274,9 @@ class Session:
         self.session_id = session_id
         self.client = client
         self.current_design: str = ""
+        #: At-most-once store for client-retried mutations (sessions
+        #: survive reconnects, so the dedupe window does too).
+        self.dedupe = RequestDedupe()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Session({self.session_id!r}, design={self.current_design!r})"
@@ -771,6 +837,12 @@ class ComponentService:
         #: Wall time for display, monotonic time for every duration; the
         #: seam tests replace with a scriptable clock.
         self.clock = clock or SYSTEM_CLOCK
+        self.started_at = self.clock.time()
+        self._started_mono = self.clock.monotonic()
+        #: Named health contributors merged into :meth:`health` answers.
+        #: The hosting server registers one (live sessions, drain / shed
+        #: state); anything else running on this service may add more.
+        self._health_sources: Dict[str, Callable[[], Dict[str, Any]]] = {}
         #: The process-observable state of this service: owned request /
         #: error counters and latency histograms, plus pull collectors
         #: over the caches' and job manager's own accounting (so the
@@ -1051,7 +1123,53 @@ class ComponentService:
                 ),
                 False,
             )
+        if isinstance(request, Ping):
+            health = self.health()
+            if request.echo:
+                health["echo"] = request.echo
+            return health, False
         raise IcdbError(f"unsupported request type {type(request).__name__!r}")
+
+    # ----------------------------------------------------------------- health
+
+    def register_health_source(
+        self, name: str, source: Callable[[], Dict[str, Any]]
+    ) -> None:
+        """Merge ``source()`` under ``name`` into every :meth:`health`."""
+        self._health_sources[name] = source
+
+    def health(self) -> Dict[str, Any]:
+        """The service's health dict (what a typed ``ping`` answers).
+
+        Always cheap: counters and queue depths, never catalog or
+        database scans.  A failing health source reports its error in
+        place instead of failing the probe -- a health endpoint that can
+        itself go down is worse than none.
+        """
+        info: Dict[str, Any] = {
+            "status": "ok",
+            "server_time": self.clock.time(),
+            "uptime_s": max(0.0, self.clock.monotonic() - self._started_mono),
+            "protocol": PROTOCOL_VERSION,
+            "jobs": self.jobs.stats(),
+            "instances": len(self.instances),
+        }
+        store = self.durable_store
+        if store is not None:
+            report = store.recovery_report
+            info["store"] = {
+                "last_seq": store.last_seq,
+                "recovery": report.to_dict() if report is not None else None,
+            }
+        for name, source in self._health_sources.items():
+            try:
+                info[name] = source()
+            except Exception as exc:  # noqa: BLE001 - a probe must not fail
+                info[name] = {"error": repr(exc)}
+        net = info.get("net")
+        if isinstance(net, dict) and net.get("draining"):
+            info["status"] = "draining"
+        return info
 
     def _component_request(self, request: ComponentRequest, session: Session):
         if request.detail not in COMPONENT_DETAILS:
@@ -1464,9 +1582,15 @@ class JobManager:
             if self._shutdown:
                 raise IcdbError("the job manager is shut down", code=E_UNAVAILABLE)
             if len(self._queue) >= self.max_queued:
+                # The hint scales with how much work each worker already
+                # owns: a deep queue on a narrow pool needs a longer
+                # backoff than a briefly-full wide one.
                 raise IcdbError(
                     f"job queue is full ({self.max_queued} queued); retry later",
                     code=E_BUSY,
+                    retry_after_ms=min(
+                        5000.0, max(100.0, len(self._queue) * 50.0 / self.workers)
+                    ),
                 )
             self._counter += 1
             self._submitted += 1

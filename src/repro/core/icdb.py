@@ -36,9 +36,13 @@ class IcdbError(RuntimeError):
     parsing messages.
     """
 
-    def __init__(self, message: str, code: str = "BAD_REQUEST"):
+    def __init__(self, message: str, code: str = "BAD_REQUEST", retry_after_ms=None):
         super().__init__(message)
         self.code = code
+        #: Optional server hint (milliseconds) for retryable failures
+        #: (``BUSY`` paths): how long a client should back off before the
+        #: next attempt.  ``None`` when the server gave no hint.
+        self.retry_after_ms = retry_after_ms
 
 
 class ICDB:

@@ -41,6 +41,7 @@ from ..api.messages import (
     InstanceQuery,
     JobStatus,
     LayoutRequest,
+    Ping,
     PlanQuery,
     Request,
     Response,
@@ -612,6 +613,26 @@ class CqlExecutor:
             elif term.keyword in snapshot["gauges"]:
                 outputs[term.keyword] = snapshot["gauges"][term.keyword]
         outputs.setdefault("metrics", snapshot)
+        return outputs
+
+    def _cmd_ping(self, command: CqlCommand, values: Dict[str, Any]) -> Dict[str, Any]:
+        """``command: ping``: the server's liveness / health report.
+
+        An optional ``echo`` term round-trips a payload.  Named output
+        slots pull top-level health fields (``?status``, ``?uptime_s``);
+        ``?health`` (the default) answers the whole report.
+        """
+        echo = values.get("echo")
+        health = self._run(
+            Ping(echo=str(echo) if echo not in (None, "") else "")
+        ).value
+        outputs: Dict[str, Any] = {}
+        for term in command.output_slots():
+            if term.keyword == "health":
+                outputs["health"] = health
+            elif term.keyword in health:
+                outputs[term.keyword] = health[term.keyword]
+        outputs.setdefault("health", health)
         return outputs
 
     def _layout_request(self, command: CqlCommand, values: Dict[str, Any], instance_name: str) -> Dict[str, Any]:

@@ -36,7 +36,18 @@ Quick tour::
     client.close()
     server.stop()
 
-The full wire-protocol specification lives in ``docs/net.md``.
+The full wire-protocol specification lives in ``docs/net.md``; the
+failure story (reconnect, retry, dedupe, breaker, drain) in
+``docs/resilience.md``:
+
+* :mod:`repro.net.resilience` -- :class:`ResilientClient` /
+  :class:`ResilientTransport` (reconnect + re-``attach``, idempotency-
+  aware retries, circuit breaker) and :func:`connect_resilient`;
+* :mod:`repro.net.chaos` -- the seeded fault-injection harness
+  (:class:`~repro.net.chaos.ChaosProxy`,
+  :class:`~repro.net.chaos.FlakyTransport`,
+  :class:`~repro.net.chaos.ManagedServer`) the resilience tests and
+  benchmarks run against.
 """
 
 from .client import (
@@ -44,9 +55,17 @@ from .client import (
     LoopbackTransport,
     RemoteClient,
     RemoteInstance,
+    ServerDrained,
     SocketTransport,
     attach,
     connect,
+)
+from .resilience import (
+    CircuitBreaker,
+    ResilientClient,
+    ResilientTransport,
+    RetryPolicy,
+    connect_resilient,
 )
 from .protocol import (
     FrameStream,
@@ -66,6 +85,7 @@ from .server import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "FrameDispatcher",
     "FrameStream",
     "FrameTooLarge",
@@ -76,11 +96,16 @@ __all__ = [
     "ProtocolError",
     "RemoteClient",
     "RemoteInstance",
+    "ResilientClient",
+    "ResilientTransport",
+    "RetryPolicy",
     "SERVER_NAME",
+    "ServerDrained",
     "SessionRegistry",
     "SocketTransport",
     "attach",
     "connect",
+    "connect_resilient",
     "decode_frame",
     "encode_frame",
     "main",

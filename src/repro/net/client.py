@@ -66,6 +66,7 @@ from ..api.messages import (
     JobEvent,
     JobStatus,
     LayoutRequest,
+    Ping,
     PlanQuery,
     Request,
     Response,
@@ -86,6 +87,7 @@ from ..netlist.structural import StructuralNetlist
 from .protocol import (
     FRAME_BYE,
     FRAME_ERROR,
+    FRAME_GOODBYE,
     FRAME_JOB_EVENT,
     FRAME_META,
     FRAME_META_RESULT,
@@ -104,12 +106,29 @@ from .protocol import (
 from .server import FrameDispatcher
 
 
+class ServerDrained(IcdbError):
+    """The server announced a planned drain before closing the connection.
+
+    Distinct from a plain connection loss (``E_UNAVAILABLE`` on an
+    :class:`~repro.core.icdb.IcdbError`): a drain is *not* a fault.  The
+    request that hit it was never executed-and-lost -- the server
+    finished in-flight work, snapshotted, and said ``goodbye`` first --
+    so a retry policy may always retry it (ideally against another
+    host), mutating or not, without any at-most-once ceremony.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, code=E_UNAVAILABLE)
+
+
 class SocketTransport:
     """One blocking TCP connection; a lock serializes request/reply pairs.
 
     The server may interleave pushed ``job_event`` frames with replies;
     they are routed to :attr:`on_event` (set by the owning client) and
-    never returned as a reply.
+    never returned as a reply.  A pushed ``goodbye`` frame marks the
+    server as draining: once the connection then closes, failures raise
+    :class:`ServerDrained` instead of the generic connection-lost error.
     """
 
     def __init__(
@@ -123,6 +142,7 @@ class SocketTransport:
         self._stream = FrameStream(self._socket, max_frame_bytes)
         self._lock = threading.Lock()
         self._dead = False
+        self._drained = False
         self.description = f"tcp://{host}:{port}"
         #: Callback receiving each pushed job-event dict (or None to drop).
         self.on_event: Optional[Callable[[Dict[str, Any]], None]] = None
@@ -131,7 +151,16 @@ class SocketTransport:
         """The next non-push frame; pushed job events go to ``on_event``."""
         while True:
             reply = self._stream.recv()
-            if reply is None or reply.get("type") != FRAME_JOB_EVENT:
+            if reply is None:
+                return reply
+            frame_type = reply.get("type")
+            if frame_type == FRAME_GOODBYE:
+                # Planned shutdown announcement: remember it so the
+                # coming close raises ServerDrained, keep reading -- the
+                # reply to the in-flight request still arrives.
+                self._drained = True
+                continue
+            if frame_type != FRAME_JOB_EVENT:
                 return reply
             sink = self.on_event
             if sink is not None:
@@ -156,12 +185,22 @@ class SocketTransport:
                 # Includes socket timeouts: the server's late reply would
                 # desynchronize every later request/response pair.
                 self._poison()
+                if self._drained:
+                    raise ServerDrained(
+                        "the ICDB server is draining (planned shutdown); "
+                        "retry on another host"
+                    ) from exc
                 raise IcdbError(
                     f"connection to the ICDB server lost: {exc}", code=E_UNAVAILABLE
                 ) from exc
         if reply is None:
             with self._lock:
                 self._poison()
+            if self._drained:
+                raise ServerDrained(
+                    "the ICDB server drained and closed the connection "
+                    "(planned shutdown); retry on another host"
+                )
             raise IcdbError(
                 "the ICDB server closed the connection", code=E_UNAVAILABLE
             )
@@ -580,7 +619,11 @@ class RemoteClient:
     def _raise_on_error(reply: Mapping[str, Any]) -> None:
         if reply.get("type") == FRAME_ERROR:
             info = IcdbErrorInfo.from_dict(reply.get("error") or {})
-            raise IcdbError(info.message or "transport error", code=info.code)
+            raise IcdbError(
+                info.message or "transport error",
+                code=info.code,
+                retry_after_ms=info.retry_after_ms,
+            )
 
     def close(self) -> None:
         """Send ``bye`` (best effort) and drop the transport."""
@@ -597,6 +640,18 @@ class RemoteClient:
         self.close()
 
     def ping(self) -> float:
+        """Round-trip time of a typed ``ping`` request, in milliseconds.
+
+        Travels the full request path (codec, dispatcher, service), so a
+        finite answer means the server is actually serving -- not merely
+        echoing frames.  Use :meth:`frame_ping` for the codec-only probe
+        and :meth:`health` for the structured health payload.
+        """
+        start = time.perf_counter()
+        self.execute(Ping()).unwrap()
+        return (time.perf_counter() - start) * 1000.0
+
+    def frame_ping(self) -> float:
         """Round-trip time of an empty frame, in milliseconds."""
         start = time.perf_counter()
         reply = self.transport.send_payload({"type": FRAME_PING})
@@ -604,6 +659,15 @@ class RemoteClient:
         if reply.get("type") != FRAME_PONG:
             raise ProtocolError(f"expected pong, got {reply.get('type')!r}")
         return (time.perf_counter() - start) * 1000.0
+
+    def health(self, echo: str = "") -> Dict[str, Any]:
+        """The server's health dict (uptime, queue depths, drain state).
+
+        See :class:`~repro.api.messages.Ping`: status is ``"ok"`` or
+        ``"draining"``; ``jobs`` carries the queue depths; with a durable
+        store, ``store`` carries last-seq and the boot recovery report.
+        """
+        return self.execute(Ping(echo=echo)).unwrap()
 
     # ----------------------------------------------------------- typed entry
 

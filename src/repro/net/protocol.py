@@ -22,6 +22,10 @@ frame type      meaning
                 :class:`~repro.core.instances.InstanceManager` surface
 ``meta_result`` the ``value`` answering a ``meta`` frame
 ``ping``        liveness probe; answered with ``pong``
+``goodbye``     **server-pushed**: the server is draining (planned
+                shutdown); in-flight replies still arrive, then the
+                connection closes cleanly -- clients should reconnect
+                elsewhere / later rather than treat the close as a fault
 ``error``       a transport-level failure (bad frame, bad handshake);
                 carries an :class:`~repro.api.errors.IcdbErrorInfo` payload
 ``bye``         orderly shutdown of the connection (echoed by the server)
@@ -63,6 +67,7 @@ FRAME_META = "meta"
 FRAME_META_RESULT = "meta_result"
 FRAME_PING = "ping"
 FRAME_PONG = "pong"
+FRAME_GOODBYE = "goodbye"
 FRAME_ERROR = "error"
 FRAME_BYE = "bye"
 

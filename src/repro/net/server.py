@@ -60,8 +60,15 @@ from ..api.messages import (
     JOB_CONTROL_KINDS,
     PROTOCOL_VERSION,
     AttachSession,
+    BatchRequest,
+    CheckEquivalence,
+    ComponentRequest,
     Hello,
+    LayoutRequest,
+    PlanQuery,
     Response,
+    Simulate,
+    SubmitJob,
     Welcome,
     request_from_dict,
 )
@@ -74,6 +81,7 @@ from .protocol import (
     FRAME_ATTACH,
     FRAME_BYE,
     FRAME_ERROR,
+    FRAME_GOODBYE,
     FRAME_HELLO,
     FRAME_JOB_EVENT,
     FRAME_META,
@@ -146,9 +154,12 @@ class SessionRegistry:
             if self.max_sessions and len(self._entries) >= self.max_sessions:
                 self._evict_locked()
             if self.max_sessions and len(self._entries) >= self.max_sessions:
+                # Sessions at the cap are all live: none frees up faster
+                # than a connection turnaround, so hint a full second.
                 raise IcdbError(
                     f"session limit reached ({self.max_sessions}); retry later",
                     code=E_BUSY,
+                    retry_after_ms=1000.0,
                 )
             session = self.service.create_session(client=client)
             token = secrets.token_hex(16)
@@ -219,6 +230,62 @@ def default_registry(service: ComponentService) -> SessionRegistry:
         return registry
 
 
+#: Request kinds that are expensive to *execute* -- and therefore cheap
+#: to reject while overloaded: shedding one before it reaches the engine
+#: frees a worker-sized amount of capacity for the cheap queries that
+#: keep already-running tool flows alive.
+EXPENSIVE_KINDS = frozenset(
+    (
+        ComponentRequest.kind,
+        LayoutRequest.kind,
+        PlanQuery.kind,
+        Simulate.kind,
+        CheckEquivalence.kind,
+        BatchRequest.kind,
+        SubmitJob.kind,
+    )
+)
+
+
+class LoadShedder:
+    """Overload admission control over the job queue's depth.
+
+    When the ready queue crosses ``threshold`` (a fraction of its
+    capacity), *expensive* request kinds are rejected up front with
+    ``E_BUSY`` and a ``retry_after_ms`` hint, while cheap reads and job
+    control keep flowing -- rejecting a generation costs one error frame;
+    executing it costs a worker for seconds.  ``threshold >= 1.0``
+    disables shedding (the queue's own capacity check still applies).
+    """
+
+    def __init__(
+        self,
+        jobs: "JobManager",
+        threshold: float = 0.9,
+        metrics: Optional[Any] = None,
+    ):
+        if not 0.0 < threshold:
+            raise IcdbError(f"shed threshold must be > 0, got {threshold}")
+        self.jobs = jobs
+        self.threshold = threshold
+        self._shed_counter = (
+            metrics.counter("resilience.shed_requests") if metrics is not None else None
+        )
+
+    def check(self, kind: str) -> Optional[float]:
+        """``retry_after_ms`` when ``kind`` should be shed, else ``None``."""
+        if self.threshold >= 1.0 or kind not in EXPENSIVE_KINDS:
+            return None
+        depth = self.jobs.stats()["queued"]
+        limit = self.threshold * self.jobs.max_queued
+        if depth < limit:
+            return None
+        if self._shed_counter is not None:
+            self._shed_counter.inc()
+        # Same shape as the queue-full hint: deeper backlog, longer wait.
+        return min(5000.0, max(100.0, depth * 50.0 / self.jobs.workers))
+
+
 class FrameDispatcher:
     """Per-connection protocol state machine (transport-agnostic).
 
@@ -242,11 +309,13 @@ class FrameDispatcher:
         client_label: str = "",
         registry: Optional[SessionRegistry] = None,
         push: Optional[Callable[[Dict[str, Any]], None]] = None,
+        shedder: Optional[LoadShedder] = None,
     ):
         self.service = service
         self.client_label = client_label
         self.registry = registry if registry is not None else default_registry(service)
         self.push = push
+        self.shedder = shedder
         self.session: Optional[Session] = None
         self.session_token: str = ""
         self.closed = False
@@ -407,9 +476,49 @@ class FrameDispatcher:
                 if isinstance(data, dict)
                 else "",
             )
-        else:
-            response = self._execute(request)
-        return {"type": FRAME_RESPONSE, "response": response.to_dict()}
+            return {"type": FRAME_RESPONSE, "response": response.to_dict()}
+        request_id = payload.get("request_id")
+        if isinstance(request_id, str) and request_id:
+            # A retried mutation: the session's dedupe store decides
+            # whether this id already executed (and blocks a duplicate
+            # racing an in-flight original).
+            recorded = self.session.dedupe.begin(request_id)
+            if recorded is not None:
+                self.service.metrics.counter("resilience.dedupe_hits").inc()
+                return {"type": FRAME_RESPONSE, "response": recorded}
+            try:
+                response = self._admit(request)
+                wire = response.to_dict()
+            except BaseException:
+                self.session.dedupe.finish(request_id, None)
+                raise
+            # Only successful executions are pinned: a failure did not
+            # mutate, so a retry may (and should) execute afresh.
+            self.session.dedupe.finish(request_id, wire if response.ok else None)
+            return {"type": FRAME_RESPONSE, "response": wire}
+        return {"type": FRAME_RESPONSE, "response": self._admit(request).to_dict()}
+
+    def _admit(self, request) -> Response:
+        """Load shedding in front of execution: reject before investing."""
+        assert self.session is not None
+        retry_after = (
+            self.shedder.check(request.kind) if self.shedder is not None else None
+        )
+        if retry_after is not None:
+            return Response(
+                ok=False,
+                error=IcdbErrorInfo(
+                    code=E_BUSY,
+                    message=(
+                        "server is shedding load (job queue near capacity); "
+                        "retry later"
+                    ),
+                    retry_after_ms=retry_after,
+                ),
+                session_id=self.session.session_id,
+                request_kind=request.kind,
+            )
+        return self._execute(request)
 
     def _execute(self, request) -> Response:
         assert self.session is not None
@@ -523,6 +632,7 @@ class ICDBServer:
         port: int = 0,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         max_sessions: int = 0,
+        shed_threshold: float = 0.9,
     ):
         self.service = service or ComponentService()
         self.host = host
@@ -531,14 +641,34 @@ class ICDBServer:
         #: Sessions outlive connections; the registry owns them (bounded
         #: by ``max_sessions``, 0 = unlimited) and resolves attach tokens.
         self.sessions = SessionRegistry(self.service, max_sessions=max_sessions)
+        #: Overload admission control shared by every connection
+        #: (``shed_threshold >= 1.0`` disables it).
+        self.shedder = LoadShedder(
+            self.service.jobs, threshold=shed_threshold, metrics=self.service.metrics
+        )
         self.connections_served = 0
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._threads: List[threading.Thread] = []
         self._live: Set[socket.socket] = set()
+        #: Per-connection frame senders, for pushing ``goodbye`` on drain.
+        self._senders: Dict[socket.socket, Callable[[Dict[str, Any]], None]] = {}
         self._live_lock = threading.Lock()
         self._stopping = threading.Event()
         self._stopped = threading.Event()
+        self._draining = threading.Event()
+        self.service.register_health_source("net", self._health)
+
+    def _health(self) -> Dict[str, Any]:
+        with self._live_lock:
+            connections = len(self._live)
+        return {
+            "address": f"{self.host}:{self.port}",
+            "sessions": len(self.sessions),
+            "connections": connections,
+            "draining": self._draining.is_set(),
+            "shed_threshold": self.shedder.threshold,
+        }
 
     # ---------------------------------------------------------------- control
 
@@ -611,6 +741,62 @@ class ICDBServer:
         self._accept_thread = None
         self._stopped.set()
 
+    def drain(self, grace: float = 10.0) -> None:
+        """Planned shutdown: stop accepting, finish in-flight jobs, stop.
+
+        The drain protocol (``docs/resilience.md``):
+
+        1. the listener closes -- no new connections, no new sessions;
+        2. every live connection is pushed a ``goodbye`` frame, so
+           clients distinguish the coming close from a crash and retry
+           against another host instead of this one;
+        3. in-flight jobs get up to ``grace`` seconds to finish;
+        4. the durable store (if any) takes a final snapshot, so the
+           next boot replays nothing;
+        5. :meth:`stop` closes the remaining connections.
+        """
+        if self._draining.is_set() or self._listener is None:
+            return
+        self._draining.set()
+        self.service.metrics.counter("resilience.drains").inc()
+        deadline = time.monotonic() + max(0.0, grace)
+        try:
+            # 1. Stop accepting: closing the listener wakes the accept
+            # loop, which exits on the resulting OSError.
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            # 2. Tell every live connection.  A send failing just means
+            # the peer is already gone -- exactly who does not need a
+            # goodbye.  (``ValueError``: a closed stream's buffered
+            # writer raises it instead of ``OSError``.)
+            with self._live_lock:
+                senders = list(self._senders.values())
+            for send in senders:
+                try:
+                    send({"type": FRAME_GOODBYE, "reason": "server draining"})
+                except (OSError, ProtocolError, ValueError):
+                    pass
+            # 3. Let in-flight jobs finish (bounded).
+            while time.monotonic() < deadline:
+                stats = self.service.jobs.stats()
+                if stats["queued"] == 0 and stats["running"] == 0:
+                    break
+                time.sleep(0.05)
+            # 4. Preserve everything acknowledged so far.
+            store = self.service.durable_store
+            if store is not None:
+                try:
+                    store.snapshot()
+                except Exception as exc:  # noqa: BLE001 - see finally
+                    _LOG.debug("drain_snapshot_error", error=repr(exc))
+        finally:
+            # 5. Close out -- unconditionally.  A drain step failing must
+            # never leave the process unstoppable (SIGTERM would then
+            # appear ignored: serve_forever() waits on stop() forever).
+            self.stop(timeout=max(1.0, deadline - time.monotonic()))
+
     def __enter__(self) -> "ICDBServer":
         if self._listener is None:
             self.start()
@@ -668,7 +854,16 @@ class ICDBServer:
             client_label=f"{addr[0]}:{addr[1]}",
             registry=self.sessions,
             push=push,
+            shedder=self.shedder,
         )
+        with self._live_lock:
+            self._senders[conn] = locked_send
+        if self._draining.is_set():
+            # A connection that slipped in while drain ran: tell it too.
+            try:
+                locked_send({"type": FRAME_GOODBYE, "reason": "server draining"})
+            except (OSError, ProtocolError, ValueError):
+                pass
         try:
             while not self._stopping.is_set():
                 try:
@@ -705,6 +900,7 @@ class ICDBServer:
             dispatcher.close()  # stop pushes, detach (not destroy) the session
             with self._live_lock:
                 self._live.discard(conn)
+                self._senders.pop(conn, None)
             stream.close()
 
 
@@ -714,6 +910,7 @@ def serve(
     port: int = 0,
     max_frame_bytes: int = MAX_FRAME_BYTES,
     max_sessions: int = 0,
+    shed_threshold: float = 0.9,
 ) -> ICDBServer:
     """Start an :class:`ICDBServer` and return it (already listening)."""
     return ICDBServer(
@@ -722,6 +919,7 @@ def serve(
         port=port,
         max_frame_bytes=max_frame_bytes,
         max_sessions=max_sessions,
+        shed_threshold=shed_threshold,
     ).start()
 
 
@@ -808,6 +1006,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="ceiling on live sessions (>= 0; 0 = unlimited)",
     )
     parser.add_argument(
+        "--shed-threshold",
+        type=float,
+        default=0.9,
+        metavar="FRACTION",
+        help=(
+            "start shedding expensive requests when the job queue passes "
+            "this fraction of its capacity (>= 1.0 disables shedding)"
+        ),
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "on SIGTERM, drain instead of stopping: close the listener, "
+            "push 'goodbye' to clients, give in-flight jobs up to SECONDS "
+            "to finish, snapshot the store, then exit"
+        ),
+    )
+    parser.add_argument(
         "--log-requests",
         default=None,
         metavar="PATH",
@@ -886,14 +1105,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         port=args.port,
         max_frame_bytes=args.max_frame_bytes,
         max_sessions=args.max_sessions,
+        shed_threshold=args.shed_threshold,
     )
     print(f"icdb server listening on {server.host}:{server.port}", flush=True)
 
     def _shutdown(signum, frame) -> None:  # pragma: no cover - signal path
         server.stop()
 
+    def _drain(signum, frame) -> None:  # pragma: no cover - signal path
+        # The drain sleeps and joins; a signal handler must not.  Run it
+        # on its own thread and let serve_forever() observe the stop.
+        print(
+            f"icdb server draining (grace {args.drain_grace:g}s)", flush=True
+        )
+        threading.Thread(
+            target=server.drain,
+            args=(args.drain_grace,),
+            name="icdb-drain",
+            daemon=True,
+        ).start()
+
     signal.signal(signal.SIGINT, _shutdown)
-    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(
+        signal.SIGTERM, _drain if args.drain_grace is not None else _shutdown
+    )
     server.serve_forever()
     if durable is not None:
         durable.close()

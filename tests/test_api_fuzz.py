@@ -41,6 +41,7 @@ from repro.api import (
     METRICS,
     NamePredicate,
     Objective,
+    Ping,
     PlanPoint,
     PlanQuery,
     QuerySpec,
@@ -217,6 +218,10 @@ def _check_equivalence(rng: random.Random) -> CheckEquivalence:
     )
 
 
+def _ping(rng: random.Random) -> Ping:
+    return Ping(echo=_maybe(rng, lambda: _name(rng)) or "")
+
+
 GENERATORS = {
     "component_query": _component_query,
     "function_query": _function_query,
@@ -227,6 +232,7 @@ GENERATORS = {
     "check_equivalence": _check_equivalence,
     "design_op": _design_op,
     "get_metrics": _get_metrics,
+    "ping": _ping,
 }
 
 #: Kinds a batch (and a submitted job) may wrap: everything but batches

@@ -16,6 +16,7 @@ from repro.api import (
     IcdbErrorInfo,
     InstanceQuery,
     LayoutRequest,
+    Ping,
     REQUEST_TYPES,
     Response,
     Simulate,
@@ -78,6 +79,8 @@ SAMPLE_REQUESTS = [
     ),
     GetMetrics(),
     GetMetrics(prefixes=("cache.", "jobs"), include_histograms=False),
+    Ping(),
+    Ping(echo="marco"),
 ]
 
 
@@ -104,6 +107,7 @@ def test_registry_covers_every_cql_operation():
         "simulate",
         "check_equivalence",
         "get_metrics",
+        "ping",
     }
 
 
