@@ -98,18 +98,21 @@ from .messages import (
     DesignOp,
     FunctionQuery,
     GetMetrics,
+    FleetGenerate,
     Hello,
     IDEMPOTENT_KINDS,
     InstanceQuery,
     JobEvent,
     JobStatus,
     LayoutRequest,
+    MUTATING_KINDS,
     Ping,
     PlanQuery,
     Request,
     Response,
     Simulate,
     SubmitJob,
+    WarmCache,
     Welcome,
     request_from_dict,
 )
@@ -151,6 +154,7 @@ __all__ = [
     "E_UNAVAILABLE",
     "ERROR_CODES",
     "FUNCTION_QUERY_WANTS",
+    "FleetGenerate",
     "FunctionPredicate",
     "FunctionQuery",
     "GetMetrics",
@@ -166,6 +170,7 @@ __all__ = [
     "JobStatus",
     "LayoutRequest",
     "LocalJobHandle",
+    "MUTATING_KINDS",
     "MAX_PLAN_CANDIDATES",
     "METRICS",
     "NamePredicate",
@@ -185,6 +190,7 @@ __all__ = [
     "Simulate",
     "SubmitJob",
     "TypePredicate",
+    "WarmCache",
     "Welcome",
     "clone_instance",
     "error_from_exception",

@@ -725,6 +725,13 @@ class Planner:
             and not service.jobs.on_worker_thread()
         )
         if parallel:
+            if service.fleet is not None:
+                # Ship every candidate's heavy stages across the fleet up
+                # front; the job pool below then replays each request as
+                # a warm memo hit.  Fleet-ineligible candidates (and all
+                # of them when no worker is live) just generate cold in
+                # the pool, exactly as before.
+                service.fleet.prewarm_requests(requests)
             responses = service.jobs.run_many(requests, session)
         else:
             responses = [service.execute(request, session) for request in requests]

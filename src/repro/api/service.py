@@ -90,6 +90,7 @@ from .messages import (
     ComponentQuery,
     ComponentRequest,
     DesignOp,
+    FleetGenerate,
     FunctionQuery,
     GetMetrics,
     InstanceQuery,
@@ -103,6 +104,7 @@ from .messages import (
     Response,
     SubmitJob,
     Simulate,
+    WarmCache,
 )
 from .planner import (
     Planner,
@@ -496,6 +498,13 @@ class Session:
             if template is not None:
                 instance = clone_instance(template, name)
             else:
+                # Cold generation: let the fleet compute the heavy stages
+                # out of process first.  On success the generator call
+                # below replays as a warm memo hit; on any failure (no
+                # workers, death, timeout) it simply runs cold here --
+                # the dispatcher never raises into this path.
+                if service.fleet is not None:
+                    service.fleet.prewarm(chosen, overrides, constraints, name)
                 instance = service.generator.generate_from_implementation(
                     chosen, overrides, constraints, name, target
                 )
@@ -907,6 +916,11 @@ class ComponentService:
             max_queued=job_queue_limit,
             clock=self.clock,
         )
+        #: Optional :class:`~repro.fleet.dispatcher.FleetDispatcher` --
+        #: attached via :meth:`attach_fleet`, never constructed here (the
+        #: service must not import the fleet, which imports the network
+        #: stack).  ``None`` means every generation runs in-process.
+        self.fleet = None
         # Export the accounting the stack already keeps: the collectors
         # read the caches' / manager's own counters at snapshot time
         # (their invariants -- hits + misses == lookups, entries ==
@@ -919,6 +933,18 @@ class ComponentService:
             # store.journal.* / store.snapshot.* / store.recovery.* counters
             # plus the journal append/fsync latency histograms.
             durable_store.bind_metrics(self.metrics)
+
+    # ------------------------------------------------------------------- fleet
+
+    def attach_fleet(self, dispatcher) -> None:
+        """Attach a fleet dispatcher; its counters export as ``fleet.*``.
+
+        From here on, cold catalog generations (direct, job and plan
+        fan-out paths alike) try the fleet first and fall back to
+        in-process generation when no worker answers.
+        """
+        self.fleet = dispatcher
+        self.metrics.register_collector("fleet", dispatcher.stats)
 
     # ---------------------------------------------------------------- sessions
 
@@ -1128,7 +1154,94 @@ class ComponentService:
             if request.echo:
                 health["echo"] = request.echo
             return health, False
+        if isinstance(request, WarmCache):
+            return self._warm_cache(request), False
+        if isinstance(request, FleetGenerate):
+            # Local import: the fleet package imports the network stack,
+            # which imports this module.
+            from ..fleet.bundle import compute_bundle
+
+            implementation = self.catalog.get(request.implementation)
+            return (
+                compute_bundle(
+                    self.generator,
+                    implementation,
+                    request.parameters,
+                    request.constraints,
+                    name=request.name,
+                ),
+                False,
+            )
         raise IcdbError(f"unsupported request type {type(request).__name__!r}")
+
+    def _warm_cache(self, request: WarmCache) -> Dict[str, Any]:
+        """Execute a ``warm_cache``: prime stage memos, optionally fleet-wide.
+
+        Each entry resolves to one or more catalog implementations (an
+        explicit ``implementation`` name, or a ``component`` /
+        ``functions`` region) and warms every one through the normal
+        memoized pipeline.  Nothing is registered; re-warming is a no-op
+        beyond the memo lookups, which is why the kind is idempotent.
+        Unresolvable entries are reported, not fatal: warming is an
+        optimization, a typo must not fail the batch around it.
+        """
+        warmed = 0
+        errors: List[str] = []
+        for entry in request.entries:
+            implementations: List[ComponentImplementation] = []
+            try:
+                if entry.get("implementation"):
+                    implementations = [self.catalog.get(str(entry["implementation"]))]
+                else:
+                    if entry.get("component"):
+                        implementations = self.catalog.by_component_type(
+                            str(entry["component"])
+                        )
+                    else:
+                        implementations = self.catalog.implementations()
+                    functions = entry.get("functions")
+                    if functions:
+                        implementations = [
+                            impl
+                            for impl in implementations
+                            if impl.performs(functions)
+                        ]
+                    if not entry.get("component") and not functions:
+                        raise IcdbError(
+                            "a warm_cache entry needs 'implementation', "
+                            "'component' or 'functions'"
+                        )
+                if not implementations:
+                    raise IcdbError("no catalog implementation matches")
+                constraints = (
+                    Constraints.from_dict(entry["constraints"])
+                    if entry.get("constraints")
+                    else DEFAULT_CONSTRAINTS
+                )
+                for implementation in implementations:
+                    overrides = dict(entry.get("parameters") or {})
+                    overrides.update(
+                        implementation.attributes_to_parameters(
+                            entry.get("attributes")
+                        )
+                    )
+                    self.generator.warm_implementation(
+                        implementation,
+                        overrides,
+                        constraints,
+                        name=entry.get("name"),
+                    )
+                    warmed += 1
+            except Exception as exc:  # noqa: BLE001 - per-entry reporting
+                errors.append(str(exc))
+        workers_warmed = 0
+        if request.fanout and self.fleet is not None:
+            workers_warmed = self.fleet.broadcast_warm(request)
+        return {
+            "warmed": warmed,
+            "workers_warmed": workers_warmed,
+            "errors": errors,
+        }
 
     # ----------------------------------------------------------------- health
 
@@ -1545,6 +1658,11 @@ class JobManager:
         self._jobs: "OrderedDict[str, JobRecord]" = OrderedDict()
         self._counter = 0
         self._submitted = 0
+        #: How often :meth:`run_many` degraded a submission to inline
+        #: execution because the ready queue was full -- the signal that
+        #: plan fan-outs are outrunning the pool (raise the queue limit
+        #: or the worker count when this grows).
+        self._inline_overflows = 0
         self._threads: List[threading.Thread] = []
         self._subscribers: Dict[int, Tuple[str, Callable[[Dict[str, Any]], None]]] = {}
         self._subscriber_counter = 0
@@ -1669,6 +1787,8 @@ class JobManager:
         # through the submitted ones.
         for index, (request, job_id) in enumerate(zip(requests, job_ids)):
             if job_id is None:
+                with self._cond:
+                    self._inline_overflows += 1
                 responses[index] = self.service.execute(request, session)
         with self._cond:
             for index, job_id in enumerate(job_ids):
@@ -1784,6 +1904,7 @@ class JobManager:
                 "running": running,
                 "retained": len(self._jobs),
                 "submitted": self._submitted,
+                "inline_overflows": self._inline_overflows,
             }
 
     # ----------------------------------------------------------- cancellation

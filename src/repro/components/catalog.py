@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..fingerprint import stable_fingerprint
 from ..iif import Expander, FlatComponent, IifModule, parse_module
 from . import genus
 
@@ -101,18 +102,18 @@ class ComponentImplementation:
         services with different catalogs sharing one generation cache)
         must never serve each other's expansions; the fingerprint covers
         the IIF source, the sub-function sources, the functions list and
-        the defaults.
+        the defaults.  It is a process-stable content digest (never the
+        randomized built-in ``hash``), so cache keys carrying it match
+        between a fleet worker and the server it ships entries to.
         """
         if self._fingerprint is None:
-            self._fingerprint = hash(
-                (
-                    self.name,
-                    self.component_type,
-                    self.functions,
-                    self.iif_source,
-                    self.subfunction_sources,
-                    tuple(sorted(self.default_parameters.items())),
-                )
+            self._fingerprint = stable_fingerprint(
+                self.name,
+                self.component_type,
+                self.functions,
+                self.iif_source,
+                self.subfunction_sources,
+                tuple(sorted(self.default_parameters.items())),
             )
         return self._fingerprint
 

@@ -77,6 +77,16 @@ class CountedLruCache:
             self.hits += 1
             return value
 
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """The value for ``key`` without touching counters or LRU order.
+
+        Presence probes (the fleet dispatcher asking "is this flow
+        already warm?") must not distort the hit/miss accounting the
+        stress suite and the observability surface rely on.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
     def store(self, key: Hashable, value: Any) -> None:
         """Record ``key`` -> ``value``, evicting beyond the bound."""
         with self._lock:

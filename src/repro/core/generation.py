@@ -186,6 +186,98 @@ class EmbeddedGenerator:
     def _constraints_signature(constraints: Constraints) -> str:
         return canonical_constraints_json(constraints)
 
+    def stage_keys(
+        self,
+        implementation: ComponentImplementation,
+        parameters: Optional[Mapping[str, int]],
+        constraints: Constraints,
+    ) -> Tuple[Tuple, Tuple, Tuple]:
+        """The (expand, synth, flow) memo keys of one catalog generation.
+
+        This is the contract the fleet rides on: a worker process with the
+        same catalog and cell library computes byte-identical keys (every
+        component is content-derived -- fingerprints, resolved parameter
+        values, canonical constraints JSON, re-interned expressions), so
+        stage entries it ships install under exactly the keys the server's
+        own :meth:`run_flow` will look up.  Computing the synth key
+        requires the expansion, which is memoized; repeat calls are cheap.
+        """
+        values = implementation.resolve_parameters(parameters)
+        expand_key = (
+            "impl",
+            implementation.name,
+            implementation.fingerprint(),
+            tuple(sorted(values.items())),
+        )
+        flat = self._expand_implementation(
+            implementation, parameters, implementation.name
+        )
+        synth_key = (flat.signature(), self._synthesis_signature())
+        flow_key = (
+            synth_key,
+            self._constraints_signature(constraints),
+            self._sizing_signature(),
+            (implementation.name, implementation.component_type),
+        )
+        return expand_key, synth_key, flow_key
+
+    def prewarm_signature(
+        self,
+        implementation: ComponentImplementation,
+        parameters: Optional[Mapping[str, int]],
+        constraints: Constraints,
+    ) -> Tuple:
+        """An expansion-free proxy for :meth:`stage_keys`' flow key.
+
+        Equal proxies guarantee equal flow keys: the flow key is a
+        deterministic function of exactly these inputs (expansion and
+        synthesis are pure).  The fleet dispatcher keys its warm-skip
+        and coalescing maps on this, so routing work to a worker never
+        costs the server a full expansion of its own.
+        """
+        values = implementation.resolve_parameters(parameters)
+        return (
+            "prewarm",
+            implementation.name,
+            implementation.fingerprint(),
+            tuple(sorted(values.items())),
+            self._constraints_signature(constraints),
+            self._sizing_signature(),
+            self._synthesis_signature(),
+        )
+
+    def warm_implementation(
+        self,
+        implementation: ComponentImplementation,
+        parameters: Optional[Mapping[str, int]],
+        constraints: Constraints,
+        name: Optional[str] = None,
+    ) -> None:
+        """Prime the stage memo for one catalog elaboration.
+
+        Runs expansion, synthesis, sizing and estimation through the
+        normal memoized pipeline *without* building or registering an
+        instance: afterwards the expand / synth / optimize / flows
+        stages hold everything a later ``request_component`` with the
+        same signature needs.  Layouts are per-instance and never
+        memoized, so no layout is generated.
+
+        ``name`` labels the synthesized template exactly the way a cold
+        in-process generation for that instance would, so warmed results
+        are byte-identical to unwarmed ones (flow-cache templates keep
+        their creator's name; the creator should be the real requester,
+        not the warmer).
+        """
+        flat = self._expand_implementation(
+            implementation, parameters, name or implementation.name
+        )
+        self.run_flow(
+            flat,
+            constraints,
+            TARGET_LOGIC,
+            cache_context=(implementation.name, implementation.component_type),
+        )
+
     # --------------------------------------------------------------- pipeline
 
     def run_flow(

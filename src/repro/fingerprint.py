@@ -1,0 +1,28 @@
+"""Process-stable content fingerprints for cache keys that cross the wire.
+
+The generation cache keys synthesis work on catalog and cell-library
+fingerprints.  Python's built-in ``hash()`` is randomized per process
+(``PYTHONHASHSEED``), so a key containing it can never match between two
+processes -- which is exactly what the fleet does: workers compute stage
+entries and ship them to the server under the same keys.  Fingerprints
+therefore hash *content* through blake2b and are identical wherever the
+content is.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_fingerprint(*parts: object) -> int:
+    """A 64-bit content digest of ``parts``, identical across processes.
+
+    Parts are folded in via their ``repr`` (strings, numbers, tuples and
+    frozen dataclasses all have stable, content-determined reprs), with a
+    separator so adjacent parts cannot collide by concatenation.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return int.from_bytes(digest.digest(), "big")

@@ -1,0 +1,47 @@
+"""Distributed generation fleet: multi-process dispatch over the wire protocol.
+
+A single ICDB server process is GIL-bound: its job worker pool overlaps
+I/O and bookkeeping, but the CPU-heavy middle of every cold generation
+(expansion, synthesis, sizing, estimation) serializes.  The fleet spreads
+exactly that middle across *worker processes* without moving any of the
+server's authority:
+
+* A **worker** (``python -m repro.fleet.worker``) is a stripped-down ICDB
+  server: same service, same wire protocol, no durable store, nothing
+  registered.  Its one real job is answering
+  :class:`~repro.api.messages.FleetGenerate` -- run a catalog elaboration
+  through its own generation cache and reply with the pickled stage
+  entries (:mod:`repro.fleet.bundle`).
+
+* The server-side :class:`~repro.fleet.dispatcher.FleetDispatcher` routes
+  eligible generation work to workers via per-worker queues with work
+  stealing, installs the returned entries into the server's own
+  :class:`~repro.core.gencache.GenerationCache`, and lets the normal
+  in-process path replay the request as a warm hit.
+
+This shape is what makes the distribution safe.  Worker work is *pure
+cache priming*: re-running it is harmless, so a worker dying mid-job is
+survived by requeueing the task on another worker (or falling back to
+plain in-process generation -- a fleet of zero workers is just the PR-3
+server).  Every effectful step -- instance naming, registration,
+persistence -- happens exactly once, on the server, on the same code
+path it always did; results are byte-identical to in-process generation
+because they *are* in-process generation, served from a warmed memo.
+
+Cache keys cross process boundaries, so everything they contain is
+content-derived: implementation / cell-library fingerprints
+(:mod:`repro.fingerprint`), canonical constraints JSON, structural
+signatures over the hash-consed expression IR (whose ``__reduce__``
+re-interns on unpickling).  See ``docs/fleet.md``.
+"""
+
+from .bundle import BUNDLE_STAGES, compute_bundle, install_bundle
+from .dispatcher import FleetDispatcher, WorkerHandle
+
+__all__ = [
+    "BUNDLE_STAGES",
+    "FleetDispatcher",
+    "WorkerHandle",
+    "compute_bundle",
+    "install_bundle",
+]

@@ -1,0 +1,603 @@
+"""Server-side fleet dispatch: per-worker queues, stealing, survival.
+
+:class:`FleetDispatcher` sits next to a :class:`~repro.api.service.ComponentService`
+and owns a set of worker processes (spawned or externally attached).
+Eligible generation work -- the CPU-heavy expand / synth / size /
+estimate middle of a cold catalog request, whether it arrived directly,
+as a job, or as plan fan-out -- is wrapped in a
+:class:`~repro.api.messages.FleetGenerate`, queued on a worker, and the
+returned stage bundle is installed into the server's generation cache so
+the normal in-process path replays the request as a warm hit.
+
+Scheduling is per-worker queues with work stealing: each worker's pump
+thread drains its own queue first and steals the oldest unpinned task
+from the longest sibling queue when idle, so one slow elaboration never
+strands work behind it.  A worker death (connection error mid-request,
+or a failed idle heartbeat) marks the worker dead and requeues its work
+-- inflight task included -- onto surviving workers, up to a bounded
+attempt count.  Requeued sends carry the task's ``request_id`` so a
+worker that already saw the task (ambiguous failure between send and
+reply) answers its recorded response instead of recomputing; either way
+the work is pure cache priming, and installation on the server is
+first-writer-wins, so application stays at-most-once.
+
+When no worker is live (or dispatch fails terminally) callers fall back
+to plain in-process generation -- the fleet degrades to the PR-3 server,
+it never becomes a new failure mode.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import threading
+import uuid
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..api.cache import DEFAULT_CONSTRAINTS
+from ..api.messages import (
+    ComponentRequest,
+    FleetGenerate,
+    Request,
+    Response,
+    WarmCache,
+)
+from ..components.catalog import ComponentImplementation
+from ..constraints import Constraints
+from ..core.icdb import IcdbError
+from .bundle import install_bundle
+
+__all__ = ["FleetDispatcher", "WorkerHandle", "WORKER_BANNER"]
+
+#: The stdout line a fleet worker announces itself with; the dispatcher
+#: and the chaos harness both parse it.
+WORKER_BANNER = re.compile(
+    r"icdb fleet worker listening on ([\d.]+):(\d+) pid=(\d+)"
+)
+
+
+class _FleetTask:
+    """One unit of dispatched work and its completion latch."""
+
+    __slots__ = (
+        "request",
+        "request_id",
+        "pinned_to",
+        "attempts",
+        "event",
+        "response",
+        "error",
+    )
+
+    def __init__(self, request: Request, pinned_to: Optional[str] = None):
+        self.request = request
+        #: Stable across requeues: a worker that already executed this id
+        #: on the same session answers its recorded response (PR-9 dedupe).
+        self.request_id = uuid.uuid4().hex
+        #: Worker name this task must run on (warm broadcasts); an
+        #: unpinned task may be executed -- or stolen -- by any worker.
+        self.pinned_to = pinned_to
+        self.attempts = 0
+        self.event = threading.Event()
+        self.response: Optional[Response] = None
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, response: Response) -> None:
+        self.response = response
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+
+class WorkerHandle:
+    """One fleet worker: its connection, queue, pump thread and process."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        client,
+        process: Optional[subprocess.Popen] = None,
+    ):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.client = client
+        #: The spawning server reaps this on close; externally attached
+        #: workers have no process here.
+        self.process = process
+        self.pid: Optional[int] = process.pid if process is not None else None
+        self.alive = True
+        self.queue: Deque[_FleetTask] = deque()
+        self.inflight: Optional[_FleetTask] = None
+        self.thread: Optional[threading.Thread] = None
+        self.completed = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class FleetDispatcher:
+    """Routes generation work from one service onto a worker fleet."""
+
+    def __init__(
+        self,
+        service,
+        max_attempts: int = 3,
+        task_timeout: float = 120.0,
+        heartbeat_interval: float = 2.0,
+    ):
+        self.service = service
+        self.max_attempts = max_attempts
+        #: Ceiling a caller waits for one dispatched task before falling
+        #: back to local generation (covers send + remote compute + reply).
+        self.task_timeout = task_timeout
+        #: Idle pump threads ping their worker this often, so a worker
+        #: that died *between* tasks is noticed without waiting for the
+        #: next dispatch to hit a broken socket.
+        self.heartbeat_interval = heartbeat_interval
+        self._cond = threading.Condition()
+        self._workers: Dict[str, WorkerHandle] = {}
+        self._worker_seq = 0
+        self._closed = False
+        #: prewarm signature -> inflight task: concurrent requests for
+        #: one signature share a single dispatch (plan sweeps with
+        #: duplicate points would otherwise fan the same elaboration out
+        #: N times).
+        self._inflight_keys: Dict[Any, _FleetTask] = {}
+        #: Signatures whose bundles already installed: the dispatcher's
+        #: own warm-skip memo, deliberately *not* a generation-cache
+        #: probe -- probing the flow memo would require an expansion,
+        #: and routing must stay cheap on the server.
+        self._warmed: set = set()
+        self._counters: Dict[str, int] = {
+            "workers_spawned": 0,
+            "workers_connected": 0,
+            "workers_dead": 0,
+            "dispatched": 0,
+            "completed": 0,
+            "failed": 0,
+            "requeues": 0,
+            "steals": 0,
+            "fallbacks": 0,
+            "coalesced": 0,
+            "installs": 0,
+            "warm_fanouts": 0,
+            "heartbeats": 0,
+            "heartbeat_failures": 0,
+        }
+
+    # ------------------------------------------------------------- membership
+
+    def spawn_workers(
+        self,
+        count: int,
+        job_workers: int = 2,
+        python: Optional[str] = None,
+        stderr=None,
+    ) -> List[WorkerHandle]:
+        """Start ``count`` worker processes and attach them.
+
+        Workers bind an ephemeral port and announce it on stdout
+        (:data:`WORKER_BANNER`); each gets a small job pool of its own so
+        pipelined fleet requests overlap I/O with compute.
+        """
+        import repro
+
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        spawned: List[WorkerHandle] = []
+        for _ in range(count):
+            proc = subprocess.Popen(
+                [
+                    python or sys.executable,
+                    "-m",
+                    "repro.fleet.worker",
+                    "--port",
+                    "0",
+                    "--workers",
+                    str(job_workers),
+                ],
+                stdout=subprocess.PIPE,
+                stderr=stderr if stderr is not None else subprocess.DEVNULL,
+                env=env,
+                text=True,
+            )
+            banner = proc.stdout.readline() if proc.stdout else ""
+            match = WORKER_BANNER.search(banner or "")
+            if match is None:
+                proc.kill()
+                proc.wait()
+                raise IcdbError(
+                    f"fleet worker failed to start (got {banner!r})"
+                )
+            host, port = match.group(1), int(match.group(2))
+            spawned.append(self._attach(host, port, process=proc))
+            with self._cond:
+                self._counters["workers_spawned"] += 1
+        return spawned
+
+    def connect_worker(self, host: str, port: int) -> WorkerHandle:
+        """Attach an externally managed worker (``--fleet-connect``)."""
+        return self._attach(host, port, process=None)
+
+    def _attach(
+        self, host: str, port: int, process: Optional[subprocess.Popen]
+    ) -> WorkerHandle:
+        from ..net.client import RemoteClient
+
+        client = RemoteClient.connect(
+            host, port, client="fleet-dispatcher", timeout=self.task_timeout
+        )
+        with self._cond:
+            if self._closed:
+                client.close()
+                raise IcdbError("fleet dispatcher is closed")
+            self._worker_seq += 1
+            name = f"worker-{self._worker_seq}"
+            handle = WorkerHandle(name, host, port, client, process=process)
+            self._workers[name] = handle
+            self._counters["workers_connected"] += 1
+        handle.thread = threading.Thread(
+            target=self._pump, args=(handle,), name=f"fleet-{name}", daemon=True
+        )
+        handle.thread.start()
+        return handle
+
+    def workers(self) -> List[WorkerHandle]:
+        with self._cond:
+            return list(self._workers.values())
+
+    def live_workers(self) -> List[WorkerHandle]:
+        with self._cond:
+            return [h for h in self._workers.values() if h.alive]
+
+    # ------------------------------------------------------------- scheduling
+
+    def _submit(self, task: _FleetTask) -> bool:
+        """Queue ``task`` on the least-loaded live worker; False if none."""
+        with self._cond:
+            if self._closed:
+                return False
+            target: Optional[WorkerHandle] = None
+            if task.pinned_to is not None:
+                handle = self._workers.get(task.pinned_to)
+                if handle is not None and handle.alive:
+                    target = handle
+            else:
+                live = [h for h in self._workers.values() if h.alive]
+                if live:
+                    target = min(
+                        live,
+                        key=lambda h: len(h.queue) + (1 if h.inflight else 0),
+                    )
+            if target is None:
+                return False
+            task.attempts += 1
+            target.queue.append(task)
+            self._counters["dispatched"] += 1
+            self._cond.notify_all()
+            return True
+
+    def _next_task(self, handle: WorkerHandle) -> Optional[_FleetTask]:
+        """Pop own work, else steal the oldest unpinned sibling task.
+
+        Caller holds the condition lock.
+        """
+        if handle.queue:
+            return handle.queue.popleft()
+        victim: Optional[WorkerHandle] = None
+        for other in self._workers.values():
+            if other is handle or not other.alive:
+                continue
+            stealable = any(t.pinned_to is None for t in other.queue)
+            if stealable and (
+                victim is None or len(other.queue) > len(victim.queue)
+            ):
+                victim = other
+        if victim is None:
+            return None
+        for index, task in enumerate(victim.queue):
+            if task.pinned_to is None:
+                del victim.queue[index]
+                self._counters["steals"] += 1
+                return task
+        return None
+
+    def _pump(self, handle: WorkerHandle) -> None:
+        """One worker's dispatch loop (its own daemon thread)."""
+        while True:
+            with self._cond:
+                if self._closed or not handle.alive:
+                    return
+                task = self._next_task(handle)
+                if task is None:
+                    self._cond.wait(timeout=self.heartbeat_interval)
+                    if self._closed or not handle.alive:
+                        return
+                    task = self._next_task(handle)
+                if task is not None:
+                    handle.inflight = task
+            if task is None:
+                # Idle a full interval: probe the worker is still there.
+                try:
+                    handle.client.ping()
+                    with self._cond:
+                        self._counters["heartbeats"] += 1
+                except Exception as exc:  # noqa: BLE001 - any failure = dead
+                    with self._cond:
+                        self._counters["heartbeat_failures"] += 1
+                    self._worker_died(handle, exc)
+                    return
+                continue
+            try:
+                response = handle.client.execute(
+                    task.request, request_id=task.request_id
+                )
+            except Exception as exc:  # noqa: BLE001 - connection-level failure
+                self._worker_died(handle, exc, inflight=task)
+                return
+            with self._cond:
+                handle.inflight = None
+                handle.completed += 1
+                self._counters["completed"] += 1
+            # A structured service error still resolves the task: the
+            # worker is healthy, the work itself failed deterministically
+            # and would fail locally too -- no point retrying elsewhere.
+            task.resolve(response)
+
+    def _worker_died(
+        self,
+        handle: WorkerHandle,
+        error: BaseException,
+        inflight: Optional[_FleetTask] = None,
+    ) -> None:
+        """Mark ``handle`` dead and redistribute everything it owed."""
+        with self._cond:
+            if not handle.alive:
+                return
+            handle.alive = False
+            handle.inflight = None
+            self._counters["workers_dead"] += 1
+            orphans: List[_FleetTask] = []
+            if inflight is not None:
+                orphans.append(inflight)
+            orphans.extend(handle.queue)
+            handle.queue.clear()
+            self._cond.notify_all()
+        try:
+            handle.client.close()
+        except Exception:  # noqa: BLE001 - already dead
+            pass
+        for task in orphans:
+            requeued = False
+            if task.pinned_to is None and task.attempts < self.max_attempts:
+                requeued = self._submit(task)
+                if requeued:
+                    with self._cond:
+                        self._counters["requeues"] += 1
+            if not requeued:
+                task.fail(
+                    IcdbError(
+                        f"fleet worker {handle.name} died: {error!r}"
+                    )
+                )
+
+    # ------------------------------------------------------------ public work
+
+    def prewarm(
+        self,
+        implementation: ComponentImplementation,
+        parameters: Optional[Mapping[str, int]],
+        constraints: Optional[Constraints],
+        name: Optional[str] = None,
+    ) -> bool:
+        """Offload one cold elaboration; True if a worker warmed the memo.
+
+        False means the caller should just generate locally: no live
+        worker, the flow is already warm, or the dispatch failed (the
+        failure is counted, never raised -- the fleet must not introduce
+        a failure mode in-process generation does not have).
+        """
+        generator = self.service.generator
+        if generator.generation_cache is None:
+            return False
+        constraints = (
+            constraints if constraints is not None else DEFAULT_CONSTRAINTS
+        )
+        try:
+            flow_key = generator.prewarm_signature(
+                implementation, parameters, constraints
+            )
+        except Exception:  # noqa: BLE001 - let the real path raise it
+            return False
+        with self._cond:
+            if flow_key in self._warmed:
+                return False
+        request = FleetGenerate(
+            implementation=implementation.name,
+            parameters=dict(parameters) if parameters else None,
+            constraints=constraints,
+            name=name,
+        )
+        with self._cond:
+            task = self._inflight_keys.get(flow_key)
+            if task is not None:
+                self._counters["coalesced"] += 1
+            owner = task is None
+        if owner:
+            task = _FleetTask(request)
+            with self._cond:
+                self._inflight_keys[flow_key] = task
+            if not self._submit(task):
+                with self._cond:
+                    self._inflight_keys.pop(flow_key, None)
+                    self._counters["fallbacks"] += 1
+                return False
+        try:
+            if not task.event.wait(self.task_timeout) or task.error is not None:
+                with self._cond:
+                    self._counters["fallbacks"] += 1
+                return False
+            response = task.response
+            if response is None or not response.ok:
+                with self._cond:
+                    self._counters["fallbacks"] += 1
+                return False
+            if owner:
+                installed = install_bundle(generator, response.value or {})
+                with self._cond:
+                    self._counters["installs"] += installed
+            with self._cond:
+                if len(self._warmed) > 65536:  # runaway-signature backstop
+                    self._warmed.clear()
+                self._warmed.add(flow_key)
+            return True
+        finally:
+            if owner:
+                with self._cond:
+                    self._inflight_keys.pop(flow_key, None)
+
+    def prewarm_requests(self, requests: Sequence[Request]) -> int:
+        """Bulk-offload the catalog generations of a request fan-out.
+
+        Used by the planner before it hands candidates to the job pool:
+        every eligible :class:`ComponentRequest` dispatches concurrently
+        across the fleet, and the pool then replays them as warm hits.
+        Ineligible requests (IIF / structural, unknown names) are left
+        for the normal path untouched.  Returns how many warmed.
+        """
+        if not self.live_workers():
+            return 0
+        resolved: List[
+            Tuple[ComponentImplementation, Dict[str, int], Constraints, Optional[str]]
+        ] = []
+        for request in requests:
+            if not isinstance(request, ComponentRequest):
+                continue
+            if request.iif is not None or request.structure is not None:
+                continue
+            try:
+                chosen = self.service.choose_implementation(
+                    request.component_name,
+                    request.implementation,
+                    request.functions,
+                )
+            except Exception:  # noqa: BLE001 - the real path reports it
+                continue
+            overrides = dict(request.parameters or {})
+            overrides.update(chosen.attributes_to_parameters(request.attributes))
+            constraints = (
+                request.constraints
+                if request.constraints is not None
+                else DEFAULT_CONSTRAINTS
+            )
+            if request.strategy is not None:
+                constraints = constraints.with_updates(strategy=request.strategy)
+            resolved.append(
+                (chosen, overrides, constraints, request.instance_name)
+            )
+        if not resolved:
+            return 0
+        warmed = 0
+        threads: List[threading.Thread] = []
+        results: List[bool] = [False] * len(resolved)
+
+        def _one(index: int, item) -> None:
+            chosen, overrides, constraints, name = item
+            results[index] = self.prewarm(
+                chosen, overrides, constraints, name=name
+            )
+
+        for index, item in enumerate(resolved):
+            thread = threading.Thread(
+                target=_one, args=(index, item), daemon=True
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join(self.task_timeout)
+        warmed = sum(1 for flag in results if flag)
+        return warmed
+
+    def broadcast_warm(self, warm: WarmCache) -> int:
+        """Fan a warm request out to every live worker; workers warmed.
+
+        Each worker gets its own pinned (non-stealable) copy with
+        ``fanout=False`` so it warms only itself.  Best effort: a dead or
+        slow worker just misses the warmth.
+        """
+        request = WarmCache(entries=warm.entries, fanout=False)
+        tasks: List[_FleetTask] = []
+        for handle in self.live_workers():
+            task = _FleetTask(request, pinned_to=handle.name)
+            if self._submit(task):
+                tasks.append(task)
+        with self._cond:
+            self._counters["warm_fanouts"] += 1 if tasks else 0
+        warmed = 0
+        for task in tasks:
+            if (
+                task.event.wait(self.task_timeout)
+                and task.error is None
+                and task.response is not None
+                and task.response.ok
+            ):
+                warmed += 1
+        return warmed
+
+    # ------------------------------------------------------------------ admin
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (the service's ``fleet`` metrics collector)."""
+        with self._cond:
+            out = dict(self._counters)
+            out["workers_live"] = sum(
+                1 for h in self._workers.values() if h.alive
+            )
+            out["queued"] = sum(len(h.queue) for h in self._workers.values())
+            out["inflight"] = sum(
+                1 for h in self._workers.values() if h.inflight is not None
+            )
+        return out
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop pumps, fail queued work, close clients, reap processes."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            orphans: List[_FleetTask] = []
+            for handle in self._workers.values():
+                orphans.extend(handle.queue)
+                handle.queue.clear()
+                if handle.inflight is not None:
+                    orphans.append(handle.inflight)
+            self._cond.notify_all()
+        for task in orphans:
+            task.fail(IcdbError("fleet dispatcher closed"))
+        for handle in self.workers():
+            try:
+                handle.client.close()
+            except Exception:  # noqa: BLE001 - teardown
+                pass
+            if handle.thread is not None:
+                handle.thread.join(timeout)
+            if handle.process is not None:
+                handle.process.terminate()
+                try:
+                    handle.process.wait(timeout)
+                except subprocess.TimeoutExpired:
+                    handle.process.kill()
+                    handle.process.wait()

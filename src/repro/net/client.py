@@ -671,16 +671,28 @@ class RemoteClient:
 
     # ----------------------------------------------------------- typed entry
 
-    def execute(self, request: Request) -> Response:
+    def execute(
+        self, request: Request, request_id: Optional[str] = None
+    ) -> Response:
         """Send one typed request; returns the response envelope.
 
         Like the local service, transport-level delivery of a bad request
         still answers an envelope (``ok=False`` with a structured error)
         rather than raising; only connection-level failures raise.
+
+        ``request_id`` opts into the server's session-scoped dedupe: a
+        retry of the same id after an ambiguous failure answers the
+        recorded response instead of re-executing (the fleet dispatcher
+        uses this when it re-sends a task to a worker whose connection
+        dropped mid-reply).
         """
-        reply = self.transport.send_payload(
-            {"type": FRAME_REQUEST, "request": request.to_dict()}
-        )
+        payload: Dict[str, Any] = {
+            "type": FRAME_REQUEST,
+            "request": request.to_dict(),
+        }
+        if request_id:
+            payload["request_id"] = request_id
+        reply = self.transport.send_payload(payload)
         self._raise_on_error(reply)
         if reply.get("type") != FRAME_RESPONSE:
             raise ProtocolError(

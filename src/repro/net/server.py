@@ -1042,6 +1042,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--fleet-workers",
+        type=_non_negative_int,
+        default=0,
+        metavar="N",
+        help=(
+            "spawn N generation worker processes (repro.fleet.worker) and "
+            "dispatch cold catalog generations across them (0 = no fleet)"
+        ),
+    )
+    parser.add_argument(
+        "--fleet-connect",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "attach an externally started fleet worker (repeatable); "
+            "combines with --fleet-workers"
+        ),
+    )
+    parser.add_argument(
         "--metrics-path",
         default=None,
         metavar="PATH",
@@ -1094,6 +1114,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"last seq {report.last_seq}",
             flush=True,
         )
+    fleet = None
+    if args.fleet_workers or args.fleet_connect:
+        # Local import: the fleet imports this module (workers are served
+        # by the same ICDBServer class).
+        from ..fleet.dispatcher import FleetDispatcher
+
+        fleet = FleetDispatcher(service)
+        if args.fleet_workers:
+            fleet.spawn_workers(args.fleet_workers)
+        for spec in args.fleet_connect or ():
+            host, _, port_text = spec.rpartition(":")
+            try:
+                fleet.connect_worker(host or "127.0.0.1", int(port_text))
+            except (ValueError, OSError) as exc:
+                fleet.close()
+                parser.error(f"cannot attach fleet worker {spec!r}: {exc}")
+        service.attach_fleet(fleet)
+        addresses = ", ".join(h.address for h in fleet.workers())
+        print(f"icdb fleet attached: {addresses}", flush=True)
     exporter: Optional[MetricsExporter] = None
     if args.metrics_path is not None:
         exporter = MetricsExporter(
@@ -1130,6 +1169,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         signal.SIGTERM, _drain if args.drain_grace is not None else _shutdown
     )
     server.serve_forever()
+    if fleet is not None:
+        fleet.close()
     if durable is not None:
         durable.close()
     if exporter is not None:

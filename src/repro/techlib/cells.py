@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..fingerprint import stable_fingerprint
+
 
 class CellLibraryError(KeyError):
     """Raised when a cell lookup fails."""
@@ -127,15 +129,18 @@ class CellLibrary:
     def fingerprint(self) -> int:
         """A stable identity of the library's full parameter set.
 
-        Cells are frozen dataclasses, so the fingerprint is the hash of
-        the (name-ordered) cell tuple plus the library name.  The
-        generation cache keys synthesized netlists on it: two services
-        sharing a cache (or a library mutated through :meth:`add`) can
-        never serve each other's mappings for a different cell set.
+        Cells are frozen dataclasses, so the fingerprint is a content
+        digest of the (name-ordered) cell tuple plus the library name.
+        The generation cache keys synthesized netlists on it: two
+        services sharing a cache (or a library mutated through
+        :meth:`add`) can never serve each other's mappings for a
+        different cell set.  The digest is process-stable (never the
+        randomized built-in ``hash``): fleet workers ship stage entries
+        keyed on it to the server.
         """
         if self._fingerprint is None:
-            self._fingerprint = hash(
-                (self.name, tuple(self._cells[name] for name in sorted(self._cells)))
+            self._fingerprint = stable_fingerprint(
+                self.name, tuple(self._cells[name] for name in sorted(self._cells))
             )
         return self._fingerprint
 

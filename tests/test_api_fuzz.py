@@ -23,6 +23,8 @@ from repro.api import (
     CancelJob,
     CheckEquivalence,
     ComponentQuery,
+    FleetGenerate,
+    WarmCache,
     ComponentRequest,
     ComponentService,
     DESIGN_OPS,
@@ -349,9 +351,46 @@ def _plan_query(rng: random.Random) -> PlanQuery:
     return PlanQuery(query=spec)
 
 
+def _warm_entry(rng: random.Random) -> dict:
+    entry: dict = {}
+    if rng.random() < 0.6:
+        entry["implementation"] = _name(rng)
+    else:
+        entry["component"] = _name(rng)
+        if rng.random() < 0.5:
+            entry["functions"] = list(_names(rng, 2))
+    if rng.random() < 0.5:
+        entry["parameters"] = {_name(rng): rng.randint(1, 16)}
+    if rng.random() < 0.3:
+        entry["attributes"] = {_name(rng): rng.randint(1, 16)}
+    if rng.random() < 0.4:
+        entry["constraints"] = json.loads(json.dumps(_constraints(rng).to_dict()))
+    if rng.random() < 0.3:
+        entry["name"] = _name(rng)
+    return entry
+
+
+def _warm_cache(rng: random.Random) -> WarmCache:
+    return WarmCache(
+        entries=tuple(_warm_entry(rng) for _ in range(rng.randint(0, 3))),
+        fanout=rng.random() < 0.5,
+    )
+
+
+def _fleet_generate(rng: random.Random) -> FleetGenerate:
+    return FleetGenerate(
+        implementation=_name(rng),
+        parameters=_maybe(rng, lambda: {_name(rng): rng.randint(1, 16)}),
+        constraints=_maybe(rng, lambda: _constraints(rng), 0.4),
+        name=_maybe(rng, lambda: _name(rng), 0.4),
+    )
+
+
 GENERATORS["submit_job"] = _submit_job
 GENERATORS["job_status"] = _job_status
 GENERATORS["cancel_job"] = _cancel_job
+GENERATORS["warm_cache"] = _warm_cache
+GENERATORS["fleet_generate"] = _fleet_generate
 # Registered after _WRAPPABLE_KINDS is frozen: plans cannot ride in
 # batches (they fan out over the job workers a batch would starve).
 GENERATORS["plan_query"] = _plan_query

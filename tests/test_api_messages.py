@@ -11,15 +11,19 @@ from repro.api import (
     ComponentQuery,
     ComponentRequest,
     DesignOp,
+    FleetGenerate,
     FunctionQuery,
     GetMetrics,
+    IDEMPOTENT_KINDS,
     IcdbErrorInfo,
     InstanceQuery,
     LayoutRequest,
+    MUTATING_KINDS,
     Ping,
     REQUEST_TYPES,
     Response,
     Simulate,
+    WarmCache,
     error_from_exception,
     request_from_dict,
 )
@@ -81,6 +85,19 @@ SAMPLE_REQUESTS = [
     GetMetrics(prefixes=("cache.", "jobs"), include_histograms=False),
     Ping(),
     Ping(echo="marco"),
+    WarmCache(),
+    WarmCache(
+        entries=(
+            {"implementation": "alu", "parameters": {"size": 8}},
+            {"component": "counter", "attributes": {"size": 4}, "name": "c1"},
+        ),
+        fanout=False,
+    ),
+    FleetGenerate(implementation="alu", parameters={"size": 8}, name="alu_1"),
+    FleetGenerate(
+        implementation="register",
+        constraints=Constraints(clock_width=40.0),
+    ),
 ]
 
 
@@ -108,7 +125,28 @@ def test_registry_covers_every_cql_operation():
         "check_equivalence",
         "get_metrics",
         "ping",
+        "warm_cache",
+        "fleet_generate",
     }
+
+
+def test_every_kind_is_classified_for_retry_safety():
+    """Every wire kind is exactly one of idempotent / mutating.
+
+    This is the audit the reconnecting client's blind-retry rule rests
+    on: a kind missing from both tuples would silently get the cautious
+    treatment and mask the omission; a kind in both would be ambiguous.
+    Adding a request type without classifying it fails here by name.
+    """
+    idempotent = set(IDEMPOTENT_KINDS)
+    mutating = set(MUTATING_KINDS)
+    assert not idempotent & mutating, (
+        f"kinds classified both ways: {sorted(idempotent & mutating)}"
+    )
+    unclassified = set(REQUEST_TYPES) - idempotent - mutating
+    assert not unclassified, f"unclassified request kinds: {sorted(unclassified)}"
+    unknown = (idempotent | mutating) - set(REQUEST_TYPES)
+    assert not unknown, f"classified but unregistered kinds: {sorted(unknown)}"
 
 
 def test_request_from_dict_unknown_kind():

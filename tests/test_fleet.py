@@ -1,0 +1,336 @@
+"""Tests for :mod:`repro.fleet`: bundles, dispatch, warming, survival.
+
+Most tests attach the dispatcher to workers served *in-thread* (a fleet
+worker is just a stateless :class:`ComponentService` behind the normal
+TCP server), so the scheduling and caching behaviour is exercised over
+real sockets without subprocess spawn cost.  One test spawns real
+``python -m repro.fleet.worker`` processes to cover the banner handshake
+and process reaping; the SIGKILL-mid-generation story lives in
+``test_fleet_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import ComponentRequest, ComponentService, FleetGenerate, WarmCache
+from repro.components import standard_catalog
+from repro.constraints import Constraints
+from repro.fleet import FleetDispatcher, compute_bundle, install_bundle
+from repro.net.server import serve
+
+
+def _service(tmp_path, tag="store", **kwargs):
+    return ComponentService(
+        catalog=standard_catalog(fresh=True), store_root=tmp_path / tag, **kwargs
+    )
+
+
+def _worker_server():
+    """An in-thread stateless worker (what repro.fleet.worker serves)."""
+    return serve(service=ComponentService(catalog=standard_catalog(fresh=True)))
+
+
+@pytest.fixture()
+def fleet_rig(tmp_path):
+    """A service + dispatcher attached to two in-thread workers."""
+    service = _service(tmp_path)
+    workers = [_worker_server(), _worker_server()]
+    fleet = FleetDispatcher(service, heartbeat_interval=30.0)
+    for worker in workers:
+        fleet.connect_worker(worker.host, worker.port)
+    service.attach_fleet(fleet)
+    yield service, fleet, workers
+    fleet.close()
+    for worker in workers:
+        worker.stop()
+    service.jobs.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Bundles
+# ---------------------------------------------------------------------------
+
+
+def test_bundle_roundtrip_is_byte_identical(tmp_path):
+    """A bundle computed elsewhere replays locally as a warm, identical hit."""
+    producer = ComponentService(catalog=standard_catalog(fresh=True))
+    consumer = _service(tmp_path, "consumer")
+    reference = _service(tmp_path, "reference")
+
+    implementation = producer.catalog.get("alu")
+    constraints = Constraints(clock_width=200.0)
+    bundle = compute_bundle(
+        producer.generator, implementation, {"size": 6}, constraints, name="alu_x"
+    )
+    assert bundle["implementation"] == "alu"
+    assert bundle["entries"] >= 2  # synth + flows at minimum
+    assert isinstance(bundle["blob"], str)
+
+    installed = install_bundle(consumer.generator, bundle)
+    assert installed >= 2
+
+    warm = consumer.create_session().request_component(
+        implementation="alu",
+        parameters={"size": 6},
+        constraints=constraints,
+        instance_name="alu_x",
+    )
+    cold = reference.create_session().request_component(
+        implementation="alu",
+        parameters={"size": 6},
+        constraints=constraints,
+        instance_name="alu_x",
+    )
+    # The warmed consumer never ran a flow of its own.
+    flows = consumer.generation_stats()["flows"]
+    assert flows["misses"] == 0 and flows["hits"] >= 1
+    assert warm.summary() == cold.summary()
+    assert warm.vhdl_netlist() == cold.vhdl_netlist()
+    assert warm.render_delay() == cold.render_delay()
+
+
+def test_install_bundle_is_first_writer_wins(tmp_path):
+    producer = ComponentService(catalog=standard_catalog(fresh=True))
+    consumer = _service(tmp_path, "consumer")
+    implementation = producer.catalog.get("mux4")
+    bundle = compute_bundle(producer.generator, implementation, {"size": 4}, None)
+    assert install_bundle(consumer.generator, bundle) >= 1
+    # The same entries again: every key is already present, nothing stored.
+    assert install_bundle(consumer.generator, bundle) == 0
+
+
+def test_fleet_generate_request_answers_installable_bundle(tmp_path):
+    """The wire kind a dispatcher sends a worker is a plain request."""
+    worker = ComponentService(catalog=standard_catalog(fresh=True))
+    response = worker.execute(
+        FleetGenerate(implementation="alu", parameters={"size": 5}, name="alu_w")
+    )
+    assert response.ok
+    consumer = _service(tmp_path, "consumer")
+    assert install_bundle(consumer.generator, response.value) >= 2
+    instance = consumer.create_session().request_component(
+        implementation="alu", parameters={"size": 5}, instance_name="alu_w"
+    )
+    assert instance.name == "alu_w"
+    assert consumer.generation_stats()["flows"]["misses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+
+def test_prewarm_without_workers_falls_back(tmp_path):
+    service = _service(tmp_path)
+    fleet = FleetDispatcher(service)
+    service.attach_fleet(fleet)
+    try:
+        session = service.create_session()
+        instance = session.request_component(
+            implementation="alu", parameters={"size": 4}, instance_name="local"
+        )
+        assert instance.name == "local"
+        stats = fleet.stats()
+        assert stats["workers_live"] == 0
+        assert stats["fallbacks"] >= 1
+        assert stats["dispatched"] == 0
+    finally:
+        fleet.close()
+        service.jobs.shutdown()
+
+
+def test_request_component_dispatches_and_replays_warm(fleet_rig, tmp_path):
+    service, fleet, _ = fleet_rig
+    session = service.create_session()
+    instance = session.request_component(
+        implementation="alu", parameters={"size": 7}, instance_name="fleet_a"
+    )
+    stats = fleet.stats()
+    assert stats["dispatched"] >= 1
+    assert stats["completed"] >= 1
+    assert stats["installs"] >= 1
+    assert stats["fallbacks"] == 0
+    # The server replayed the generation as a warm hit: zero flow misses.
+    flows = service.generation_stats()["flows"]
+    assert flows["misses"] == 0 and flows["hits"] >= 1
+    # Byte-identity against a plain single-process service.
+    reference = _service(tmp_path, "ref").create_session().request_component(
+        implementation="alu", parameters={"size": 7}, instance_name="fleet_a"
+    )
+    assert instance.summary() == reference.summary()
+    assert instance.vhdl_netlist() == reference.vhdl_netlist()
+    # Registered exactly once, on the server.
+    assert session.instances.names() == ["fleet_a"]
+
+
+def test_prewarm_skips_already_warm_flows(fleet_rig):
+    service, fleet, _ = fleet_rig
+    session = service.create_session()
+    session.request_component(
+        implementation="mux2", parameters={"size": 2}, instance_name="m1"
+    )
+    dispatched = fleet.stats()["dispatched"]
+    # Identical signature under a new name: the memo is warm, the
+    # dispatcher must not ship it again.
+    session.request_component(
+        implementation="mux2",
+        parameters={"size": 2},
+        instance_name="m2",
+        use_cache=False,
+    )
+    assert fleet.stats()["dispatched"] == dispatched
+
+
+def test_concurrent_identical_prewarms_coalesce(fleet_rig):
+    service, fleet, _ = fleet_rig
+    implementation = service.catalog.get("alu")
+    constraints = Constraints(clock_width=200.0)
+    results = []
+
+    def warm():
+        results.append(
+            fleet.prewarm(implementation, {"size": 64}, constraints, name="big")
+        )
+
+    first = threading.Thread(target=warm)
+    second = threading.Thread(target=warm)
+    first.start()
+    time.sleep(0.05)  # let the owner win the race and go inflight
+    second.start()
+    first.join(60)
+    second.join(60)
+    assert results == [True, True]
+    stats = fleet.stats()
+    assert stats["coalesced"] == 1
+    # One elaboration shipped, not two.
+    assert stats["dispatched"] == 1
+
+
+def test_worker_death_requeues_to_survivor(tmp_path):
+    service = _service(tmp_path)
+    # Long heartbeat: death must be discovered by the failed dispatch
+    # itself, which is the requeue path under test.
+    fleet = FleetDispatcher(service, heartbeat_interval=30.0)
+    try:
+        spawned = fleet.spawn_workers(2)
+        assert len(fleet.live_workers()) == 2
+        # Kill the first worker's process; ties in the least-loaded pick
+        # break by attach order, so the next dispatch aims at the corpse.
+        spawned[0].process.kill()
+        spawned[0].process.wait()
+        implementation = service.catalog.get("alu")
+        warmed = fleet.prewarm(
+            implementation, {"size": 9}, Constraints(clock_width=200.0), name="x"
+        )
+        assert warmed is True
+        stats = fleet.stats()
+        assert stats["workers_dead"] == 1
+        assert stats["workers_live"] == 1
+        assert stats["requeues"] >= 1
+        assert stats["completed"] >= 1
+    finally:
+        fleet.close()
+        service.jobs.shutdown()
+
+
+def test_close_fails_pending_work_and_reaps(tmp_path):
+    service = _service(tmp_path)
+    fleet = FleetDispatcher(service)
+    spawned = fleet.spawn_workers(1)
+    fleet.close()
+    assert spawned[0].process.poll() is not None  # reaped
+    # Closed dispatcher degrades to local generation, never raises.
+    assert (
+        fleet.prewarm(
+            service.catalog.get("mux2"), {"size": 2}, Constraints(), name="m"
+        )
+        is False
+    )
+    service.jobs.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Warming
+# ---------------------------------------------------------------------------
+
+
+def test_warm_cache_in_process(tmp_path):
+    """warm_cache with no fleet warms the local stage memos."""
+    service = _service(tmp_path)
+    response = service.execute(
+        WarmCache(
+            entries=(
+                {"implementation": "alu", "parameters": {"size": 6}},
+                {"component": "counter", "attributes": {"size": 4}},
+            )
+        )
+    )
+    assert response.ok
+    assert response.value["errors"] == []
+    assert response.value["warmed"] >= 2
+    assert response.value["workers_warmed"] == 0
+    before = service.generation_stats()["flows"]
+    service.create_session().request_component(
+        implementation="alu", parameters={"size": 6}, instance_name="warm_1"
+    )
+    after = service.generation_stats()["flows"]
+    assert after["misses"] == before["misses"]  # pure warm replay
+    service.jobs.shutdown()
+
+
+def test_warm_cache_reports_bad_entries(tmp_path):
+    service = _service(tmp_path)
+    response = service.execute(
+        WarmCache(
+            entries=(
+                {"implementation": "no_such_thing"},
+                {"parameters": {"size": 2}},  # neither implementation nor component
+            )
+        )
+    )
+    assert response.ok
+    assert response.value["warmed"] == 0
+    assert len(response.value["errors"]) == 2
+    service.jobs.shutdown()
+
+
+def test_warm_cache_fans_out_to_every_worker(fleet_rig):
+    service, fleet, workers = fleet_rig
+    response = service.execute(
+        WarmCache(entries=({"implementation": "alu", "parameters": {"size": 6}},))
+    )
+    assert response.ok
+    assert response.value["warmed"] == 1
+    assert response.value["workers_warmed"] == 2
+    assert fleet.stats()["warm_fanouts"] == 1
+    # Each worker really warmed its own memo: its flow stage holds an entry.
+    for worker in workers:
+        stats = worker.service.generation_stats()["flows"]
+        assert stats["entries"] >= 1
+
+
+def test_plan_fanout_prewarms_through_fleet(fleet_rig):
+    service, fleet, _ = fleet_rig
+    requests = [
+        ComponentRequest(
+            implementation="alu",
+            parameters={"size": size},
+            instance_name=f"sweep_{size}",
+        )
+        for size in (11, 12, 13)
+    ]
+    warmed = fleet.prewarm_requests(requests)
+    assert warmed == 3
+    stats = fleet.stats()
+    assert stats["dispatched"] >= 3
+    assert stats["installs"] >= 3
+    # The replay is now pure warm hits, one per point.
+    session = service.create_session()
+    before = service.generation_stats()["flows"]["misses"]
+    for request in requests:
+        assert session.execute(request).ok
+    assert service.generation_stats()["flows"]["misses"] == before

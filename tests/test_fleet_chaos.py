@@ -1,0 +1,103 @@
+"""Fault injection for the fleet: SIGKILL a worker mid-generation.
+
+The survival contract under test: a worker process dying *while it is
+computing a dispatched elaboration* must not fail the request, must not
+register the instance twice, and must not leave artifacts from the dead
+worker's half-finished work in the server's store (workers own no store,
+so there is nothing to leak -- this test proves that end to end).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+from repro.api import ComponentRequest, ComponentService
+from repro.components import standard_catalog
+from repro.fleet import FleetDispatcher
+from repro.net.chaos import ManagedWorker
+
+
+def test_sigkill_worker_mid_generation_completes_elsewhere(tmp_path):
+    store_root = tmp_path / "store"
+    service = ComponentService(
+        catalog=standard_catalog(fresh=True), store_root=store_root
+    )
+    # Heartbeats off (effectively): the death must be discovered by the
+    # broken dispatch itself, the worst-case timing.
+    fleet = FleetDispatcher(service, heartbeat_interval=60.0)
+    workers = [ManagedWorker(), ManagedWorker()]
+    try:
+        handles = {
+            (worker.host, worker.port): worker
+            for worker in workers
+        }
+        for worker in workers:
+            fleet.connect_worker(worker.host, worker.port)
+        service.attach_fleet(fleet)
+        session = service.create_session()
+
+        # Big enough that the SIGKILL lands while the worker is still
+        # elaborating (about half a second of compute).
+        request = ComponentRequest(
+            implementation="alu", parameters={"size": 128}, instance_name="victim"
+        )
+        outcome = {}
+
+        def run():
+            outcome["response"] = session.execute(request)
+
+        runner = threading.Thread(target=run)
+        runner.start()
+
+        # Spin until the task is inflight on some worker, then SIGKILL
+        # that worker's announced pid -- mid-generation by construction.
+        target = None
+        deadline = time.monotonic() + 30.0
+        while target is None and time.monotonic() < deadline:
+            for handle in fleet.workers():
+                if handle.inflight is not None:
+                    target = handle
+                    break
+            else:
+                time.sleep(0.001)
+        assert target is not None, "dispatch never went inflight"
+        doomed = handles[(target.host, target.port)]
+        os.kill(doomed.pid, signal.SIGKILL)
+        doomed.proc.wait(timeout=10)
+
+        runner.join(120)
+        assert not runner.is_alive()
+        response = outcome["response"]
+        assert response.ok, response.error
+
+        stats = fleet.stats()
+        assert stats["workers_dead"] == 1
+        assert stats["workers_live"] == 1
+        assert stats["requeues"] >= 1  # the orphaned task moved on
+        assert stats["completed"] >= 1
+
+        # Exactly one registered instance -- the retry never double-applied.
+        assert session.instances.names() == ["victim"]
+        rows = service.database.table("instances").select(
+            lambda row: row["name"] == "victim"
+        )
+        assert len(rows) == 1
+
+        # Zero orphan artifacts: every generated file in the store
+        # belongs to the one registered instance (``.iif`` files are the
+        # catalog's own seeds, present before any request).
+        service.materialize_artifacts()
+        generated = {
+            path.parent.name
+            for path in store_root.rglob("*")
+            if path.is_file() and path.suffix != ".iif"
+        }
+        assert generated == {"victim"}
+    finally:
+        fleet.close()
+        for worker in workers:
+            worker.close()
+        service.jobs.shutdown()

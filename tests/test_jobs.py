@@ -152,6 +152,27 @@ def test_full_queue_answers_busy(tmp_path):
     service.jobs.shutdown()
 
 
+def test_run_many_overflow_runs_inline_and_is_counted(tmp_path):
+    service = make_slow_service(tmp_path / "slow", delay=0.1, job_workers=1)
+    service.jobs.max_queued = 1
+    session = service.create_session()
+    requests = [
+        ComponentRequest(
+            implementation="mux2",
+            attributes={"size": 2},
+            instance_name=f"inline_{index}",
+            use_cache=False,
+        )
+        for index in range(4)
+    ]
+    responses = service.jobs.run_many(requests, session)
+    assert all(response.ok for response in responses)
+    # With one worker and one queue slot, at least one of the four had
+    # to degrade to inline execution -- and the degradation is counted.
+    assert service.jobs.stats()["inline_overflows"] >= 1
+    service.jobs.shutdown()
+
+
 def test_wait_timeout_answers_timeout_and_job_survives(tmp_path):
     service = make_slow_service(tmp_path / "slow", delay=0.8)
     session = service.create_session()

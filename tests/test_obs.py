@@ -636,6 +636,43 @@ def test_render_dashboard_pure():
     assert "p95 <=   100.00 ms" in text
     # Warming-up frame: no rate yet.
     assert "req/s    --" in render_dashboard(snapshot)
+    # No fleet attached, no jobs overflowed: the fleet section is absent
+    # but the inline-overflow counter always renders (zero here).
+    assert "fleet" not in render_dashboard(snapshot)
+    assert "inline    0" in render_dashboard(snapshot)
+
+
+def test_render_dashboard_fleet_section():
+    snapshot = {
+        "version": 1,
+        "time": 1_700_000_000.0,
+        "counters": {
+            "requests.total": 10,
+            "jobs.inline_overflows": 3,
+            "fleet.workers_live": 4,
+            "fleet.workers_connected": 5,
+            "fleet.workers_dead": 1,
+            "fleet.dispatched": 120,
+            "fleet.completed": 118,
+            "fleet.steals": 7,
+            "fleet.requeues": 2,
+            "fleet.fallbacks": 1,
+            "fleet.installs": 236,
+            "fleet.coalesced": 9,
+            "fleet.warm_fanouts": 2,
+        },
+        "gauges": {},
+        "histograms": {},
+    }
+    text = render_dashboard(snapshot, address="example:7361")
+    assert "fleet      workers   4/5" in text
+    assert "dead   1" in text
+    assert "dispatched     120" in text
+    assert "steals     7" in text
+    assert "requeues    2" in text
+    assert "installs     236" in text
+    assert "warm fanouts    2" in text
+    assert "inline    3" in text
 
 
 def test_admin_console_once_and_json_over_tcp(tmp_path, capsys):
